@@ -1,0 +1,649 @@
+(* Benchmark and reproduction harness.
+
+   The paper is a theory paper without quantitative tables, so the
+   harness has two halves (see DESIGN.md §3 and EXPERIMENTS.md):
+
+   - experiments E1–E8 re-derive every figure and checkable claim of the
+     paper and print the obtained result next to the expected one;
+   - benches B1–B4 measure the decision procedures on synthetic
+     workloads of growing size (the shape — linear/quadratic growth,
+     who dominates — is the reproducible part).
+
+   Usage: [main.exe] runs everything; [main.exe e3 b1 …] selects. *)
+
+open Core
+
+let pf = Format.printf
+
+let section name = pf "@.==== %s ====@." name
+
+let check_line ~expected ~got label =
+  pf "  %-58s expected: %-14s got: %-14s %s@." label expected got
+    (if String.equal expected got then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Fig. 1: the usage automaton φ(bl,p,t) *)
+
+let e1 () =
+  section "E1 (Fig. 1): usage automaton phi(bl,p,t)";
+  let trace name p t =
+    [
+      Usage.Event.make ~arg:(Usage.Value.str name) "sgn";
+      Usage.Event.make ~arg:(Usage.Value.int p) "price";
+      Usage.Event.make ~arg:(Usage.Value.int t) "rating";
+    ]
+  in
+  let cases =
+    (* hotel, price, rating, expected under phi1, expected under phi2 *)
+    [
+      ("s1", 45, 80, false, false);
+      ("s2", 70, 100, true, true);
+      ("s3", 90, 100, true, false);
+      ("s4", 50, 90, false, true);
+    ]
+  in
+  List.iter
+    (fun (h, p, t, exp1, exp2) ->
+      let got1 = Usage.Policy.respects Scenarios.Hotel.phi1 (trace h p t) in
+      let got2 = Usage.Policy.respects Scenarios.Hotel.phi2 (trace h p t) in
+      check_line
+        ~expected:(string_of_bool exp1)
+        ~got:(string_of_bool got1)
+        (Printf.sprintf "%s respects phi({s1},45,100)" h);
+      check_line
+        ~expected:(string_of_bool exp2)
+        ~got:(string_of_bool got2)
+        (Printf.sprintf "%s respects phi({s1,s3},40,70)" h))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* E2 — §2: compliance of the hotels with the broker *)
+
+let e2 () =
+  section "E2 (§2): compliance with the broker (Theorem 1)";
+  let body = Contract.project Scenarios.Hotel.broker_request_body in
+  List.iter
+    (fun (loc, expected) ->
+      let server = Contract.project (List.assoc loc Scenarios.Hotel.hotels) in
+      let got = Product.compliant body server in
+      let ref_got = Compliance.compliant body server in
+      check_line ~expected:(string_of_bool expected) ~got:(string_of_bool got)
+        (Printf.sprintf "Br |- %s (product automaton)" loc);
+      check_line ~expected:(string_of_bool expected)
+        ~got:(string_of_bool ref_got)
+        (Printf.sprintf "Br |- %s (Definition 4)" loc))
+    [ ("s1", true); ("s2", false); ("s3", true); ("s4", true) ]
+
+(* ------------------------------------------------------------------ *)
+(* E3 — §2: security of the hotels against the clients' policies *)
+
+let e3 () =
+  section "E3 (§2): hotels against the clients' policies";
+  (* a hotel H respects φ iff φ[H] is statically valid: every trace of
+     events H may fire, in order, satisfies φ *)
+  let respects phi h =
+    Result.is_ok (Validity.check_expr (Hexpr.frame phi h))
+  in
+  List.iter
+    (fun (loc, exp1, exp2) ->
+      let h = List.assoc loc Scenarios.Hotel.hotels in
+      check_line ~expected:(string_of_bool exp1)
+        ~got:(string_of_bool (respects Scenarios.Hotel.phi1 h))
+        (Printf.sprintf "%s under phi1 (client C1)" loc);
+      check_line ~expected:(string_of_bool exp2)
+        ~got:(string_of_bool (respects Scenarios.Hotel.phi2 h))
+        (Printf.sprintf "%s under phi2 (client C2)" loc))
+    [
+      ("s1", false, false);
+      ("s2", true, true);
+      ("s3", true, false);
+      ("s4", false, true);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E4 — §2/§5: valid plans *)
+
+let e4 () =
+  section "E4 (§2, §5): plan validity";
+  let verdict client plan =
+    match Planner.(analyze Scenarios.Hotel.repo ~client plan).verdict with
+    | Ok _ -> "valid"
+    | Error (Planner.Not_compliant _) -> "not-compliant"
+    | Error (Planner.Insecure _) -> "insecure"
+    | Error (Planner.Unserved _) -> "unserved"
+  | Error (Planner.Outside_fragment _) -> "outside-fragment"
+  in
+  let c1 = ("c1", Scenarios.Hotel.client1) in
+  let c2 = ("c2", Scenarios.Hotel.client2) in
+  check_line ~expected:"valid" ~got:(verdict c1 Scenarios.Hotel.plan1)
+    "pi1 = {1[br],3[s3]} for C1 (the paper's valid plan)";
+  check_line ~expected:"insecure"
+    ~got:(verdict c1 (Plan.of_list [ (1, "br"); (3, "s1") ]))
+    "{1[br],3[s1]} for C1 (s1 black-listed)";
+  check_line ~expected:"not-compliant"
+    ~got:(verdict c1 (Plan.of_list [ (1, "br"); (3, "s2") ]))
+    "{1[br],3[s2]} for C1 (Del unhandled)";
+  check_line ~expected:"insecure"
+    ~got:(verdict c1 (Plan.of_list [ (1, "br"); (3, "s4") ]))
+    "{1[br],3[s4]} for C1 (price/rating thresholds)";
+  check_line ~expected:"not-compliant"
+    ~got:(verdict c2 Scenarios.Hotel.plan2_s2)
+    "{2[br],3[s2]} for C2 (paper: not valid, Del)";
+  check_line ~expected:"insecure" ~got:(verdict c2 Scenarios.Hotel.plan2_s3)
+    "{2[br],3[s3]} for C2 (paper: not valid, black list)";
+  check_line ~expected:"valid" ~got:(verdict c2 Scenarios.Hotel.plan2_s4)
+    "{2[br],3[s4]} for C2";
+  let count client =
+    List.length (Planner.valid_plans ~all:false Scenarios.Hotel.repo ~client)
+  in
+  check_line ~expected:"1" ~got:(string_of_int (count c1))
+    "number of valid plans for C1";
+  check_line ~expected:"1" ~got:(string_of_int (count c2))
+    "number of valid plans for C2"
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Fig. 3: the computation fragment *)
+
+let e5 () =
+  section "E5 (Fig. 3): replaying the computation";
+  let is_sync a = function
+    | Network.L_sync (_, _, b) -> String.equal a b
+    | _ -> false
+  in
+  let is_open r = function
+    | Network.L_open (q, _, _) -> q.Hexpr.rid = r
+    | _ -> false
+  in
+  let is_close r = function
+    | Network.L_close (q, _) -> q.Hexpr.rid = r
+    | _ -> false
+  in
+  let is_ev n = function
+    | Network.L_event (_, e) -> String.equal e.Usage.Event.name n
+    | _ -> false
+  in
+  let script =
+    [
+      is_open 1; is_sync "req"; is_open 3; is_ev "sgn"; is_ev "price";
+      is_ev "rating"; is_sync "idc"; is_sync "una"; is_close 3;
+      is_sync "noav"; is_close 1;
+    ]
+  in
+  let cfg =
+    Network.initial ~plan:Scenarios.Hotel.plan1
+      [ ("c1", Scenarios.Hotel.client1) ]
+  in
+  let t = Simulate.run Scenarios.Hotel.repo cfg (Simulate.script script) in
+  check_line ~expected:"completed"
+    ~got:(Fmt.str "%a" Simulate.pp_outcome t.Simulate.outcome)
+    "the scripted Fig. 3 interleaving runs to completion";
+  check_line ~expected:"11" ~got:(string_of_int (List.length t.Simulate.steps))
+    "number of transitions";
+  match t.Simulate.final with
+  | [ c ] ->
+      check_line
+        ~expected:
+          "[phi({s1},45,100) sgn(s3) price(90) rating(100) phi({s1},45,100)]"
+        ~got:
+          (Fmt.str "%a" History.pp (Validity.Monitor.history c.Network.monitor))
+        "final history of C1"
+  | _ -> pf "  unexpected final configuration@."
+
+(* ------------------------------------------------------------------ *)
+(* E6/E7 — Theorems 1 and 2 on random contracts *)
+
+let e6_e7 () =
+  section "E6/E7 (Theorems 1, 2): agreement of the decision procedures";
+  let st = Random.State.make [| 2013 |] in
+  let n = 2000 in
+  let agree = ref 0 and compliant_count = ref 0 in
+  for _ = 1 to n do
+    let c = QCheck.Gen.generate1 ~rand:st Testkit.Generators.contract_gen in
+    let s = QCheck.Gen.generate1 ~rand:st Testkit.Generators.contract_gen in
+    let d4 = Compliance.compliant c s in
+    let d5 = Product.compliant c s in
+    if d4 = d5 then incr agree;
+    if d5 then incr compliant_count
+  done;
+  check_line ~expected:(string_of_int n) ~got:(string_of_int !agree)
+    (Printf.sprintf "Def.4 = product emptiness on %d random pairs" n);
+  pf "  (%d of %d random pairs compliant)@." !compliant_count n
+
+(* ------------------------------------------------------------------ *)
+(* E8 — §3.1: BPA model checking vs direct exploration *)
+
+let e8 () =
+  section "E8 (§3.1): BPA validity vs direct exploration";
+  let st = Random.State.make [| 42 |] in
+  let n = 1000 in
+  let agree = ref 0 and valid_count = ref 0 in
+  for _ = 1 to n do
+    let h = QCheck.Gen.generate1 ~rand:st Testkit.Generators.hexpr_gen in
+    let direct = Result.is_ok (Validity.check_expr h) in
+    let bpa = Result.is_ok (Bpa.Check.valid h) in
+    if direct = bpa then incr agree;
+    if direct then incr valid_count
+  done;
+  check_line ~expected:(string_of_int n) ~got:(string_of_int !agree)
+    (Printf.sprintf "agreement on %d random expressions" n);
+  pf "  (%d of %d random expressions valid)@." !valid_count n;
+  let hotel_ok =
+    List.for_all
+      (fun (_, h) -> Result.is_ok (Bpa.Check.valid h))
+      (("c1", Scenarios.Hotel.client1) :: Scenarios.Hotel.repo)
+  in
+  check_line ~expected:"true" ~got:(string_of_bool hotel_ok)
+    "every §2 service is valid in isolation"
+
+(* ------------------------------------------------------------------ *)
+(* E9 — §5: switch off the monitor after static validation *)
+
+let e9 () =
+  section "E9 (§5): no run-time monitor needed for valid plans";
+  let all_valid ~monitored plan client =
+    List.for_all
+      (fun seed ->
+        let cfg = Network.initial_vector [ (plan, client) ] in
+        let t = Simulate.run ~monitored Scenarios.Hotel.repo cfg (Simulate.random ~seed) in
+        List.for_all
+          (fun c -> Validity.valid (Validity.Monitor.history c.Network.monitor))
+          t.Simulate.final)
+      (List.init 100 (fun i -> i + 1))
+  in
+  check_line ~expected:"true"
+    ~got:(string_of_bool
+            (all_valid ~monitored:false Scenarios.Hotel.plan1
+               ("c1", Scenarios.Hotel.client1)))
+    "100 unmonitored runs of pi1: all histories valid";
+  check_line ~expected:"true"
+    ~got:(string_of_bool
+            (all_valid ~monitored:false Scenarios.Hotel.plan2_s4
+               ("c2", Scenarios.Hotel.client2)))
+    "100 unmonitored runs of {2[br],3[s4]}: all histories valid";
+  check_line ~expected:"false"
+    ~got:(string_of_bool
+            (all_valid ~monitored:false
+               (Plan.of_list [ (1, "br"); (3, "s1") ])
+               ("c1", Scenarios.Hotel.client1)))
+    "unmonitored runs of the black-listed plan stay valid"
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic workload generators for the scaling benches *)
+
+(* A ping-pong protocol of [n] rounds: client sends msg, awaits ack. *)
+let rec ping n =
+  if n = 0 then Hexpr.nil
+  else Hexpr.select [ ("msg", Hexpr.branch [ ("ack", ping (n - 1)) ]) ]
+
+let rec pong n =
+  if n = 0 then Hexpr.nil
+  else Hexpr.branch [ ("msg", Hexpr.select [ ("ack", pong (n - 1)) ]) ]
+
+(* A wide choice: the client may select any of [n] channels. *)
+let wide_client n =
+  Hexpr.select (List.init n (fun i -> (Printf.sprintf "c%d" i, Hexpr.nil)))
+
+let wide_server n =
+  Hexpr.branch (List.init n (fun i -> (Printf.sprintf "c%d" i, Hexpr.nil)))
+
+(* Repository with [k] hotels (fresh names, all compliant and cheap). *)
+let scaled_repo k =
+  ("br", Scenarios.Hotel.broker)
+  :: List.init k (fun i ->
+         ( Printf.sprintf "h%d" i,
+           Scenarios.Hotel.hotel
+             (Printf.sprintf "h%d" i)
+             ~price:(40 + i) ~rating:100 ~extra:[] ))
+
+(* Histories of [n] events under an active counting policy. *)
+let history_of_length n =
+  History.Op (Usage.Policy_lib.instantiate0 (Usage.Policy_lib.at_most ~n "x"))
+  :: List.init n (fun _ -> History.Ev (Usage.Event.make "x"))
+
+let b1_shape () =
+  section "B1: product-automaton size vs contract size (shape: linear)";
+  pf "  %8s %12s %12s %10s@." "rounds n" "states" "transitions" "compliant";
+  List.iter
+    (fun n ->
+      let c = Contract.project (ping n) and s = Contract.project (pong n) in
+      let p = Product.build c s in
+      pf "  %8d %12d %12d %10b@." n
+        (List.length p.Product.states)
+        (List.length p.Product.delta)
+        (Product.language_empty p))
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  pf "  %8s %12s %12s %10s@." "width n" "states" "transitions" "compliant";
+  List.iter
+    (fun n ->
+      let c = Contract.project (wide_client n)
+      and s = Contract.project (wide_server n) in
+      let p = Product.build c s in
+      pf "  %8d %12d %12d %10b@." n
+        (List.length p.Product.states)
+        (List.length p.Product.delta)
+        (Product.language_empty p))
+    [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let b2_shape () =
+  section "B2: plan synthesis vs repository size (shape: quadratic plans)";
+  pf "  %8s %8s %12s %12s@." "hotels k" "plans" "valid" "sites";
+  List.iter
+    (fun k ->
+      let repo = scaled_repo k in
+      let client = ("c1", Scenarios.Hotel.client1) in
+      let plans = Planner.enumerate repo ~client in
+      let valid = Planner.valid_plans ~all:false repo ~client in
+      pf "  %8d %8d %12d %12d@." k (List.length plans) (List.length valid)
+        (List.length (Planner.sites repo client)))
+    [ 1; 2; 4; 8; 16 ]
+
+let b3_shape () =
+  section "B3: validity checking vs history length (shape: linear)";
+  pf "  %8s %10s@." "events n" "valid";
+  List.iter
+    (fun n ->
+      let h = history_of_length n in
+      pf "  %8d %10b@." n (Result.is_ok (Validity.check h)))
+    [ 10; 100; 1000; 10000 ]
+
+let b4_shape () =
+  section
+    "B4: interleaved state space vs number of clients (shape: exponential)";
+  pf "  %8s %10s %12s@." "clients" "states" "transitions";
+  List.iter
+    (fun k ->
+      let clients =
+        List.init k (fun i ->
+            ( Scenarios.Hotel.plan1,
+              (Printf.sprintf "c%d" i, Scenarios.Hotel.client1) ))
+      in
+      let s = Netcheck.explore_interleaved Scenarios.Hotel.repo clients in
+      pf "  %8d %10d %12d@." k s.Netcheck.states s.Netcheck.transitions)
+    [ 1; 2; 3 ]
+
+let b5_ablation () =
+  section "B5 (ablation): Definition 4 vs product automaton";
+  pf "  both procedures decide the same relation (Theorem 1); the product\n";
+  pf "  additionally yields counterexamples. Agreement is checked in E6;\n";
+  pf "  timings under t-b5.@."
+
+let b6_ablation () =
+  section "B6 (ablation): direct exploration vs BPA model checking";
+  (* state counts on a frame-heavy expression family *)
+  let rec tower k =
+    if k = 0 then Hexpr.ev "x"
+    else
+      Hexpr.frame
+        (Usage.Policy_lib.instantiate0 (Usage.Policy_lib.at_most ~n:k "x"))
+        (Hexpr.seq (Hexpr.ev "x") (tower (k - 1)))
+  in
+  List.iter
+    (fun k ->
+      let h = tower k in
+      let direct = Result.is_ok (Validity.check_expr h) in
+      let bpa = Result.is_ok (Bpa.Check.valid h) in
+      check_line ~expected:"false" ~got:(string_of_bool direct)
+        (Printf.sprintf "direct verdict, %d nested framings" k);
+      check_line ~expected:"false" ~got:(string_of_bool bpa)
+        (Printf.sprintf "bpa verdict,    %d nested framings" k))
+    [ 1; 2; 4; 8 ];
+  pf "  (the innermost at-most-1 policy retroactively counts every earlier\n";
+  pf "   event, so all towers are invalid; both engines agree; timings t-b6)@."
+
+let b7_ablation () =
+  section "B7 (ablation): one conjoined policy vs separate framings";
+  let never_list = [ "u"; "v"; "w"; "q" ] in
+  let policies =
+    List.map (fun e -> Usage.Policy_lib.instantiate0 (Usage.Policy_lib.never e)) never_list
+  in
+  let trace = List.init 64 (fun i -> Usage.Event.make (Printf.sprintf "e%d" (i mod 7))) in
+  let conj = Option.get (Usage.Policy_ops.conj_all policies) in
+  let separate = List.for_all (fun p -> Usage.Policy.respects p trace) policies in
+  let combined = Usage.Policy.respects conj trace in
+  check_line ~expected:(string_of_bool separate) ~got:(string_of_bool combined)
+    "conjunction agrees with separate checks";
+  pf "  conjoined automaton has %d transitions (timings t-b7)@."
+    (List.length (Usage.Policy.A.transitions (Usage.Policy.automaton conj)))
+
+(* ------------------------------------------------------------------ *)
+(* Timing with bechamel *)
+
+let pp_ns ppf v =
+  if v > 1_000_000.0 then Fmt.pf ppf "%8.2f ms" (v /. 1_000_000.0)
+  else if v > 1_000.0 then Fmt.pf ppf "%8.2f us" (v /. 1_000.0)
+  else Fmt.pf ppf "%8.2f ns" v
+
+let run_timings name tests =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg
+      Toolkit.Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (k, v) ->
+      match Bechamel.Analyze.OLS.estimates v with
+      | Some [ e ] -> pf "  %-55s %a/run@." k pp_ns e
+      | _ -> pf "  %-55s (no estimate)@." k)
+    rows
+
+let stage = Bechamel.Staged.stage
+
+let timing_e () =
+  section "timings: the paper's scenario";
+  let body = Contract.project Scenarios.Hotel.broker_request_body in
+  let s2 = Contract.project Scenarios.Hotel.s2 in
+  let s3 = Contract.project Scenarios.Hotel.s3 in
+  let cfg_fig3 () =
+    Network.initial ~plan:Scenarios.Hotel.plan1
+      [ ("c1", Scenarios.Hotel.client1) ]
+  in
+  run_timings "paper"
+    [
+      Bechamel.Test.make ~name:"E2 compliance Br|-s3 (product)"
+        (stage (fun () -> Product.compliant body s3));
+      Bechamel.Test.make ~name:"E2 non-compliance Br|-s2 (counterexample)"
+        (stage (fun () -> Product.counterexample body s2));
+      Bechamel.Test.make ~name:"E3 policy check (phi1 on s4 events)"
+        (stage (fun () ->
+             Usage.Policy.respects Scenarios.Hotel.phi1
+               (Hexpr.events Scenarios.Hotel.s4)));
+      Bechamel.Test.make ~name:"E4 netcheck of pi1"
+        (stage (fun () ->
+             Netcheck.check_client Scenarios.Hotel.repo Scenarios.Hotel.plan1
+               ("c1", Scenarios.Hotel.client1)));
+      Bechamel.Test.make ~name:"E4 full plan synthesis for C1"
+        (stage (fun () ->
+             Planner.valid_plans ~all:false Scenarios.Hotel.repo
+               ~client:("c1", Scenarios.Hotel.client1)));
+      Bechamel.Test.make ~name:"E5 Fig.3 simulation (random schedule)"
+        (stage (fun () ->
+             Simulate.run Scenarios.Hotel.repo (cfg_fig3 ())
+               (Simulate.random ~seed:1)));
+      Bechamel.Test.make ~name:"E8 BPA validity of C1"
+        (stage (fun () -> Bpa.Check.valid Scenarios.Hotel.client1));
+    ]
+
+let timing_b1 () =
+  section "timings: B1 compliance vs contract size";
+  run_timings "b1"
+    (List.map
+       (fun n ->
+         let c = Contract.project (ping n) and s = Contract.project (pong n) in
+         Bechamel.Test.make
+           ~name:(Printf.sprintf "ping-pong n=%3d" n)
+           (stage (fun () -> Product.compliant c s)))
+       [ 2; 8; 32; 128 ]
+    @ List.map
+        (fun n ->
+          let c = Contract.project (wide_client n)
+          and s = Contract.project (wide_server n) in
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "wide n=%3d" n)
+            (stage (fun () -> Product.compliant c s)))
+        [ 2; 8; 32; 128 ])
+
+let timing_b2 () =
+  section "timings: B2 plan synthesis vs repository size";
+  run_timings "b2"
+    (List.concat_map
+       (fun k ->
+         let repo = scaled_repo k in
+         let client = ("c1", Scenarios.Hotel.client1) in
+         [
+           Bechamel.Test.make
+             ~name:(Printf.sprintf "valid_plans (shared cache) k=%2d" k)
+             (stage (fun () -> Planner.valid_plans ~all:false repo ~client));
+           Bechamel.Test.make
+             ~name:(Printf.sprintf "per-plan analyze (no cache) k=%2d" k)
+             (stage (fun () ->
+                  Planner.enumerate repo ~client
+                  |> List.map (fun plan -> Planner.analyze repo ~client plan)
+                  |> List.filter (fun (r : Planner.report) ->
+                         Result.is_ok r.Planner.verdict)));
+         ])
+       [ 1; 2; 4; 8 ])
+
+let timing_b3 () =
+  section "timings: B3 validity vs history length";
+  run_timings "b3"
+    (List.map
+       (fun n ->
+         let h = history_of_length n in
+         Bechamel.Test.make
+           ~name:(Printf.sprintf "check n=%5d" n)
+           (stage (fun () -> Validity.check h)))
+       [ 10; 100; 1000 ])
+
+let timing_b5 () =
+  section "timings: B5 Definition 4 vs product automaton";
+  run_timings "b5"
+    (List.concat_map
+       (fun n ->
+         let c = Contract.project (ping n) and s = Contract.project (pong n) in
+         [
+           Bechamel.Test.make
+             ~name:(Printf.sprintf "def4 n=%3d" n)
+             (stage (fun () -> Compliance.compliant c s));
+           Bechamel.Test.make
+             ~name:(Printf.sprintf "product n=%3d" n)
+             (stage (fun () -> Product.compliant c s));
+         ])
+       [ 4; 16; 64 ])
+
+let timing_b6 () =
+  section "timings: B6 direct vs BPA validity";
+  let rec chain k =
+    if k = 0 then Hexpr.ev "x"
+    else
+      Hexpr.frame
+        (Usage.Policy_lib.instantiate0 (Usage.Policy_lib.at_most ~n:(2 * k) "x"))
+        (Hexpr.seq (Hexpr.ev "x") (chain (k - 1)))
+  in
+  run_timings "b6"
+    (List.concat_map
+       (fun k ->
+         let h = chain k in
+         [
+           Bechamel.Test.make
+             ~name:(Printf.sprintf "direct k=%2d" k)
+             (stage (fun () -> Validity.check_expr h));
+           Bechamel.Test.make
+             ~name:(Printf.sprintf "bpa    k=%2d" k)
+             (stage (fun () -> Bpa.Check.valid h));
+         ])
+       [ 1; 2; 4 ])
+
+let timing_b7 () =
+  section "timings: B7 conjoined vs separate policies";
+  let policies =
+    List.map
+      (fun e -> Usage.Policy_lib.instantiate0 (Usage.Policy_lib.never e))
+      [ "u"; "v"; "w"; "q" ]
+  in
+  let conj = Option.get (Usage.Policy_ops.conj_all policies) in
+  let trace =
+    List.init 64 (fun i -> Usage.Event.make (Printf.sprintf "e%d" (i mod 7)))
+  in
+  run_timings "b7"
+    [
+      Bechamel.Test.make ~name:"separate x4"
+        (stage (fun () ->
+             List.for_all (fun p -> Usage.Policy.respects p trace) policies));
+      Bechamel.Test.make ~name:"conjoined"
+        (stage (fun () -> Usage.Policy.respects conj trace));
+      Bechamel.Test.make ~name:"conj construction"
+        (stage (fun () -> Usage.Policy_ops.conj_all policies));
+    ]
+
+let timing_quant () =
+  section "timings: quantitative analyses";
+  let model = Quant.Model.uniform 1.0 in
+  run_timings "quant"
+    [
+      Bechamel.Test.make ~name:"worst-case cost of S3"
+        (stage (fun () -> Quant.Cost.worst_case model Scenarios.Hotel.s3));
+      Bechamel.Test.make ~name:"cheapest plan for C1"
+        (stage (fun () ->
+             Quant.Plan_cost.cheapest Scenarios.Hotel.repo
+               ~client:("c1", Scenarios.Hotel.client1)
+               model));
+      Bechamel.Test.make ~name:"subcontract s2 <= s3"
+        (stage (fun () ->
+             Subcontract.refines
+               (Contract.project Scenarios.Hotel.s2)
+               (Contract.project Scenarios.Hotel.s3)));
+    ]
+
+let timing_b4 () =
+  section "timings: B4 interleaved exploration vs clients";
+  run_timings "b4"
+    (List.map
+       (fun k ->
+         let clients =
+           List.init k (fun i ->
+               ( Scenarios.Hotel.plan1,
+                 (Printf.sprintf "c%d" i, Scenarios.Hotel.client1) ))
+         in
+         Bechamel.Test.make
+           ~name:(Printf.sprintf "explore clients=%d" k)
+           (stage (fun () ->
+                Netcheck.explore_interleaved Scenarios.Hotel.repo clients)))
+       [ 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+    ("e6", e6_e7); ("e8", e8); ("e9", e9);
+    ("b1", b1_shape); ("b2", b2_shape); ("b3", b3_shape); ("b4", b4_shape);
+    ("b5", b5_ablation); ("b6", b6_ablation); ("b7", b7_ablation);
+    ("t-paper", timing_e); ("t-b1", timing_b1); ("t-b2", timing_b2);
+    ("t-b3", timing_b3); ("t-b4", timing_b4); ("t-b5", timing_b5);
+    ("t-b6", timing_b6); ("t-b7", timing_b7); ("t-quant", timing_quant);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+          pf "unknown experiment %s (available: %s)@." name
+            (String.concat " " (List.map fst all)))
+    selected

@@ -1,0 +1,653 @@
+(* susf — secure and unfailing services: command-line front end.
+
+   Subcommands:
+     check      validate clients against plans (compliance + security)
+     plans      enumerate all plans for a client, with verdicts
+     compliance check two repository services for compliance
+     validity   static validity of a client (direct and BPA engines)
+     simulate   run the network and print a Fig.3-style trace
+     dot        export a compliance product automaton to DOT
+     show       pretty-print a parsed specification *)
+
+open Cmdliner
+
+let load file =
+  try Syntax.Parser.spec_of_file file with
+  | Syntax.Parser.Error (msg, line, col) ->
+      Fmt.epr "%s:%d:%d: %s@." file line col msg;
+      exit 2
+  | Sys_error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+
+let client_of spec name =
+  match Syntax.Spec.find_client spec name with
+  | Some h -> (name, h)
+  | None ->
+      Fmt.epr "unknown client %s@." name;
+      exit 2
+
+let plan_of spec name =
+  match Syntax.Spec.find_plan spec name with
+  | Some p -> p
+  | None ->
+      Fmt.epr "unknown plan %s@." name;
+      exit 2
+
+let service_of spec name =
+  match List.assoc_opt name (Syntax.Spec.repo spec) with
+  | Some h -> h
+  | None ->
+      Fmt.epr "unknown service %s@." name;
+      exit 2
+
+(* --- common arguments --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Specification (.susf) file.")
+
+let client_arg =
+  Arg.(value & opt (some string) None & info [ "client"; "c" ] ~docv:"NAME" ~doc:"Client to analyse (default: every client).")
+
+let plan_arg =
+  Arg.(value & opt (some string) None & info [ "plan"; "p" ] ~docv:"NAME" ~doc:"Named plan to use (default: enumerate).")
+
+let clients spec = function
+  | Some name -> [ client_of spec name ]
+  | None -> spec.Syntax.Spec.clients
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+
+(* --- check --- *)
+
+let report_exit ok = if ok then exit 0 else exit 1
+
+let check_cmd =
+  let run file client plan_name json =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let ok = ref true in
+    let results = ref [] in
+    List.iter
+      (fun (name, h) ->
+        let reports =
+          match plan_name with
+          | Some pn ->
+              [ Core.Planner.analyze repo ~client:(name, h) (plan_of spec pn) ]
+          | None -> Core.Planner.valid_plans ~all:false repo ~client:(name, h)
+        in
+        if reports = [] || List.exists (fun r -> Result.is_error r.Core.Planner.verdict) reports
+        then ok := false;
+        if json then
+          results :=
+            (name, Reports.Json.List (List.map Reports.Encode.planner_report reports))
+            :: !results
+        else if reports = [] then Fmt.pr "%s: NO valid plan@." name
+        else
+          List.iter
+            (fun r -> Fmt.pr "%s: %a@." name Core.Planner.pp_report r)
+            reports)
+      (clients spec client);
+    if json then Fmt.pr "%a@." Reports.Json.pp (Reports.Json.Obj (List.rev !results));
+    report_exit !ok
+  in
+  let doc = "Verify clients: secure (validity) and unfailing (compliance)." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ file_arg $ client_arg $ plan_arg $ json_arg)
+
+(* --- check-network --- *)
+
+let check_network_cmd =
+  let name_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"NETWORK" ~doc:"Network name (default: every declared network).")
+  in
+  let run file name =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let selected =
+      match name with
+      | Some n -> [ n ]
+      | None -> List.map fst spec.Syntax.Spec.networks
+    in
+    if selected = [] then begin
+      Fmt.epr "no networks declared@.";
+      exit 2
+    end;
+    let ok = ref true in
+    List.iter
+      (fun n ->
+        match Syntax.Spec.resolve_network spec n with
+        | Error msg ->
+            ok := false;
+            Fmt.pr "%s: %s@." n msg
+        | Ok vector -> (
+            match Core.Netcheck.check repo vector with
+            | Core.Netcheck.Valid stats ->
+                Fmt.pr "%s: VALID (%d abstract states)@." n
+                  stats.Core.Netcheck.states
+            | Core.Netcheck.Invalid stuck ->
+                ok := false;
+                Fmt.pr "%s: invalid — %a@." n Core.Netcheck.pp_stuck stuck))
+      selected;
+    report_exit !ok
+  in
+  let doc = "Verify a declared plan vector (~π): every client under its plan." in
+  Cmd.v (Cmd.info "check-network" ~doc) Term.(const run $ file_arg $ name_arg)
+
+(* --- plans --- *)
+
+let plans_cmd =
+  let run file client =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    List.iter
+      (fun (name, h) ->
+        Fmt.pr "client %s:@." name;
+        let reports = Core.Planner.valid_plans ~all:true repo ~client:(name, h) in
+        List.iter (fun r -> Fmt.pr "  %a@." Core.Planner.pp_report r) reports)
+      (clients spec client);
+    exit 0
+  in
+  let doc = "Enumerate all plans and their verdicts." in
+  Cmd.v (Cmd.info "plans" ~doc) Term.(const run $ file_arg $ client_arg)
+
+(* --- compliance --- *)
+
+let compliance_cmd =
+  let svc n =
+    Arg.(required & pos n (some string) None & info [] ~docv:"SERVICE" ~doc:"Service or client name.")
+  in
+  let run file a b =
+    let spec = load file in
+    let lookup n =
+      match Syntax.Spec.find_client spec n with
+      | Some h -> h
+      | None -> service_of spec n
+    in
+    let ca = Core.Contract.project (lookup a) in
+    let cb = Core.Contract.project (lookup b) in
+    Fmt.pr "%s! = %a@.%s! = %a@." a Core.Contract.pp ca b Core.Contract.pp cb;
+    match Core.Product.counterexample ca cb with
+    | None ->
+        Fmt.pr "compliant: %s |- %s@." a b;
+        exit 0
+    | Some ce ->
+        Fmt.pr "NOT compliant:@.%a@." Core.Product.pp_counterexample ce;
+        exit 1
+  in
+  let doc = "Decide compliance of two services (Theorem 1)." in
+  Cmd.v (Cmd.info "compliance" ~doc) Term.(const run $ file_arg $ svc 1 $ svc 2)
+
+(* --- validity --- *)
+
+let validity_cmd =
+  let run file client =
+    let spec = load file in
+    let ok = ref true in
+    List.iter
+      (fun (name, h) ->
+        (match Core.Validity.check_expr h with
+        | Ok () -> Fmt.pr "%s: valid (direct exploration)@." name
+        | Error v ->
+            ok := false;
+            Fmt.pr "%s: INVALID — %a@." name Core.Validity.pp_violation v);
+        match Bpa.Check.valid h with
+        | Ok () -> Fmt.pr "%s: valid (BPA model checking)@." name
+        | Error ce ->
+            ok := false;
+            Fmt.pr "%s: INVALID — %a@." name Bpa.Check.pp_counterexample ce)
+      (clients spec client);
+    report_exit !ok
+  in
+  let doc = "Static validity of clients (both §3.1 engines)." in
+  Cmd.v (Cmd.info "validity" ~doc) Term.(const run $ file_arg $ client_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random scheduler seed.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 200 & info [ "max-steps" ] ~docv:"N" ~doc:"Fuel.")
+  in
+  let compact_arg =
+    Arg.(value & flag & info [ "compact" ] ~doc:"One line per transition.")
+  in
+  let run file client plan_name seed max_steps compact =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let cs = clients spec client in
+    let plan =
+      match plan_name with Some pn -> plan_of spec pn | None -> Core.Plan.empty
+    in
+    let cfg = Core.Network.initial ~plan cs in
+    let t = Core.Simulate.run ~max_steps repo cfg (Core.Simulate.random ~seed) in
+    if compact then Core.Simulate.pp_trace_compact Fmt.stdout t
+    else Core.Simulate.pp_trace Fmt.stdout t;
+    exit (match t.Core.Simulate.outcome with Core.Simulate.Completed -> 0 | _ -> 1)
+  in
+  let doc = "Run the network under a plan with a random scheduler." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ file_arg $ client_arg $ plan_arg $ seed_arg $ steps_arg $ compact_arg)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let svc n =
+    Arg.(required & pos n (some string) None & info [] ~docv:"SERVICE" ~doc:"Service or client name.")
+  in
+  let run file a b =
+    let spec = load file in
+    let lookup n =
+      match Syntax.Spec.find_client spec n with
+      | Some h -> h
+      | None -> service_of spec n
+    in
+    let p =
+      Core.Product.build
+        (Core.Contract.project (lookup a))
+        (Core.Contract.project (lookup b))
+    in
+    Core.Product.pp_dot Fmt.stdout p;
+    exit 0
+  in
+  let doc = "Export the compliance product automaton to DOT." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ file_arg $ svc 1 $ svc 2)
+
+(* --- subcontract --- *)
+
+let subcontract_cmd =
+  let svc n =
+    Arg.(required & pos n (some string) None & info [] ~docv:"SERVICE" ~doc:"Service or client name.")
+  in
+  let run file a b =
+    let spec = load file in
+    let lookup n =
+      match Syntax.Spec.find_client spec n with
+      | Some h -> h
+      | None -> service_of spec n
+    in
+    let ca = Core.Contract.project (lookup a) in
+    let cb = Core.Contract.project (lookup b) in
+    let ab = Core.Subcontract.refines ca cb in
+    let ba = Core.Subcontract.refines cb ca in
+    Fmt.pr "%s <= %s : %b@.%s <= %s : %b@." a b ab b a ba;
+    if ab && ba then Fmt.pr "equivalent@.";
+    exit (if ab then 0 else 1)
+  in
+  let doc = "Decide the subcontract (substitutability) preorder." in
+  Cmd.v (Cmd.info "subcontract" ~doc) Term.(const run $ file_arg $ svc 1 $ svc 2)
+
+(* --- dot-policy --- *)
+
+let dot_policy_cmd =
+  let pol_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"POLICY" ~doc:"Policy reference, e.g. phi({s1},45,100).")
+  in
+  let run file polref =
+    let spec = load file in
+    match
+      Syntax.Parser.hexpr_of_string ~automata:spec.Syntax.Spec.automata
+        (Printf.sprintf "%s[ eps ]" polref)
+    with
+    | Core.Hexpr.Frame (p, _) ->
+        Usage.Policy_ops.pp_dot Fmt.stdout p;
+        exit 0
+    | _ | (exception Syntax.Parser.Error _) ->
+        Fmt.epr "cannot resolve policy %s@." polref;
+        exit 2
+  in
+  let doc = "Export an instantiated policy automaton to DOT." in
+  Cmd.v (Cmd.info "dot-policy" ~doc) Term.(const run $ file_arg $ pol_arg)
+
+(* --- cost --- *)
+
+let cost_cmd =
+  let model_arg =
+    Arg.(
+      value
+      & opt (list ~sep:',' (pair ~sep:'=' string float)) []
+      & info [ "model"; "m" ] ~docv:"EV=PRICE,.."
+          ~doc:"Cost per event name (default price 1 for unlisted events).")
+  in
+  let default_arg =
+    Arg.(value & opt float 1.0 & info [ "default" ] ~docv:"PRICE" ~doc:"Price of unlisted events.")
+  in
+  let run file client plan_name prices default =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let model = Quant.Model.of_list ~default prices in
+    List.iter
+      (fun (name, h) ->
+        (match Quant.Cost.worst_case model h with
+        | Some c -> Fmt.pr "%s: worst-case stand-alone cost %g@." name c
+        | None -> Fmt.pr "%s: unbounded stand-alone cost@." name);
+        match plan_name with
+        | Some pn -> (
+            let plan = plan_of spec pn in
+            match Quant.Plan_cost.worst_case repo plan (name, h) model with
+            | Some c -> Fmt.pr "%s under %s: worst-case cost %g@." name pn c
+            | None -> Fmt.pr "%s under %s: unbounded cost@." name pn)
+        | None -> (
+            match Quant.Plan_cost.cheapest repo ~client:(name, h) model with
+            | Some priced ->
+                Fmt.pr "%s: cheapest valid plan %a@." name
+                  Quant.Plan_cost.pp_priced priced
+            | None -> Fmt.pr "%s: no valid plan@." name))
+      (clients spec client);
+    exit 0
+  in
+  let doc = "Worst-case event costs and cost-aware plan selection." in
+  Cmd.v (Cmd.info "cost" ~doc)
+    Term.(const run $ file_arg $ client_arg $ plan_arg $ model_arg $ default_arg)
+
+(* --- diagnose --- *)
+
+let diagnose_cmd =
+  let limit_arg =
+    Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc:"Maximum failures to report.")
+  in
+  let run file client plan_name limit =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let plan =
+      match plan_name with
+      | Some pn -> plan_of spec pn
+      | None ->
+          Fmt.epr "diagnose needs --plan@.";
+          exit 2
+    in
+    let any = ref false in
+    List.iter
+      (fun (name, h) ->
+        let fs = Core.Netcheck.failures ~limit repo plan (name, h) in
+        if fs = [] then Fmt.pr "%s: no stuck states@." name
+        else begin
+          any := true;
+          List.iteri
+            (fun i s -> Fmt.pr "%s #%d: %a@." name (i + 1) Core.Netcheck.pp_stuck s)
+            fs
+        end)
+      (clients spec client);
+    exit (if !any then 1 else 0)
+  in
+  let doc = "Enumerate every distinct stuck state of a planned client." in
+  Cmd.v (Cmd.info "diagnose" ~doc)
+    Term.(const run $ file_arg $ client_arg $ plan_arg $ limit_arg)
+
+(* --- coverage --- *)
+
+let coverage_cmd =
+  let runs_arg =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Number of random executions.")
+  in
+  let run file client plan_name runs =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let plan =
+      match plan_name with Some pn -> plan_of spec pn | None -> Core.Plan.empty
+    in
+    let cs = clients spec client in
+    let cov =
+      Core.Simulate.coverage ~runs repo (fun () -> Core.Network.initial ~plan cs)
+    in
+    List.iter (fun (k, n) -> Fmt.pr "%-20s %6d@." k n) cov;
+    exit 0
+  in
+  let doc = "Behavioural coverage over many random runs." in
+  Cmd.v (Cmd.info "coverage" ~doc)
+    Term.(const run $ file_arg $ client_arg $ plan_arg $ runs_arg)
+
+(* --- msc --- *)
+
+let msc_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random scheduler seed.")
+  in
+  let text_arg =
+    Arg.(value & flag & info [ "text" ] ~doc:"Plain text instead of Mermaid.")
+  in
+  let run file client plan_name seed text =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let plan =
+      match plan_name with Some pn -> plan_of spec pn | None -> Core.Plan.empty
+    in
+    let cfg = Core.Network.initial ~plan (clients spec client) in
+    let t = Core.Simulate.run repo cfg (Core.Simulate.random ~seed) in
+    let msc = Core.Msc.of_trace t in
+    if text then Core.Msc.pp_text Fmt.stdout msc
+    else Core.Msc.pp_mermaid Fmt.stdout msc;
+    exit 0
+  in
+  let doc = "Render one run as a Mermaid message sequence chart." in
+  Cmd.v (Cmd.info "msc" ~doc)
+    Term.(const run $ file_arg $ client_arg $ plan_arg $ seed_arg $ text_arg)
+
+(* --- graph --- *)
+
+let graph_cmd =
+  let what_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME" ~doc:"Service, client, or (with --plan) planned client.")
+  in
+  let run file name plan_name =
+    let spec = load file in
+    match plan_name with
+    | Some pn ->
+        let plan = plan_of spec pn in
+        let client = client_of spec name in
+        Core.Export.client_graph_dot (Syntax.Spec.repo spec) plan client
+          Fmt.stdout;
+        exit 0
+    | None ->
+        let h =
+          match Syntax.Spec.find_client spec name with
+          | Some h -> h
+          | None -> service_of spec name
+        in
+        Core.Export.hexpr_dot Fmt.stdout h;
+        exit 0
+  in
+  let doc = "Export a transition system to DOT (LTS, or the abstract \
+             configuration graph under --plan)." in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ file_arg $ what_arg $ plan_arg)
+
+(* --- batch --- *)
+
+let batch_cmd =
+  let runs_arg =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Number of random executions.")
+  in
+  let run file client plan_name runs json =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let plan =
+      match plan_name with Some pn -> plan_of spec pn | None -> Core.Plan.empty
+    in
+    let cs = clients spec client in
+    let stats =
+      Core.Simulate.batch ~runs repo (fun () -> Core.Network.initial ~plan cs)
+    in
+    if json then Fmt.pr "%a@." Reports.Json.pp (Reports.Encode.sim_stats stats)
+    else Fmt.pr "%a@." Core.Simulate.pp_stats stats;
+    exit (if stats.Core.Simulate.completed = stats.Core.Simulate.runs then 0 else 1)
+  in
+  let doc = "Drive many random executions and report outcome statistics." in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const run $ file_arg $ client_arg $ plan_arg $ runs_arg $ json_arg)
+
+(* --- effects --- *)
+
+let effects_cmd =
+  let program_arg =
+    Arg.(value & opt (some string) None & info [ "program" ] ~docv:"NAME" ~doc:"Program to analyse (default: all).")
+  in
+  let plan_flag =
+    Arg.(value & flag & info [ "plans" ] ~doc:"Also synthesise valid plans for each program's effect.")
+  in
+  let run file program plans =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let selected =
+      match program with
+      | Some n -> (
+          match Syntax.Spec.find_program spec n with
+          | Some t -> [ (n, t) ]
+          | None ->
+              Fmt.epr "unknown program %s@." n;
+              exit 2)
+      | None -> spec.Syntax.Spec.programs
+    in
+    let ok = ref true in
+    List.iter
+      (fun (name, t) ->
+        match Lambda_sec.Infer.infer [] t with
+        | Error e ->
+            ok := false;
+            Fmt.pr "%s: type error — %a@." name Lambda_sec.Infer.pp_error e
+        | Ok (ty, eff) ->
+            let eff = Core.Hexpr.normalize eff in
+            Fmt.pr "%s : %a@.%s ▷ %a@." name Lambda_sec.Ast.pp_ty ty name
+              Core.Hexpr.pp eff;
+            if plans then
+              List.iter
+                (fun r -> Fmt.pr "  %a@." Core.Planner.pp_report r)
+                (Core.Planner.valid_plans ~all:true repo ~client:(name, eff)))
+      selected;
+    report_exit !ok
+  in
+  let doc = "Infer the types and effects of λ-calculus programs." in
+  Cmd.v (Cmd.info "effects" ~doc)
+    Term.(const run $ file_arg $ program_arg $ plan_flag)
+
+(* --- discover --- *)
+
+let discover_cmd =
+  let body_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"BODY" ~doc:"Client-side request body, as a history expression.")
+  in
+  let policy_arg =
+    Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"POL" ~doc:"Policy reference, e.g. 'phi({s1},45,100)'.")
+  in
+  let run file body_src policy_src =
+    let spec = load file in
+    let repo = Syntax.Spec.repo spec in
+    let parse_in_spec src =
+      try Syntax.Parser.hexpr_of_string ~automata:spec.Syntax.Spec.automata src
+      with Syntax.Parser.Error (msg, l, c) ->
+        Fmt.epr "%s at %d:%d@." msg l c;
+        exit 2
+    in
+    let body = parse_in_spec body_src in
+    let policy =
+      Option.map
+        (fun src ->
+          match parse_in_spec (src ^ "[ eps ]") with
+          | Core.Hexpr.Frame (p, _) -> p
+          | _ ->
+              Fmt.epr "cannot resolve policy %s@." src;
+              exit 2)
+        policy_src
+    in
+    let candidates = Core.Discovery.query ?policy repo ~body in
+    List.iter (fun c -> Fmt.pr "%a@." Core.Discovery.pp_candidate c) candidates;
+    exit (if List.exists (fun c -> Result.is_ok c.Core.Discovery.verdict) candidates then 0 else 1)
+  in
+  let doc = "Call-by-contract discovery: which services can serve a request?" in
+  Cmd.v (Cmd.info "discover" ~doc)
+    Term.(const run $ file_arg $ body_arg $ policy_arg)
+
+(* --- audit --- *)
+
+let audit_cmd =
+  let log_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"LOG" ~doc:"Event log, one event per line.")
+  in
+  let policies_arg =
+    Arg.(non_empty & opt_all string [] & info [ "policy" ] ~docv:"POL" ~doc:"Policy reference (repeatable).")
+  in
+  let run file log policy_refs =
+    let spec = load file in
+    let policies =
+      List.map
+        (fun src ->
+          match
+            Syntax.Parser.hexpr_of_string ~automata:spec.Syntax.Spec.automata
+              (src ^ "[ eps ]")
+          with
+          | Core.Hexpr.Frame (p, _) -> p
+          | _ | (exception Syntax.Parser.Error _) ->
+              Fmt.epr "cannot resolve policy %s@." src;
+              exit 2)
+        policy_refs
+    in
+    let events =
+      try Syntax.Audit.parse_log_file log
+      with Syntax.Audit.Error (msg, line) ->
+        Fmt.epr "%s:%d: %s@." log line msg;
+        exit 2
+    in
+    let verdicts = Syntax.Audit.check policies events in
+    List.iter (fun v -> Fmt.pr "%a@." Syntax.Audit.pp_verdict v) verdicts;
+    exit
+      (if List.for_all (fun v -> v.Syntax.Audit.violation_at = None) verdicts
+       then 0
+       else 1)
+  in
+  let doc = "Replay a recorded event log against policies." in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ file_arg $ log_arg $ policies_arg)
+
+(* --- fmt --- *)
+
+let fmt_cmd =
+  let run file =
+    let spec = load file in
+    Syntax.Spec.to_susf Fmt.stdout spec;
+    exit 0
+  in
+  let doc = "Re-emit a specification as normalised, parseable source." in
+  Cmd.v (Cmd.info "fmt" ~doc) Term.(const run $ file_arg)
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let run file =
+    let spec = load file in
+    let findings = Syntax.Lint.spec spec in
+    if findings = [] then begin
+      Fmt.pr "no findings@.";
+      exit 0
+    end
+    else begin
+      List.iter (fun f -> Fmt.pr "%a@." Syntax.Lint.pp_finding f) findings;
+      exit
+        (if List.exists (fun f -> f.Syntax.Lint.severity = Syntax.Lint.Error) findings
+         then 1
+         else 0)
+    end
+  in
+  let doc = "Static hygiene checks on a specification." in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ file_arg)
+
+(* --- show --- *)
+
+let show_cmd =
+  let run file =
+    let spec = load file in
+    Syntax.Spec.pp Fmt.stdout spec;
+    exit 0
+  in
+  let doc = "Pretty-print the parsed specification." in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ file_arg)
+
+let () =
+  let doc = "secure and unfailing services: verification of service compositions" in
+  let info = Cmd.info "susf" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ check_cmd; check_network_cmd; plans_cmd; compliance_cmd; validity_cmd; simulate_cmd;
+      dot_cmd; subcontract_cmd; dot_policy_cmd; cost_cmd; effects_cmd;
+      graph_cmd; batch_cmd; coverage_cmd; msc_cmd; diagnose_cmd; lint_cmd;
+      fmt_cmd;
+      discover_cmd; audit_cmd; show_cmd ]))

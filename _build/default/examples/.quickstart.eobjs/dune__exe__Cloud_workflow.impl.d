@@ -1,0 +1,1 @@
+examples/cloud_workflow.ml: Cloud Core Fmt Format History List Netcheck Network Plan Planner Quant Scenarios Simulate Validity

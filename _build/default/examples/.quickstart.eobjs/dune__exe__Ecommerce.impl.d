@@ -1,0 +1,1 @@
+examples/ecommerce.ml: Core Ecommerce Fmt Format Hexpr History List Network Plan Planner Quant Scenarios Simulate Validity

@@ -1,0 +1,1 @@
+examples/hotel_booking.ml: Contract Core Format Hexpr List Msc Network Planner Product Result Scenarios Simulate Validity

@@ -1,0 +1,1 @@
+examples/hotel_booking.mli:

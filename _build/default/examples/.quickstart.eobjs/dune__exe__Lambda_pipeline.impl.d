@@ -1,0 +1,1 @@
+examples/lambda_pipeline.ml: Ast Core Eval Format Infer Lambda_sec List Scenarios Usage

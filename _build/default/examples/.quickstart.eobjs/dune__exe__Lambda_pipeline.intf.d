@@ -1,0 +1,1 @@
+examples/lambda_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Contract Core Fmt Format Hexpr List Network Plan Planner Product Result Simulate Usage Validity

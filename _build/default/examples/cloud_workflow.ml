@@ -1,0 +1,69 @@
+(* A three-level cloud workflow (see Scenarios.Cloud): analyst →
+   orchestrator → worker → storage. Sessions nest three deep; the policy
+   imposed by the analyst at the top constrains write events performed
+   by the storage service two sessions below. Storage is a recursive
+   service (guarded tail recursion). *)
+
+open Core
+open Scenarios
+
+let pf = Format.printf
+
+let () =
+  pf "== the workflow (frugal worker: 2 writes) ==@.";
+  List.iter
+    (fun r -> pf "  %a@." Planner.pp_report r)
+    (Planner.valid_plans
+       (Cloud.repo ~worker:Cloud.frugal_worker)
+       ~client:("ana", Cloud.analyst));
+
+  pf "@.== the greedy worker (3 writes) breaks the analyst's policy ==@.";
+  let r3 =
+    Planner.analyze
+      (Cloud.repo ~worker:Cloud.greedy_worker)
+      ~client:("ana", Cloud.analyst) Cloud.good_plan
+  in
+  pf "  %a@." Planner.pp_report r3;
+
+  pf "@.== snapshot-then-delete storage under a stricter analyst ==@.";
+  let r =
+    Planner.analyze
+      (Cloud.repo ~worker:Cloud.frugal_worker)
+      ~client:("ana", Cloud.strict_analyst)
+      (Plan.of_list [ (1, "orc"); (2, "wrk"); (3, "compact") ])
+  in
+  pf "  %a@." Planner.pp_report r;
+
+  pf "@.== a run three sessions deep ==@.";
+  let t =
+    Simulate.run
+      (Cloud.repo ~worker:Cloud.frugal_worker)
+      (Network.initial ~plan:Cloud.good_plan [ ("ana", Cloud.analyst) ])
+      Simulate.first
+  in
+  Simulate.pp_trace_compact Fmt.stdout t;
+  (match t.Simulate.final with
+  | [ c ] ->
+      pf "ana's history: %a@." History.pp
+        (Validity.Monitor.history c.Network.monitor)
+  | _ -> ());
+
+  pf "@.== statically: the flaky storage would deadlock the worker ==@.";
+  (match
+     Netcheck.check_client
+       (Cloud.repo ~worker:Cloud.frugal_worker)
+       (Plan.of_list [ (1, "orc"); (2, "wrk"); (3, "flaky") ])
+       ("ana", Cloud.analyst)
+   with
+  | Netcheck.Valid _ -> pf "  unexpected: valid@."
+  | Netcheck.Invalid s -> pf "  %a@." Netcheck.pp_stuck s);
+
+  pf "@.== worst-case storage bill ==@.";
+  let model = Quant.Model.of_list [ ("write", 5.0) ] in
+  match
+    Quant.Plan_cost.worst_case
+      (Cloud.repo ~worker:Cloud.frugal_worker)
+      Cloud.good_plan ("ana", Cloud.analyst) model
+  with
+  | Some c -> pf "  the frugal worker bills at most %g@." c
+  | None -> pf "  unbounded@."

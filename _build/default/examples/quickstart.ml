@@ -1,0 +1,82 @@
+(* Quickstart: define a client and two candidate services, check
+   compliance (Theorem 1), check security (validity), and let the
+   planner pick the services that make the composition secure and
+   unfailing. *)
+
+open Core
+
+let pf = Format.printf
+
+(* A policy from the standard library: never fire the event "leak". *)
+let no_leak = Usage.Policy_lib.instantiate0 (Usage.Policy_lib.never "leak")
+
+(* The protocol the client runs inside its session. *)
+let protocol =
+  Hexpr.select
+    [ ("query", Hexpr.branch [ ("answer", Hexpr.nil); ("sorry", Hexpr.nil) ]) ]
+
+(* The client: open a session governed by [no_leak] and run it. *)
+let client = Hexpr.open_ ~rid:1 ~policy:no_leak protocol
+
+(* A well-behaved server: logs, then answers or refuses on its own. *)
+let good_server =
+  Hexpr.seq (Hexpr.ev "log")
+    (Hexpr.branch
+       [ ("query", Hexpr.select [ ("answer", Hexpr.nil); ("sorry", Hexpr.nil) ]) ])
+
+(* A server that may also send an unexpected "redirect" (non-compliant),
+   and one that leaks (insecure). *)
+let chatty_server =
+  Hexpr.branch
+    [
+      ( "query",
+        Hexpr.select
+          [ ("answer", Hexpr.nil); ("sorry", Hexpr.nil); ("redirect", Hexpr.nil) ] );
+    ]
+
+let leaky_server =
+  Hexpr.seq (Hexpr.ev "leak")
+    (Hexpr.branch [ ("query", Hexpr.select [ ("answer", Hexpr.nil) ]) ])
+
+let repo =
+  [ ("good", good_server); ("chatty", chatty_server); ("leaky", leaky_server) ]
+
+let () =
+  pf "client = %a@." Hexpr.pp client;
+  List.iter (fun (l, h) -> pf "%s = %a@." l Hexpr.pp h) repo;
+
+  (* 1. Compliance of each candidate, via the product automaton. *)
+  pf "@.-- compliance (Theorem 1) --@.";
+  let body = Contract.project protocol in
+  List.iter
+    (fun (loc, h) ->
+      match Product.counterexample body (Contract.project h) with
+      | None -> pf "  %s: compliant@." loc
+      | Some ce ->
+          pf "  %s: NOT compliant — %a@." loc Product.pp_stuck_reason
+            ce.Product.reason)
+    repo;
+
+  (* 2. Security: which services respect the policy? *)
+  pf "@.-- security --@.";
+  List.iter
+    (fun (loc, h) ->
+      (* φ[H] statically valid ⟺ every trace of H satisfies φ *)
+      let ok = Result.is_ok (Validity.check_expr (Hexpr.frame no_leak h)) in
+      pf "  %s: %s@." loc (if ok then "respects no_leak" else "VIOLATES no_leak"))
+    repo;
+
+  (* 3. The planner combines both checks. *)
+  pf "@.-- plans --@.";
+  let reports = Planner.valid_plans repo ~client:("me", client) in
+  List.iter (fun r -> pf "  %a@." Planner.pp_report r) reports;
+
+  (* 4. Run the composition under the valid plan: no monitor needed. *)
+  pf "@.-- a run under the valid plan --@.";
+  let plan = Plan.of_list [ (1, "good") ] in
+  let t =
+    Simulate.run repo
+      (Network.initial ~plan [ ("me", client) ])
+      (Simulate.random ~seed:3)
+  in
+  Simulate.pp_trace_compact Fmt.stdout t

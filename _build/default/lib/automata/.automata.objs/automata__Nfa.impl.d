@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Fmt Hashtbl Int List Map Option Queue Set

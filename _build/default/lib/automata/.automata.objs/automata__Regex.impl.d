@@ -1,0 +1,1 @@
+lib/automata/regex.ml: Array Fmt Fun List Nfa

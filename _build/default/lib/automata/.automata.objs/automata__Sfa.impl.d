@@ -1,0 +1,1 @@
+lib/automata/sfa.ml: Fmt Hashtbl Int List Option Set

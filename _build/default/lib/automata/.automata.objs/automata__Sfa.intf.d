@@ -1,0 +1,1 @@
+lib/automata/sfa.mli: Fmt Set

@@ -1,0 +1,142 @@
+module Make (A : Nfa.ALPHABET) = struct
+  type t =
+    | Empty
+    | Eps
+    | Sym of A.t
+    | Alt of t * t
+    | Cat of t * t
+    | Star of t
+
+  let empty = Empty
+  let eps = Eps
+  let sym a = Sym a
+
+  let alt a b =
+    match (a, b) with
+    | Empty, c | c, Empty -> c
+    | _ -> if a = b then a else Alt (a, b)
+
+  let cat a b =
+    match (a, b) with
+    | Empty, _ | _, Empty -> Empty
+    | Eps, c | c, Eps -> c
+    | _ -> Cat (a, b)
+
+  let star = function
+    | Empty | Eps -> Eps
+    | Star _ as s -> s
+    | r -> Star r
+
+  let of_word w = List.fold_right (fun a acc -> cat (Sym a) acc) w Eps
+
+  let any_of syms =
+    List.fold_left (fun acc a -> alt acc (Sym a)) Empty syms
+
+  let opt r = alt Eps r
+  let plus r = cat r (star r)
+
+  let rec nullable = function
+    | Empty | Sym _ -> false
+    | Eps | Star _ -> true
+    | Alt (a, b) -> nullable a || nullable b
+    | Cat (a, b) -> nullable a && nullable b
+
+  let rec deriv x = function
+    | Empty | Eps -> Empty
+    | Sym a -> if A.compare a x = 0 then Eps else Empty
+    | Alt (a, b) -> alt (deriv x a) (deriv x b)
+    | Cat (a, b) ->
+        let left = cat (deriv x a) b in
+        if nullable a then alt left (deriv x b) else left
+    | Star r as s -> cat (deriv x r) s
+
+  let matches r w = nullable (List.fold_left (fun r x -> deriv x r) r w)
+
+  module N = Nfa.Make (A)
+
+  (* Thompson construction with ε-edges, then ε-elimination. *)
+  let compile r0 =
+    let next = ref 0 in
+    let fresh () =
+      let i = !next in
+      incr next;
+      i
+    in
+    let eps_edges = ref [] and sym_edges = ref [] in
+    let add_eps s d = eps_edges := (s, d) :: !eps_edges in
+    let add_sym s a d = sym_edges := (s, a, d) :: !sym_edges in
+    (* returns (entry, exit) *)
+    let rec build = function
+      | Empty ->
+          let s = fresh () and f = fresh () in
+          (s, f)
+      | Eps ->
+          let s = fresh () in
+          (s, s)
+      | Sym a ->
+          let s = fresh () and f = fresh () in
+          add_sym s a f;
+          (s, f)
+      | Alt (r1, r2) ->
+          let s = fresh () and f = fresh () in
+          let s1, f1 = build r1 and s2, f2 = build r2 in
+          add_eps s s1;
+          add_eps s s2;
+          add_eps f1 f;
+          add_eps f2 f;
+          (s, f)
+      | Cat (r1, r2) ->
+          let s1, f1 = build r1 and s2, f2 = build r2 in
+          add_eps f1 s2;
+          (s1, f2)
+      | Star r ->
+          let s = fresh () in
+          let s1, f1 = build r in
+          add_eps s s1;
+          add_eps f1 s;
+          (s, s)
+    in
+    let start, finish = build r0 in
+    let n = !next in
+    (* ε-closures *)
+    let succs = Array.make (max n 1) [] in
+    List.iter (fun (s, d) -> succs.(s) <- d :: succs.(s)) !eps_edges;
+    let closure s =
+      let seen = Array.make (max n 1) false in
+      let rec go s acc =
+        if seen.(s) then acc
+        else begin
+          seen.(s) <- true;
+          List.fold_left (fun acc d -> go d acc) (s :: acc) succs.(s)
+        end
+      in
+      go s []
+    in
+    let closures = Array.init (max n 1) closure in
+    let trans =
+      List.concat_map
+        (fun p ->
+          List.concat_map
+            (fun (r, a, s) ->
+              if List.mem r closures.(p) then [ (p, a, s) ] else [])
+            !sym_edges)
+        (List.init n Fun.id)
+    in
+    let finals =
+      List.filter (fun p -> List.mem finish closures.(p)) (List.init n Fun.id)
+    in
+    N.create ~init:[ start ] ~finals ~trans
+
+  let rec pp ppf = function
+    | Empty -> Fmt.string ppf "0"
+    | Eps -> Fmt.string ppf "1"
+    | Sym a -> A.pp ppf a
+    | Alt (a, b) -> Fmt.pf ppf "(%a|%a)" pp a pp b
+    | Cat (a, b) -> Fmt.pf ppf "%a%a" pp_atom a pp_atom b
+    | Star r -> Fmt.pf ppf "%a*" pp_atom r
+
+  and pp_atom ppf r =
+    match r with
+    | Alt _ | Cat _ -> Fmt.pf ppf "(%a)" pp r
+    | Empty | Eps | Sym _ | Star _ -> pp ppf r
+end

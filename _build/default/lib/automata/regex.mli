@@ -1,0 +1,53 @@
+(** Regular expressions over an arbitrary finite alphabet, with two
+    independent semantics used to check each other:
+
+    - {!Make.compile}: Thompson construction to an {!Nfa.Make} automaton
+      (ε-transitions eliminated on the fly);
+    - {!Make.matches}: Brzozowski derivatives, no automaton at all.
+
+    The test suite property-checks their agreement; policies defined by
+    forbidden-trace expressions build on the compiled form. *)
+
+module Make (A : Nfa.ALPHABET) : sig
+  type t =
+    | Empty  (** ∅ — matches nothing *)
+    | Eps  (** ε — the empty word *)
+    | Sym of A.t
+    | Alt of t * t
+    | Cat of t * t
+    | Star of t
+
+  (** {1 Smart constructors} (perform the obvious simplifications) *)
+
+  val empty : t
+  val eps : t
+  val sym : A.t -> t
+  val alt : t -> t -> t
+  val cat : t -> t -> t
+  val star : t -> t
+  val of_word : A.t list -> t
+  val any_of : A.t list -> t
+  (** Alternation of symbols. *)
+
+  val opt : t -> t
+  val plus : t -> t
+
+  (** {1 Semantics} *)
+
+  val nullable : t -> bool
+  (** Does the expression match ε? *)
+
+  val deriv : A.t -> t -> t
+  (** Brzozowski derivative. *)
+
+  val matches : t -> A.t list -> bool
+  (** Derivative-based matching. *)
+
+  module N : module type of Nfa.Make (A)
+
+  val compile : t -> N.t
+  (** Thompson construction; the result has no ε-transitions and accepts
+      exactly the expression's language. *)
+
+  val pp : t Fmt.t
+end

@@ -1,0 +1,85 @@
+module type LABEL = sig
+  type t
+  type letter
+
+  val sat : t -> letter -> bool
+  val pp : t Fmt.t
+  val pp_letter : letter Fmt.t
+end
+
+module Make (L : LABEL) = struct
+  type state = int
+
+  module States = Set.Make (Int)
+
+  type t = {
+    init : state;
+    finals : States.t;
+    trans : (state * L.t * state) list;
+    by_src : (state, (L.t * state) list) Hashtbl.t;
+  }
+
+  let create ~init ~finals ~trans =
+    let by_src = Hashtbl.create 17 in
+    List.iter
+      (fun (s, g, d) ->
+        let row = Option.value (Hashtbl.find_opt by_src s) ~default:[] in
+        Hashtbl.replace by_src s ((g, d) :: row))
+      (List.rev trans);
+    { init; finals = States.of_list finals; trans; by_src }
+
+  let initial a = a.init
+  let finals a = a.finals
+  let transitions a = a.trans
+
+  let step_state a s letter =
+    let out = Option.value (Hashtbl.find_opt a.by_src s) ~default:[] in
+    let matches =
+      List.filter_map (fun (g, d) -> if L.sat g letter then Some d else None) out
+    in
+    match matches with [] -> [ s ] | ds -> ds
+
+  let step a set letter =
+    States.fold
+      (fun s acc ->
+        List.fold_left (fun acc d -> States.add d acc) acc (step_state a s letter))
+      set States.empty
+
+  let run a word = List.fold_left (step a) (States.singleton a.init) word
+  let violates a word = not (States.disjoint (run a word) a.finals)
+
+  let first_violation a word =
+    let rec loop i set = function
+      | [] -> None
+      | x :: rest ->
+          let set = step a set x in
+          if States.disjoint set a.finals then loop (i + 1) set rest else Some i
+    in
+    if States.mem a.init a.finals then Some (-1)
+    else loop 0 (States.singleton a.init) word
+
+  let concrete_transitions a letters =
+    let states =
+      List.fold_left
+        (fun acc (s, _, d) -> States.add s (States.add d acc))
+        (States.add a.init a.finals)
+        a.trans
+    in
+    States.fold
+      (fun s acc ->
+        List.fold_left
+          (fun acc letter ->
+            List.fold_left
+              (fun acc d -> (s, letter, d) :: acc)
+              acc (step_state a s letter))
+          acc letters)
+      states []
+
+  let pp ppf a =
+    Fmt.pf ppf "@[<v>init: %d, offending: {%a}@,%a@]" a.init
+      Fmt.(list ~sep:comma int)
+      (States.elements a.finals)
+      Fmt.(
+        list ~sep:cut (fun ppf (s, g, d) -> pf ppf "%d -[%a]-> %d" s L.pp g d))
+      a.trans
+end

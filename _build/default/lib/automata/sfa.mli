@@ -1,0 +1,62 @@
+(** Symbolic finite automata: transitions are labelled by {e guards}, a
+    predicate over concrete input letters. This is the execution model of
+    usage automata [Bartoletti 2009]: a parametric automaton, once
+    instantiated, reads a trace of concrete events; a letter matching no
+    outgoing guard of a state leaves that state unchanged (the implicit
+    [*] self-loops of the paper's Fig. 1). *)
+
+module type LABEL = sig
+  type t
+  (** Symbolic transition label (a guard). *)
+
+  type letter
+  (** Concrete input letter (a ground event). *)
+
+  val sat : t -> letter -> bool
+  (** Does the letter satisfy the guard? *)
+
+  val pp : t Fmt.t
+  val pp_letter : letter Fmt.t
+end
+
+module Make (L : LABEL) : sig
+  type state = int
+
+  module States : Set.S with type elt = state
+
+  type t
+
+  val create :
+    init:state ->
+    finals:state list ->
+    trans:(state * L.t * state) list ->
+    t
+  (** Final states are the {e offending} states: reaching one means the
+      trace read so far violates the policy (default-accept discipline). *)
+
+  val initial : t -> state
+  val finals : t -> States.t
+  val transitions : t -> (state * L.t * state) list
+
+  val step : t -> States.t -> L.letter -> States.t
+  (** One step of every tracked state. A state with no satisfied outgoing
+      guard persists (implicit self-loop). *)
+
+  val run : t -> L.letter list -> States.t
+
+  val violates : t -> L.letter list -> bool
+  (** [true] iff reading the trace can reach an offending state. *)
+
+  val first_violation : t -> L.letter list -> int option
+  (** Index (0-based) of the letter whose consumption first reaches an
+      offending state, if any; [Some (-1)] when the initial state is
+      itself offending (the empty trace already violates). *)
+
+  val concrete_transitions :
+    t -> L.letter list -> (state * L.letter * state) list
+  (** Ground the automaton over a finite alphabet of letters, making the
+      implicit self-loops explicit. The result is a concrete transition
+      relation suitable for {!Nfa.Make.create}. *)
+
+  val pp : t Fmt.t
+end

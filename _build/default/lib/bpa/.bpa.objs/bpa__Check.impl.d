@@ -1,0 +1,1 @@
+lib/bpa/check.ml: Core Fmt Framed Process Regularize Sym Usage

@@ -1,0 +1,1 @@
+lib/bpa/check.mli: Core Fmt Sym Usage

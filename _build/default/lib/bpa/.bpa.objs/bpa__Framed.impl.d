@@ -1,0 +1,1 @@
+lib/bpa/framed.ml: List Process Sym Usage

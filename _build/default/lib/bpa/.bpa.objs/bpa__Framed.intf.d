@@ -1,0 +1,1 @@
+lib/bpa/framed.mli: Process Sym Usage

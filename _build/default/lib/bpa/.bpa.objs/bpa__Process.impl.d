@@ -1,0 +1,1 @@
+lib/bpa/process.ml: Automata Core Fmt Hashtbl Int List Option Printf Set String Sym

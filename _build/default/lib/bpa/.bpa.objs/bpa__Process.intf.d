@@ -1,0 +1,1 @@
+lib/bpa/process.mli: Automata Core Fmt Sym

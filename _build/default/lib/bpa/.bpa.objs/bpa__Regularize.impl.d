@@ -1,0 +1,1 @@
+lib/bpa/regularize.ml: Core List String Usage

@@ -1,0 +1,1 @@
+lib/bpa/regularize.mli: Core

@@ -1,0 +1,1 @@
+lib/bpa/sym.ml: Core Fmt Int String Usage

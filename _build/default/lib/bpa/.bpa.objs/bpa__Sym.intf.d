@@ -1,0 +1,1 @@
+lib/bpa/sym.mli: Core Fmt Usage

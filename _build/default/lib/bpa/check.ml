@@ -1,0 +1,29 @@
+type counterexample = { policy : Usage.Policy.t; word : Sym.t list }
+
+let pp_counterexample ppf ce =
+  Fmt.pf ppf "policy %s violated by trace [%a]"
+    (Usage.Policy.id ce.policy)
+    Fmt.(list ~sep:(any " ") Sym.pp)
+    ce.word
+
+let valid ?(regularized = true) h0 =
+  let h = if regularized then Regularize.regularize h0 else h0 in
+  let max_depth = Regularize.max_nesting h in
+  let proc, defs = Process.of_hexpr h in
+  let nfa, _decode = Process.to_nfa defs proc in
+  let alphabet = Process.Nfa.alphabet nfa in
+  let policies = Core.Hexpr.policies h in
+  let rec check = function
+    | [] -> Ok ()
+    | p :: rest -> (
+        let framed = Framed.build ~max_depth ~alphabet p in
+        let product =
+          Process.Nfa.product
+            ~final:(fun ~left_final:_ ~right_final -> right_final)
+            nfa framed
+        in
+        match Process.Nfa.shortest_accepted product with
+        | Some word -> Error { policy = p; word }
+        | None -> check rest)
+  in
+  check policies

@@ -1,0 +1,21 @@
+(** Static validity of history expressions by model checking (§3.1):
+    render the expression as a BPA process, extract its finite
+    transition system, and intersect it with the framed automaton of
+    each policy. The language of the product is empty iff every history
+    the expression can produce is valid.
+
+    This is the same question {!Core.Validity.check_expr} answers by
+    direct exploration; the two are cross-validated in the test suite
+    (experiment E8). *)
+
+type counterexample = {
+  policy : Usage.Policy.t;
+  word : Sym.t list;  (** a shortest violating trace *)
+}
+
+val valid : ?regularized:bool -> Core.Hexpr.t -> (unit, counterexample) result
+(** [regularized] (default [true]) first applies
+    {!Regularize.regularize}; pass [false] to exercise the raw
+    expression with the depth bound {!Regularize.max_nesting}. *)
+
+val pp_counterexample : counterexample Fmt.t

@@ -1,0 +1,52 @@
+module A = Usage.Policy.A
+
+let build ~max_depth ~alphabet policy =
+  let automaton = Usage.Policy.automaton policy in
+  let finals = A.finals automaton in
+  let is_offending q = A.States.mem q finals in
+  (* Policy states are sparse ints; depth ∈ [0, max_depth]. *)
+  let policy_states =
+    List.fold_left
+      (fun acc (s, _, d) -> A.States.add s (A.States.add d acc))
+      (A.States.add (A.initial automaton) finals)
+      (A.transitions automaton)
+  in
+  let n =
+    match A.States.max_elt_opt policy_states with Some m -> m + 1 | None -> 1
+  in
+  let encode q d = (d * n) + q in
+  let bad = (max_depth + 1) * n in
+  let step_event q e =
+    A.step automaton (A.States.singleton q) e |> A.States.elements
+  in
+  let same p = Usage.Policy.equal p policy in
+  let trans = ref [] in
+  let add src sym dst = trans := (src, sym, dst) :: !trans in
+  A.States.iter
+    (fun q ->
+      for d = 0 to max_depth do
+        let here = encode q d in
+        List.iter
+          (fun sym ->
+            match sym with
+            | Sym.Ev e ->
+                List.iter
+                  (fun q' ->
+                    if d > 0 && is_offending q' then add here sym bad
+                    else add here sym (encode q' d))
+                  (step_event q e)
+            | Sym.Frm_open p when same p ->
+                if is_offending q then add here sym bad
+                else add here sym (encode q (min max_depth (d + 1)))
+            | Sym.Frm_close p when same p ->
+                if d > 0 then add here sym (encode q (d - 1))
+            | Sym.Frm_open _ | Sym.Frm_close _ | Sym.Comm _ ->
+                add here sym here)
+          alphabet
+      done)
+    policy_states;
+  (* [bad] is absorbing and accepting. *)
+  List.iter (fun sym -> add bad sym bad) alphabet;
+  Process.Nfa.create
+    ~init:[ encode (A.initial automaton) 0 ]
+    ~finals:[ bad ] ~trans:!trans

@@ -1,0 +1,20 @@
+(** The “framed” finite-state automaton [A_φ] of [4,5]: a policy
+    automaton lifted to the alphabet [Ev ∪ Frm ∪ Comm] so that validity
+    of a history expression against [φ] becomes plain reachability on a
+    product of NFAs.
+
+    A state tracks the policy automaton state — stepped on {e every}
+    event from the very beginning, which is exactly the retroactive,
+    history-dependent discipline — together with the current activation
+    depth of [φ]. The distinguished accepting state [bad] is entered
+    when an offending policy state is reached while the policy is
+    active, or when [Lφ] is opened over an already-offending past. *)
+
+val build :
+  max_depth:int ->
+  alphabet:Sym.t list ->
+  Usage.Policy.t ->
+  Process.Nfa.t
+(** Accepting runs are exactly the words whose consumption violates
+    [φ]. [max_depth] bounds simultaneous activations of the same policy
+    (any syntactic over-approximation is sound). *)

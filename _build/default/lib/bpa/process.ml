@@ -1,0 +1,179 @@
+type t =
+  | Zero
+  | Atom of Sym.t
+  | Seq of t * t
+  | Alt of t * t
+  | Var of string
+
+type defs = (string * t) list
+
+let rec compare x y =
+  let tag = function
+    | Zero -> 0
+    | Atom _ -> 1
+    | Seq _ -> 2
+    | Alt _ -> 3
+    | Var _ -> 4
+  in
+  match (x, y) with
+  | Zero, Zero -> 0
+  | Atom a, Atom b -> Sym.compare a b
+  | Seq (a, b), Seq (c, d) | Alt (a, b), Alt (c, d) -> (
+      match compare a c with 0 -> compare b d | c -> c)
+  | Var a, Var b -> String.compare a b
+  | (Zero | Atom _ | Seq _ | Alt _ | Var _), _ -> Int.compare (tag x) (tag y)
+
+let equal x y = compare x y = 0
+
+let rec seq a b =
+  match (a, b) with
+  | Zero, p | p, Zero -> p
+  | Seq (x, y), p -> seq x (seq y p)
+  | _ -> Seq (a, b)
+
+let alt a b = if equal a b then a else Alt (a, b)
+
+let fresh_def =
+  let counter = ref 0 in
+  fun base ->
+    incr counter;
+    Printf.sprintf "X_%s_%d" base !counter
+
+let of_hexpr h0 =
+  let defs = ref [] in
+  let rec tr env (h : Core.Hexpr.t) =
+    match h with
+    | Core.Hexpr.Nil -> Zero
+    | Core.Hexpr.Var x -> (
+        match List.assoc_opt x env with
+        | Some name -> Var name
+        | None -> Var x)
+    | Core.Hexpr.Mu (x, b) ->
+        let name = fresh_def x in
+        let body = tr ((x, name) :: env) b in
+        defs := (name, body) :: !defs;
+        Var name
+    | Core.Hexpr.Ext bs ->
+        sum (List.map (fun (a, k) -> seq (Atom (Sym.Comm (a ^ "?"))) (tr env k)) bs)
+    | Core.Hexpr.Int bs ->
+        sum (List.map (fun (a, k) -> seq (Atom (Sym.Comm (a ^ "!"))) (tr env k)) bs)
+    | Core.Hexpr.Ev e -> Atom (Sym.Ev e)
+    | Core.Hexpr.Seq (a, b) -> seq (tr env a) (tr env b)
+    | Core.Hexpr.Open ({ policy = Some p; _ }, b) ->
+        seq (Atom (Sym.Frm_open p)) (seq (tr env b) (Atom (Sym.Frm_close p)))
+    | Core.Hexpr.Open ({ policy = None; _ }, b) ->
+        seq (Atom (Sym.Comm "open")) (seq (tr env b) (Atom (Sym.Comm "close")))
+    | Core.Hexpr.Close { policy = Some p; _ } -> Atom (Sym.Frm_close p)
+    | Core.Hexpr.Close { policy = None; _ } -> Atom (Sym.Comm "close")
+    | Core.Hexpr.Frame (p, b) ->
+        seq (Atom (Sym.Frm_open p)) (seq (tr env b) (Atom (Sym.Frm_close p)))
+    | Core.Hexpr.Frame_close p -> Atom (Sym.Frm_close p)
+    | Core.Hexpr.Choice (a, b) -> alt (tr env a) (tr env b)
+  and sum = function
+    | [] -> Zero
+    | [ p ] -> p
+    | p :: rest -> Alt (p, sum rest)
+  in
+  let p = tr [] h0 in
+  (p, List.rev !defs)
+
+(* Can the process terminate without performing any action? Least fixed
+   point over the definitions (all-false start, iterate to stability). *)
+let nullable_table defs =
+  let tbl = Hashtbl.create 17 in
+  List.iter (fun (x, _) -> Hashtbl.replace tbl x false) defs;
+  let rec nul = function
+    | Zero -> true
+    | Atom _ -> false
+    | Seq (a, b) -> nul a && nul b
+    | Alt (a, b) -> nul a || nul b
+    | Var x -> Option.value (Hashtbl.find_opt tbl x) ~default:false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (x, body) ->
+        let v = nul body in
+        if v && not (Hashtbl.find tbl x) then begin
+          Hashtbl.replace tbl x true;
+          changed := true
+        end)
+      defs
+  done;
+  nul
+
+let is_terminated = function Zero -> true | _ -> false
+
+let transitions defs =
+  let nullable = nullable_table defs in
+  let rec trans p =
+    match p with
+    | Zero -> []
+    | Atom a -> [ (a, Zero) ]
+    | Var x -> (
+        match List.assoc_opt x defs with
+        | None -> []
+        | Some body -> trans body)
+    | Alt (p, q) -> trans p @ trans q
+    | Seq (p, q) ->
+        let left = List.map (fun (a, p') -> (a, seq p' q)) (trans p) in
+        if nullable p then left @ trans q else left
+  in
+  trans
+
+module PSet = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let reachable ?(limit = 100_000) defs p0 =
+  let trans = transitions defs in
+  let rec loop seen = function
+    | [] -> seen
+    | p :: todo ->
+        if PSet.cardinal seen > limit then
+          failwith "Bpa.Process.reachable: state limit exceeded"
+        else
+          let succs =
+            trans p |> List.map snd
+            |> List.filter (fun q -> not (PSet.mem q seen))
+            |> List.sort_uniq compare
+          in
+          let seen = List.fold_left (fun s q -> PSet.add q s) seen succs in
+          loop seen (succs @ todo)
+  in
+  PSet.elements (loop (PSet.singleton p0) [ p0 ])
+
+module Nfa = Automata.Nfa.Make (Sym)
+
+let to_nfa defs p0 =
+  let states = reachable defs p0 in
+  let index = Hashtbl.create 97 in
+  List.iteri (fun i p -> Hashtbl.replace index p i) states;
+  let id p = Hashtbl.find index p in
+  let trans = transitions defs in
+  let edges =
+    List.concat_map
+      (fun p -> List.map (fun (a, q) -> (id p, a, id q)) (trans p))
+      states
+  in
+  let decode i = List.nth_opt states i in
+  (Nfa.create ~init:[ id p0 ] ~finals:[] ~trans:edges, decode)
+
+let rec size = function
+  | Zero | Atom _ | Var _ -> 1
+  | Seq (a, b) | Alt (a, b) -> 1 + size a + size b
+
+let rec pp ppf = function
+  | Zero -> Fmt.string ppf "0"
+  | Atom a -> Sym.pp ppf a
+  | Seq (a, b) -> Fmt.pf ppf "%a . %a" pp_atom a pp b
+  | Alt (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Var x -> Fmt.string ppf x
+
+and pp_atom ppf p =
+  match p with
+  | Seq _ | Alt _ -> Fmt.pf ppf "(%a)" pp p
+  | Zero | Atom _ | Var _ -> pp ppf p

@@ -1,0 +1,16 @@
+(** Framing regularization (paper §3.1, after [4,5]): remove the
+    redundant framings that make validity a non-regular property. A
+    framing [φ[…]] statically enclosed in another framing of the same
+    policy is redundant — the outer one already enforces [φ] — so it can
+    be erased without changing which histories are valid. After
+    regularization, activation depths never exceed 1 and standard
+    finite-state model checking applies. *)
+
+val regularize : Core.Hexpr.t -> Core.Hexpr.t
+(** Erase framings (and session policies) of a policy already active at
+    that point of the syntax tree. Validity-preserving:
+    [Validity.check_expr h ≡ Validity.check_expr (regularize h)]. *)
+
+val max_nesting : Core.Hexpr.t -> int
+(** The deepest static nesting of same-policy framings — the activation
+    bound used to size {!Framed.build}. [1] after {!regularize}. *)

@@ -1,0 +1,21 @@
+(** The alphabet of the BPA rendering of history expressions: history
+    items (events and framings) plus policy-inert communication labels
+    kept for readability of counterexamples. *)
+
+type t =
+  | Ev of Usage.Event.t
+  | Frm_open of Usage.Policy.t
+  | Frm_close of Usage.Policy.t
+  | Comm of string  (** rendered communication, e.g. ["a?"]; inert *)
+
+val of_action : Core.Action.t -> t
+(** Maps the stand-alone labels: events and framings to themselves,
+    [open_{r,φ}]/[close_{r,φ}] to the corresponding framing (cf.
+    {!Core.Validity.check_expr}), communications to {!Comm}. *)
+
+val is_inert : t -> bool
+(** [true] for symbols that no policy observes. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t

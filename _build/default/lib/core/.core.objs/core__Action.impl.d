@@ -1,0 +1,1 @@
+lib/core/action.ml: Fmt Hexpr Int String Usage

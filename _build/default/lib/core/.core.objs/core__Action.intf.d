@@ -1,0 +1,1 @@
+lib/core/action.mli: Fmt Hexpr Usage

@@ -1,0 +1,1 @@
+lib/core/bisim.ml: Action Contract Hashtbl Hexpr Int List Map Semantics Set Stdlib String

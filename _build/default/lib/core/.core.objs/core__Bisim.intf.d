@@ -1,0 +1,1 @@
+lib/core/bisim.mli: Contract Hexpr

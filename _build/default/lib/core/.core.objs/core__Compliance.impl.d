@@ -1,0 +1,1 @@
+lib/core/compliance.ml: Contract List Ready Set String

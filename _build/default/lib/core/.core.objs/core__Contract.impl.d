@@ -1,0 +1,1 @@
+lib/core/contract.ml: Fmt Hexpr Int List Printf Set String

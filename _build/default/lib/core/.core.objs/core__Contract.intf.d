@@ -1,0 +1,1 @@
+lib/core/contract.mli: Fmt Hexpr

@@ -1,0 +1,1 @@
+lib/core/discovery.ml: Contract Fmt Hexpr Int List Netcheck Plan Product Result String Subcontract Usage

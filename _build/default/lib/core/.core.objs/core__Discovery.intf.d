@@ -1,0 +1,1 @@
+lib/core/discovery.mli: Contract Fmt Hexpr Netcheck Network Product Usage

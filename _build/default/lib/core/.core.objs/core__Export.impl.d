@@ -1,0 +1,1 @@
+lib/core/export.ml: Action Contract Fmt Hexpr List Map Network Semantics String Usage Validity

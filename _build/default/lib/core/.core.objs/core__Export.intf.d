@@ -1,0 +1,1 @@
+lib/core/export.mli: Contract Fmt Format Hexpr Network Plan

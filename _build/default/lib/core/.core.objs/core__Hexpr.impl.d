@@ -1,0 +1,1 @@
+lib/core/hexpr.ml: Fmt Int List Option Printf Result String Usage

@@ -1,0 +1,1 @@
+lib/core/hexpr.mli: Fmt Usage

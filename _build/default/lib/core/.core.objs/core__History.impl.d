@@ -1,0 +1,1 @@
+lib/core/history.ml: Action Fmt List Usage

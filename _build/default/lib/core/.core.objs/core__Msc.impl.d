@@ -1,0 +1,1 @@
+lib/core/msc.ml: Fmt Hashtbl Hexpr List Network Option Simulate Usage

@@ -1,0 +1,1 @@
+lib/core/msc.mli: Fmt Simulate

@@ -1,0 +1,1 @@
+lib/core/netcheck.ml: Action Fmt Hexpr List Map Network Plan Queue Semantics Usage Validity

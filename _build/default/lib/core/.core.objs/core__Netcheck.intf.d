@@ -1,0 +1,1 @@
+lib/core/netcheck.mli: Fmt Hexpr Network Plan Usage

@@ -1,0 +1,1 @@
+lib/core/network.ml: Action Fmt Hexpr History List Plan Semantics String Usage Validity

@@ -1,0 +1,1 @@
+lib/core/network.mli: Fmt Hexpr History Plan Usage Validity

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Fmt Int List Map Printf String

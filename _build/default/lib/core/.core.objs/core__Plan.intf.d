@@ -1,0 +1,1 @@
+lib/core/plan.mli: Fmt

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Contract Fmt Hashtbl Hexpr List Netcheck Plan Product Result

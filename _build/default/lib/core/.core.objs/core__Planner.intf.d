@@ -1,0 +1,1 @@
+lib/core/planner.mli: Fmt Hashtbl Hexpr Netcheck Network Plan Product

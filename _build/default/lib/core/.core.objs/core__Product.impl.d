@@ -1,0 +1,1 @@
+lib/core/product.ml: Compliance Contract Fmt Hashtbl List Map Option Queue String

@@ -1,0 +1,1 @@
+lib/core/product.mli: Contract Fmt

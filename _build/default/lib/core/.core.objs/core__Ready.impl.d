@@ -1,0 +1,1 @@
+lib/core/ready.ml: Contract Fmt List Set Stdlib String

@@ -1,0 +1,1 @@
+lib/core/ready.mli: Contract Fmt Set

@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Action Hexpr List Map Set

@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Fmt Hashtbl Hexpr List Network Option Printf Random String Usage Validity

@@ -1,0 +1,1 @@
+lib/core/subcontract.ml: Contract List Set

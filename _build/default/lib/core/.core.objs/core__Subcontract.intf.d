@@ -1,0 +1,1 @@
+lib/core/subcontract.mli: Contract

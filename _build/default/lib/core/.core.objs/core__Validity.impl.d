@@ -1,0 +1,1 @@
+lib/core/validity.ml: Action Fmt Hexpr History Int List Semantics Set String Usage

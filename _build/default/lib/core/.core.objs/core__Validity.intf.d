@@ -1,0 +1,1 @@
+lib/core/validity.mli: Fmt Hexpr History Usage

@@ -1,0 +1,52 @@
+type t =
+  | In of string
+  | Out of string
+  | Tau
+  | Evt of Usage.Event.t
+  | Op of Hexpr.req
+  | Cl of Hexpr.req
+  | Frm_open of Usage.Policy.t
+  | Frm_close of Usage.Policy.t
+
+let co = function
+  | In a -> Some (Out a)
+  | Out a -> Some (In a)
+  | Tau | Evt _ | Op _ | Cl _ | Frm_open _ | Frm_close _ -> None
+
+let is_comm = function
+  | In _ | Out _ | Tau | Op _ | Cl _ -> true
+  | Evt _ | Frm_open _ | Frm_close _ -> false
+
+let compare x y =
+  let tag = function
+    | In _ -> 0
+    | Out _ -> 1
+    | Tau -> 2
+    | Evt _ -> 3
+    | Op _ -> 4
+    | Cl _ -> 5
+    | Frm_open _ -> 6
+    | Frm_close _ -> 7
+  in
+  match (x, y) with
+  | In a, In b | Out a, Out b -> String.compare a b
+  | Tau, Tau -> 0
+  | Evt a, Evt b -> Usage.Event.compare a b
+  | Op r, Op s | Cl r, Cl s -> Hexpr.compare_req r s
+  | Frm_open p, Frm_open q | Frm_close p, Frm_close q ->
+      Usage.Policy.compare p q
+  | ( (In _ | Out _ | Tau | Evt _ | Op _ | Cl _ | Frm_open _ | Frm_close _),
+      _ ) ->
+      Int.compare (tag x) (tag y)
+
+let equal x y = compare x y = 0
+
+let pp ppf = function
+  | In a -> Fmt.pf ppf "%s?" a
+  | Out a -> Fmt.pf ppf "%s!" a
+  | Tau -> Fmt.string ppf "tau"
+  | Evt e -> Fmt.pf ppf "#%a" Usage.Event.pp e
+  | Op r -> Fmt.pf ppf "open_%a" Hexpr.pp_req r
+  | Cl r -> Fmt.pf ppf "close_%a" Hexpr.pp_req r
+  | Frm_open p -> Fmt.pf ppf "[%s" (Usage.Policy.id p)
+  | Frm_close p -> Fmt.pf ppf "%s]" (Usage.Policy.id p)

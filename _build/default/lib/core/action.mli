@@ -1,0 +1,22 @@
+(** Transition labels of the stand-alone semantics:
+    [λ ∈ Comm ∪ Ev ∪ Frm] (paper §3). *)
+
+type t =
+  | In of string  (** input [a] *)
+  | Out of string  (** output [ā] *)
+  | Tau  (** silent (synchronisation, or an unguarded-choice commit) *)
+  | Evt of Usage.Event.t  (** access event [α] *)
+  | Op of Hexpr.req  (** [open_{r,φ}] *)
+  | Cl of Hexpr.req  (** [close_{r,φ}] *)
+  | Frm_open of Usage.Policy.t  (** [Lφ] *)
+  | Frm_close of Usage.Policy.t  (** [Mφ] *)
+
+val co : t -> t option
+(** The co-action: [co (In a) = Out a] and vice versa; [None] otherwise. *)
+
+val is_comm : t -> bool
+(** Membership in [Comm] (inputs, outputs, [τ], opens, closes). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t

@@ -1,0 +1,51 @@
+let sync_successors c1 c2 =
+  let t1 = Contract.transitions c1 and t2 = Contract.transitions c2 in
+  List.concat_map
+    (fun (d1, a1, k1) ->
+      List.filter_map
+        (fun (d2, a2, k2) ->
+          if String.equal a1 a2 && d2 = Contract.co d1 then
+            Some (a1, (k1, k2))
+          else None)
+        t2)
+    t1
+
+let locally_ok c1 c2 =
+  let r1 = Ready.ready_sets c1 and r2 = Ready.ready_sets c2 in
+  List.for_all
+    (fun cset ->
+      Ready.Set.is_empty cset
+      || List.for_all
+           (fun sset ->
+             let co_s = Ready.Set.map Ready.Comm.co sset in
+             not (Ready.Set.is_empty (Ready.Set.inter cset co_s)))
+           r2)
+    r1
+
+module Pair = struct
+  type t = Contract.t * Contract.t
+
+  let compare (a1, b1) (a2, b2) =
+    match Contract.compare a1 a2 with
+    | 0 -> Contract.compare b1 b2
+    | c -> c
+end
+
+module PSet = Set.Make (Pair)
+
+let compliant client server =
+  let rec explore seen = function
+    | [] -> true
+    | (c1, c2) :: rest ->
+        locally_ok c1 c2
+        &&
+        let succs =
+          sync_successors c1 c2 |> List.map snd
+          |> List.filter (fun p -> not (PSet.mem p seen))
+          |> List.sort_uniq Pair.compare
+        in
+        let seen = List.fold_left (fun s p -> PSet.add p s) seen succs in
+        explore seen (succs @ rest)
+  in
+  let start = (client, server) in
+  explore (PSet.singleton start) [ start ]

@@ -1,0 +1,24 @@
+(** Compliance [H_c ⊢ H_s] (paper Definition 4), implemented literally:
+    the largest relation such that, at every pair of contracts reachable
+    through synchronised steps,
+
+    + (1) for all ready sets [C] of the client and [S] of the server,
+      either [C = ∅] (the client may terminate) or [C ∩ S̄ ≠ ∅] (some
+      action of [C] has its co-action in [S]); and
+    + (2) the relation is closed under synchronised transitions.
+
+    This module is the {e reference} implementation; the decision
+    procedure of Theorem 1 lives in {!Product} and the two are
+    cross-validated by the test suite. *)
+
+val sync_successors : Contract.t -> Contract.t -> (string * (Contract.t * Contract.t)) list
+(** Pairs reachable in one synchronisation [H₁ --a--> H₁', H₂ --co(a)--> H₂'],
+    tagged by channel. *)
+
+val locally_ok : Contract.t -> Contract.t -> bool
+(** Condition (1) of Definition 4 at a single pair. *)
+
+val compliant : Contract.t -> Contract.t -> bool
+(** [compliant client server] decides [client ⊢ server] by checking
+    {!locally_ok} on every pair reachable from the initial one (the
+    greatest-fixed-point reading of Definition 4). *)

@@ -1,0 +1,188 @@
+type t =
+  | Nil
+  | Var of string
+  | Mu of string * t
+  | Ext of (string * t) list
+  | Int of (string * t) list
+  | Seq of t * t
+
+exception Unprojectable of string
+
+let rec compare x y =
+  let tag = function
+    | Nil -> 0
+    | Var _ -> 1
+    | Mu _ -> 2
+    | Ext _ -> 3
+    | Int _ -> 4
+    | Seq _ -> 5
+  in
+  match (x, y) with
+  | Nil, Nil -> 0
+  | Var a, Var b -> String.compare a b
+  | Mu (a, h), Mu (b, k) -> (
+      match String.compare a b with 0 -> compare h k | c -> c)
+  | Ext a, Ext b | Int a, Int b ->
+      List.compare
+        (fun (c1, h) (c2, k) ->
+          match String.compare c1 c2 with 0 -> compare h k | c -> c)
+        a b
+  | Seq (a, b), Seq (c, d) -> (
+      match compare a c with 0 -> compare b d | c -> c)
+  | (Nil | Var _ | Mu _ | Ext _ | Int _ | Seq _), _ ->
+      Int.compare (tag x) (tag y)
+
+let equal x y = compare x y = 0
+let nil = Nil
+let var x = Var x
+
+let rec seq a b =
+  match (a, b) with
+  | Nil, c | c, Nil -> c
+  | Seq (x, y), c -> seq x (seq y c)
+  | _ -> Seq (a, b)
+
+let check_branches kind bs =
+  if bs = [] then invalid_arg (kind ^ ": empty choice");
+  let chans = List.map fst bs in
+  if List.length (List.sort_uniq String.compare chans) <> List.length chans
+  then invalid_arg (kind ^ ": duplicate channel");
+  List.sort (fun (a, _) (b, _) -> String.compare a b) bs
+
+let branch bs = Ext (check_branches "Contract.branch" bs)
+let select bs = Int (check_branches "Contract.select" bs)
+let recv a = branch [ (a, Nil) ]
+let send a = select [ (a, Nil) ]
+
+let rec free_vars = function
+  | Nil -> []
+  | Var x -> [ x ]
+  | Mu (x, b) -> List.filter (fun y -> y <> x) (free_vars b)
+  | Ext bs | Int bs -> List.concat_map (fun (_, h) -> free_vars h) bs
+  | Seq (a, b) -> free_vars a @ free_vars b
+
+let mu x body =
+  match body with
+  | Nil -> Nil
+  | _ -> if List.mem x (free_vars body) then Mu (x, body) else body
+
+let rec project (h : Hexpr.t) : t =
+  match h with
+  | Hexpr.Nil | Hexpr.Ev _ | Hexpr.Close _ | Hexpr.Frame_close _ -> Nil
+  | Hexpr.Var x -> Var x
+  | Hexpr.Mu (x, b) -> mu x (project b)
+  | Hexpr.Ext bs -> Ext (List.map (fun (a, k) -> (a, project k)) bs)
+  | Hexpr.Int bs -> Int (List.map (fun (a, k) -> (a, project k)) bs)
+  | Hexpr.Seq (a, b) -> seq (project a) (project b)
+  | Hexpr.Open (_, _) -> Nil (* whole nested sessions are erased *)
+  | Hexpr.Frame (_, b) -> project b
+  | Hexpr.Choice (a, b) ->
+      let ca = project a and cb = project b in
+      if equal ca cb then ca
+      else if equal ca Nil then cb
+      else if equal cb Nil then ca
+      else
+        raise
+          (Unprojectable
+             (Fmt.str "Choice branches project to distinct contracts"))
+
+type dir = I | O
+
+let co = function I -> O | O -> I
+
+let fresh_counter = ref 0
+
+let fresh base =
+  incr fresh_counter;
+  Printf.sprintf "%s_%d" base !fresh_counter
+
+let rec subst x ~by c =
+  match c with
+  | Nil -> c
+  | Var y -> if String.equal y x then by else c
+  | Mu (y, b) ->
+      if String.equal y x then c
+      else if List.mem y (free_vars by) then begin
+        let y' = fresh y in
+        Mu (y', subst x ~by (subst y ~by:(Var y') b))
+      end
+      else Mu (y, subst x ~by b)
+  | Ext bs -> Ext (List.map (fun (a, k) -> (a, subst x ~by k)) bs)
+  | Int bs -> Int (List.map (fun (a, k) -> (a, subst x ~by k)) bs)
+  | Seq (a, b) -> seq (subst x ~by a) (subst x ~by b)
+
+let rec transitions = function
+  | Nil | Var _ -> []
+  | Mu (x, b) -> transitions (subst x ~by:(Mu (x, b)) b)
+  | Ext bs -> List.map (fun (a, k) -> (I, a, k)) bs
+  | Int bs -> List.map (fun (a, k) -> (O, a, k)) bs
+  | Seq (a, b) -> List.map (fun (d, ch, a') -> (d, ch, seq a' b)) (transitions a)
+
+let is_terminated c = equal c Nil
+
+module CSet = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let reachable ?(limit = 100_000) c0 =
+  let rec loop seen = function
+    | [] -> seen
+    | c :: todo ->
+        if CSet.cardinal seen > limit then
+          failwith "Contract.reachable: state limit exceeded"
+        else
+          let succs =
+            transitions c
+            |> List.map (fun (_, _, k) -> k)
+            |> List.filter (fun k -> not (CSet.mem k seen))
+            |> List.sort_uniq compare
+          in
+          let seen = List.fold_left (fun s k -> CSet.add k s) seen succs in
+          loop seen (succs @ todo)
+  in
+  CSet.elements (loop (CSet.singleton c0) [ c0 ])
+
+let rec dual = function
+  | Nil -> Nil
+  | Var x -> Var x
+  | Mu (x, b) -> Mu (x, dual b)
+  | Ext bs -> Int (List.map (fun (a, k) -> (a, dual k)) bs)
+  | Int bs -> Ext (List.map (fun (a, k) -> (a, dual k)) bs)
+  | Seq (a, b) -> Seq (dual a, dual b)
+
+let rec size = function
+  | Nil | Var _ -> 1
+  | Mu (_, b) -> 1 + size b
+  | Ext bs | Int bs -> List.fold_left (fun n (_, h) -> n + 1 + size h) 1 bs
+  | Seq (a, b) -> 1 + size a + size b
+
+let rec pp ppf = function
+  | Nil -> Fmt.string ppf "eps"
+  | Var x -> Fmt.string ppf x
+  | Mu (x, b) -> Fmt.pf ppf "mu %s. %a" x pp b
+  | Ext bs -> pp_choice ppf "?" " + " bs
+  | Int bs -> pp_choice ppf "!" " (+) " bs
+  | Seq (a, b) -> Fmt.pf ppf "%a . %a" pp_atom a pp b
+
+and pp_choice ppf dir sep bs =
+  let pp_branch ppf (a, h) =
+    match h with
+    | Nil -> Fmt.pf ppf "%s%s" a dir
+    | _ -> Fmt.pf ppf "%s%s.%a" a dir pp_atom h
+  in
+  match bs with
+  | [ b ] -> pp_branch ppf b
+  | _ ->
+      let pp_sep ppf () = Fmt.string ppf sep in
+      Fmt.pf ppf "(%a)" (Fmt.list ~sep:pp_sep pp_branch) bs
+
+and pp_atom ppf c =
+  match c with
+  | Seq _ | Mu _ -> Fmt.pf ppf "(%a)" pp c
+  | Ext [ (_, h) ] | Int [ (_, h) ] when not (equal h Nil) ->
+      Fmt.pf ppf "(%a)" pp c
+  | Nil | Var _ | Ext _ | Int _ -> pp ppf c
+
+let to_string c = Fmt.str "%a" pp c

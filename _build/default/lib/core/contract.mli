@@ -1,0 +1,62 @@
+(** Behavioural contracts: the projection of history expressions on their
+    communication actions (paper §4, “Projection on Communication
+    Actions”). The projection yields the sub-language of [Castagna,
+    Gesbert, Padovani 2009] contracts where internal choice is
+    output-guarded, external choice is input-guarded and recursion is
+    guarded and tail — hence contract transition systems are finite
+    state. *)
+
+type t = private
+  | Nil
+  | Var of string
+  | Mu of string * t
+  | Ext of (string * t) list  (** input-guarded external choice *)
+  | Int of (string * t) list  (** output-guarded internal choice *)
+  | Seq of t * t
+
+exception Unprojectable of string
+(** Raised by {!project} on an extension [Choice] whose branches do not
+    project to the same contract: such expressions fall outside the
+    paper's §4 fragment. *)
+
+val project : Hexpr.t -> t
+(** [(·)!]: erase events, framings and whole nested sessions
+    [open_{r,φ} … close_{r,φ}]. Closed expressions project to closed
+    contracts. *)
+
+(** {1 Construction (mainly for tests)} *)
+
+val nil : t
+val var : string -> t
+val mu : string -> t -> t
+val branch : (string * t) list -> t
+val select : (string * t) list -> t
+val seq : t -> t -> t
+val recv : string -> t
+val send : string -> t
+
+(** {1 Semantics} *)
+
+type dir = I  (** input [a] *) | O  (** output [ā] *)
+
+val co : dir -> dir
+
+val transitions : t -> (dir * string * t) list
+(** The contract LTS (I-Choice, E-Choice, Conc, Rec restricted to
+    communications). *)
+
+val reachable : ?limit:int -> t -> t list
+(** Finite for well-formed (guarded, tail-recursive) contracts. *)
+
+val dual : t -> t
+(** Swap inputs and outputs (session-type duality). Every contract is
+    compliant with its dual — the canonical partner — and duality is an
+    involution. *)
+
+val is_terminated : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val size : t -> int
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,67 @@
+type rejection =
+  | Not_compliant of Product.counterexample
+  | Insecure of Netcheck.stuck
+  | Outside_fragment of string
+
+type candidate = {
+  loc : string;
+  verdict : (Netcheck.stats, rejection) result;
+}
+
+let probe ?policy repo body loc =
+  let service =
+    match List.assoc_opt loc repo with
+    | Some h -> h
+    | None -> invalid_arg ("Discovery.probe: unknown location " ^ loc)
+  in
+  match
+    Product.counterexample (Contract.project body) (Contract.project service)
+  with
+  | exception Contract.Unprojectable why -> Error (Outside_fragment why)
+  | Some ce -> Error (Not_compliant ce)
+  | None -> (
+      let client = Hexpr.open_ ~rid:1 ?policy body in
+      let plan = Plan.of_list [ (1, loc) ] in
+      match Netcheck.check_client repo plan ("query", client) with
+      | Netcheck.Valid stats -> Ok stats
+      | Netcheck.Invalid stuck -> Error (Insecure stuck))
+
+let query ?policy repo ~body =
+  let ranked =
+    List.map (fun (loc, _) -> { loc; verdict = probe ?policy repo body loc }) repo
+  in
+  let rank c = if Result.is_ok c.verdict then 0 else 1 in
+  List.stable_sort (fun a b -> Int.compare (rank a) (rank b)) ranked
+
+let usable ?policy repo ~body =
+  query ?policy repo ~body
+  |> List.filter_map (fun c ->
+         if Result.is_ok c.verdict then Some c.loc else None)
+
+let substitutes repo loc =
+  match List.assoc_opt loc repo with
+  | None -> []
+  | Some h ->
+      let target = Contract.project h in
+      repo
+      |> List.filter_map (fun (loc', h') ->
+             if String.equal loc loc' then None
+             else
+               let c' = Contract.project h' in
+               if Subcontract.refines target c' then Some (loc', c') else None)
+
+let pp_candidate ppf c =
+  match c.verdict with
+  | Ok stats -> Fmt.pf ppf "%s: usable (%d states)" c.loc stats.Netcheck.states
+  | Error (Not_compliant ce) ->
+      Fmt.pf ppf "%s: not compliant (%a)" c.loc Product.pp_stuck_reason
+        ce.Product.reason
+  | Error (Outside_fragment why) ->
+      Fmt.pf ppf "%s: outside the compliance fragment (%s)" c.loc why
+  | Error (Insecure stuck) ->
+      Fmt.pf ppf "%s: insecure (%a)" c.loc
+        (fun ppf -> function
+          | Netcheck.Security p -> Fmt.string ppf (Usage.Policy.id p)
+          | Netcheck.Communication -> Fmt.string ppf "communication"
+          | Netcheck.Unplanned_request r -> Fmt.pf ppf "unplanned %d" r)
+        stuck.Netcheck.kind

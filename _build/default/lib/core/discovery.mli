@@ -1,0 +1,41 @@
+(** Call-by-contract service discovery ([5]): query the repository with
+    a request — the client-side body and the policy to impose — and get
+    back the services that could serve it, with the reason the others
+    cannot.
+
+    This is the planner's inner loop exposed as a search API: a
+    candidate is {e usable} iff the singleton network
+    [open_{r,φ} body close_{r,φ}] planned onto it is both compliant
+    (Theorem 1) and secure (abstract reachability). *)
+
+type rejection =
+  | Not_compliant of Product.counterexample
+  | Insecure of Netcheck.stuck
+  | Outside_fragment of string
+      (** the body's projection left the §4 fragment *)
+
+type candidate = {
+  loc : string;
+  verdict : (Netcheck.stats, rejection) result;
+}
+
+val query :
+  ?policy:Usage.Policy.t ->
+  Network.repo ->
+  body:Hexpr.t ->
+  candidate list
+(** All repository services, usable ones first. [body] is the
+    client-side protocol of the request (communications, events,
+    possibly nested requests of its own are {e not} supported here — use
+    the {!Planner} for multi-request compositions). *)
+
+val usable :
+  ?policy:Usage.Policy.t -> Network.repo -> body:Hexpr.t -> string list
+(** Locations of the usable candidates. *)
+
+val substitutes : Network.repo -> string -> (string * Contract.t) list
+(** [substitutes repo loc]: the other services whose contracts refine
+    [loc]'s — any client served by [loc] is served by them
+    ({!Subcontract}). *)
+
+val pp_candidate : candidate Fmt.t

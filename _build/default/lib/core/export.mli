@@ -1,0 +1,17 @@
+(** GraphViz renderings of the library's transition systems, for
+    inspection and documentation: the stand-alone LTS of a history
+    expression, and the abstract configuration graph a planned client
+    explores (the state space {!Netcheck} model-checks). *)
+
+val hexpr_dot : Hexpr.t Fmt.t
+(** The reachable LTS of the expression; the terminated state is a
+    double circle. *)
+
+val contract_dot : Contract.t Fmt.t
+
+val client_graph_dot :
+  Network.repo -> Plan.t -> string * Hexpr.t -> Format.formatter -> unit
+(** The abstract configuration graph of one planned client: nodes are
+    (component, policy-cursor) states, edges are enabled network moves;
+    blocked moves are rendered dashed and red with the violated policy.
+    Stuck states (no enabled move, not terminated) are double circles. *)

@@ -1,0 +1,337 @@
+type req = { rid : int; policy : Usage.Policy.t option }
+
+type t =
+  | Nil
+  | Var of string
+  | Mu of string * t
+  | Ext of (string * t) list
+  | Int of (string * t) list
+  | Ev of Usage.Event.t
+  | Seq of t * t
+  | Open of req * t
+  | Close of req
+  | Frame of Usage.Policy.t * t
+  | Frame_close of Usage.Policy.t
+  | Choice of t * t
+
+let nil = Nil
+let var x = Var x
+let ev ?arg name = Ev (Usage.Event.make ?arg name)
+let event e = Ev e
+
+let compare_req a b =
+  match Int.compare a.rid b.rid with
+  | 0 -> Option.compare Usage.Policy.compare a.policy b.policy
+  | c -> c
+
+let rec compare x y =
+  let tag = function
+    | Nil -> 0
+    | Var _ -> 1
+    | Mu _ -> 2
+    | Ext _ -> 3
+    | Int _ -> 4
+    | Ev _ -> 5
+    | Seq _ -> 6
+    | Open _ -> 7
+    | Close _ -> 8
+    | Frame _ -> 9
+    | Frame_close _ -> 10
+    | Choice _ -> 11
+  in
+  match (x, y) with
+  | Nil, Nil -> 0
+  | Var a, Var b -> String.compare a b
+  | Mu (a, h), Mu (b, k) -> (
+      match String.compare a b with 0 -> compare h k | c -> c)
+  | Ext a, Ext b | Int a, Int b ->
+      List.compare
+        (fun (c, h) (d, k) ->
+          match String.compare c d with 0 -> compare h k | c -> c)
+        a b
+  | Ev a, Ev b -> Usage.Event.compare a b
+  | Seq (a, b), Seq (c, d) | Choice (a, b), Choice (c, d) -> (
+      match compare a c with 0 -> compare b d | c -> c)
+  | Open (r, h), Open (s, k) -> (
+      match compare_req r s with 0 -> compare h k | c -> c)
+  | Close r, Close s -> compare_req r s
+  | Frame (p, h), Frame (q, k) -> (
+      match Usage.Policy.compare p q with 0 -> compare h k | c -> c)
+  | Frame_close p, Frame_close q -> Usage.Policy.compare p q
+  | ( ( Nil | Var _ | Mu _ | Ext _ | Int _ | Ev _ | Seq _ | Open _ | Close _
+      | Frame _ | Frame_close _ | Choice _ ),
+      _ ) ->
+      Int.compare (tag x) (tag y)
+
+let equal x y = compare x y = 0
+
+(* [ε·H ≡ H ≡ H·ε]; sequences are kept right-nested so that equal residual
+   behaviours are syntactically equal as often as possible. *)
+let rec seq h1 h2 =
+  match (h1, h2) with
+  | Nil, h | h, Nil -> h
+  | Seq (a, b), h -> seq a (seq b h)
+  | _ -> Seq (h1, h2)
+
+let seq_all hs = List.fold_right seq hs Nil
+
+let check_branches kind bs =
+  if bs = [] then invalid_arg (kind ^ ": empty choice");
+  let chans = List.map fst bs in
+  if List.length (List.sort_uniq String.compare chans) <> List.length chans
+  then invalid_arg (kind ^ ": duplicate channel");
+  List.sort (fun (a, _) (b, _) -> String.compare a b) bs
+
+let branch bs = Ext (check_branches "Hexpr.branch" bs)
+let select bs = Int (check_branches "Hexpr.select" bs)
+let recv a = branch [ (a, Nil) ]
+let send a = select [ (a, Nil) ]
+
+let rec free_vars = function
+  | Nil | Ev _ | Close _ | Frame_close _ -> []
+  | Var x -> [ x ]
+  | Mu (x, b) -> List.filter (fun y -> y <> x) (free_vars b)
+  | Ext bs | Int bs -> List.concat_map (fun (_, h) -> free_vars h) bs
+  | Seq (a, b) | Choice (a, b) -> free_vars a @ free_vars b
+  | Open (_, b) | Frame (_, b) -> free_vars b
+
+let free_vars t = List.sort_uniq String.compare (free_vars t)
+let is_closed t = free_vars t = []
+
+let mu x body =
+  match body with
+  | Nil -> Nil
+  | _ -> if List.mem x (free_vars body) then Mu (x, body) else body
+
+let open_ ~rid ?policy body = Open ({ rid; policy }, body)
+let close ~rid ?policy () = Close { rid; policy }
+
+let frame p body = Frame (p, body)
+let frame_close p = Frame_close p
+let choice a b = if equal a b then a else Choice (a, b)
+
+module Infix = struct
+  let ( @. ) = seq
+end
+
+let fresh_counter = ref 0
+
+let fresh base =
+  incr fresh_counter;
+  Printf.sprintf "%s_%d" base !fresh_counter
+
+let rec subst x ~by t =
+  match t with
+  | Nil | Ev _ | Close _ | Frame_close _ -> t
+  | Var y -> if String.equal y x then by else t
+  | Mu (y, b) ->
+      if String.equal y x then t
+      else if List.mem y (free_vars by) then begin
+        let y' = fresh y in
+        Mu (y', subst x ~by (subst y ~by:(Var y') b))
+      end
+      else Mu (y, subst x ~by b)
+  | Ext bs -> Ext (List.map (fun (a, h) -> (a, subst x ~by h)) bs)
+  | Int bs -> Int (List.map (fun (a, h) -> (a, subst x ~by h)) bs)
+  | Seq (a, b) -> seq (subst x ~by a) (subst x ~by b)
+  | Choice (a, b) -> Choice (subst x ~by a, subst x ~by b)
+  | Open (r, b) -> Open (r, subst x ~by b)
+  | Frame (p, b) -> Frame (p, subst x ~by b)
+
+let unfold h body = subst h ~by:(Mu (h, body)) body
+
+let rec size = function
+  | Nil | Var _ | Ev _ | Close _ | Frame_close _ -> 1
+  | Mu (_, b) | Open (_, b) | Frame (_, b) -> 1 + size b
+  | Ext bs | Int bs -> List.fold_left (fun n (_, h) -> n + 1 + size h) 1 bs
+  | Seq (a, b) | Choice (a, b) -> 1 + size a + size b
+
+let rec fold_subterms f acc t =
+  let acc = f acc t in
+  match t with
+  | Nil | Var _ | Ev _ | Close _ | Frame_close _ -> acc
+  | Mu (_, b) | Open (_, b) | Frame (_, b) -> fold_subterms f acc b
+  | Ext bs | Int bs ->
+      List.fold_left (fun acc (_, h) -> fold_subterms f acc h) acc bs
+  | Seq (a, b) | Choice (a, b) -> fold_subterms f (fold_subterms f acc a) b
+
+let requests t =
+  fold_subterms
+    (fun acc -> function Open (r, _) -> r :: acc | _ -> acc)
+    [] t
+  |> List.rev
+
+let policies t =
+  let all =
+    fold_subterms
+      (fun acc -> function
+        | Frame (p, _) | Frame_close p -> p :: acc
+        | Open ({ policy = Some p; _ }, _) | Close { policy = Some p; _ } ->
+            p :: acc
+        | _ -> acc)
+      [] t
+  in
+  List.sort_uniq Usage.Policy.compare all
+
+let channels t =
+  fold_subterms
+    (fun acc -> function
+      | Ext bs | Int bs -> List.map fst bs @ acc
+      | _ -> acc)
+    [] t
+  |> List.sort_uniq String.compare
+
+let events t =
+  fold_subterms
+    (fun acc -> function Ev e -> e :: acc | _ -> acc)
+    [] t
+  |> List.sort_uniq Usage.Event.compare
+
+(* Well-formedness: see the .mli. [guarded] maps each bound recursion
+   variable to whether a communication prefix separates it from the
+   current position; [nontail] lists the variables whose occurrence here
+   would not be in tail position. *)
+
+type wf_error =
+  | Unguarded_recursion of string
+  | Non_tail_recursion of string
+  | Unbound_variable of string
+  | Duplicate_request of int
+
+let pp_wf_error ppf = function
+  | Unguarded_recursion x -> Fmt.pf ppf "recursion variable %s is unguarded" x
+  | Non_tail_recursion x ->
+      Fmt.pf ppf "recursion variable %s occurs in non-tail position" x
+  | Unbound_variable x -> Fmt.pf ppf "unbound recursion variable %s" x
+  | Duplicate_request r -> Fmt.pf ppf "request identifier %d is reused" r
+
+(* Does every execution of [t] perform at least one communication before
+   terminating? Used to propagate guardedness across sequencing. *)
+let rec must_communicate = function
+  | Ext _ | Int _ -> true
+  | Seq (a, b) -> must_communicate a || must_communicate b
+  | Mu (_, b) | Open (_, b) | Frame (_, b) -> must_communicate b
+  | Choice (a, b) -> must_communicate a && must_communicate b
+  | Nil | Var _ | Ev _ | Close _ | Frame_close _ -> false
+
+let well_formed t =
+  let ( let* ) = Result.bind in
+  let rec check ~guarded ~nontail = function
+    | Nil | Ev _ | Close _ | Frame_close _ -> Ok ()
+    | Var x -> (
+        match List.assoc_opt x guarded with
+        | None -> Error (Unbound_variable x)
+        | Some g ->
+            if not g then Error (Unguarded_recursion x)
+            else if List.mem x nontail then Error (Non_tail_recursion x)
+            else Ok ())
+    | Mu (x, b) ->
+        check ~guarded:((x, false) :: guarded)
+          ~nontail:(List.filter (fun y -> y <> x) nontail)
+          b
+    | Ext bs | Int bs ->
+        let guarded = List.map (fun (x, _) -> (x, true)) guarded in
+        List.fold_left
+          (fun acc (_, h) ->
+            let* () = acc in
+            check ~guarded ~nontail h)
+          (Ok ()) bs
+    | Seq (a, b) ->
+        let all = List.map fst guarded in
+        let* () = check ~guarded ~nontail:all a in
+        let guarded =
+          if must_communicate a then List.map (fun (x, _) -> (x, true)) guarded
+          else guarded
+        in
+        check ~guarded ~nontail b
+    | Choice (a, b) ->
+        let* () = check ~guarded ~nontail a in
+        check ~guarded ~nontail b
+    | Open (_, b) | Frame (_, b) ->
+        check ~guarded ~nontail:(List.map fst guarded) b
+  in
+  let* () = check ~guarded:[] ~nontail:[] t in
+  let rids = List.map (fun r -> r.rid) (requests t) in
+  match
+    List.find_opt
+      (fun r -> List.length (List.filter (Int.equal r) rids) > 1)
+      rids
+  with
+  | Some r -> Error (Duplicate_request r)
+  | None -> Ok ()
+
+(* Printing. The output is readable ASCII close to the paper's notation:
+   [a?] input, [a!] output, [+] external and [(+)] internal choice,
+   [.] sequencing, [id[H]] framing, [open_r:id{H}] sessions. *)
+
+let pp_req ppf r =
+  match r.policy with
+  | None -> Fmt.pf ppf "%d" r.rid
+  | Some p -> Fmt.pf ppf "%d: %s" r.rid (Usage.Policy.id p)
+
+let rec pp ppf t =
+  match t with
+  | Nil -> Fmt.string ppf "eps"
+  | Var x -> Fmt.string ppf x
+  | Mu (x, b) -> Fmt.pf ppf "mu %s. %a" x pp b
+  | Ext bs -> pp_choice ppf "?" " + " bs
+  | Int bs -> pp_choice ppf "!" " (+) " bs
+  | Ev e -> Fmt.pf ppf "#%a" Usage.Event.pp e
+  | Seq (a, b) -> Fmt.pf ppf "@[<hov>%a@ . %a@]" pp_atom a pp_seq_tail b
+  | Open (r, b) -> Fmt.pf ppf "open(%a){ %a }" pp_req r pp b
+  | Close r -> Fmt.pf ppf "close(%a)" pp_req r
+  | Frame (p, b) -> Fmt.pf ppf "%s[ %a ]" (Usage.Policy.id p) pp b
+  | Frame_close p -> Fmt.pf ppf "~%s" (Usage.Policy.id p)
+  | Choice (a, b) -> Fmt.pf ppf "(%a <+> %a)" pp_atom a pp_atom b
+
+and pp_choice ppf dir sep bs =
+  let pp_branch ppf (a, h) =
+    match h with
+    | Nil -> Fmt.pf ppf "%s%s" a dir
+    | _ -> Fmt.pf ppf "%s%s.%a" a dir pp_atom h
+  in
+  match bs with
+  | [ b ] -> pp_branch ppf b
+  | _ ->
+      let pp_sep ppf () = Fmt.pf ppf "@ %s " (String.trim sep) in
+      Fmt.pf ppf "@[<hov 1>(%a)@]" (Fmt.list ~sep:pp_sep pp_branch) bs
+
+and pp_seq_tail ppf t =
+  (* a [mu] extends to the end of the input, so it cannot appear bare as
+     the tail of a sequence *)
+  match t with Mu _ -> Fmt.pf ppf "(%a)" pp t | _ -> pp ppf t
+
+and pp_atom ppf t =
+  match t with
+  | Seq _ | Mu _ | Choice _ -> Fmt.pf ppf "(%a)" pp t
+  | Ext [ (_, h) ] | Int [ (_, h) ] when h <> Nil -> Fmt.pf ppf "(%a)" pp t
+  | Nil | Var _ | Ext _ | Int _ | Ev _ | Open _ | Close _ | Frame _
+  | Frame_close _ ->
+      pp ppf t
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Attach sequential continuations to choice prefixes:
+   [(Σ aᵢ.Hᵢ)·K ↦ Σ aᵢ.(Hᵢ·K)]. LTS-preserving; gives terms the
+   canonical guard-attached shape the parser and the effect system
+   agree on. *)
+let rec seq_norm a b =
+  match a with
+  | Nil -> b
+  | Ext bs -> Ext (List.map (fun (c, k) -> (c, seq_norm k b)) bs)
+  | Int bs -> Int (List.map (fun (c, k) -> (c, seq_norm k b)) bs)
+  | Seq (x, y) -> seq_norm x (seq_norm y b)
+  | Var _ | Mu _ | Ev _ | Open _ | Close _ | Frame _ | Frame_close _
+  | Choice _ ->
+      seq a b
+
+let rec normalize t =
+  match t with
+  | Nil | Var _ | Ev _ | Close _ | Frame_close _ -> t
+  | Mu (x, b) -> mu x (normalize b)
+  | Ext bs -> Ext (List.map (fun (a, k) -> (a, normalize k)) bs)
+  | Int bs -> Int (List.map (fun (a, k) -> (a, normalize k)) bs)
+  | Seq (a, b) -> seq_norm (normalize a) (normalize b)
+  | Open (r, b) -> Open (r, normalize b)
+  | Frame (p, b) -> Frame (p, normalize b)
+  | Choice (a, b) -> choice (normalize a) (normalize b)

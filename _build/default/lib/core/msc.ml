@@ -1,0 +1,73 @@
+type line =
+  | Open of string * string * Hexpr.req
+  | Close of string * Hexpr.req
+  | Message of string * string * string
+  | Note of string * string  (** location, text *)
+
+type t = { participants : string list; lines : line list }
+
+let of_trace (tr : Simulate.trace) =
+  let seen = ref [] in
+  let remember l = if not (List.mem l !seen) then seen := l :: !seen in
+  let lines =
+    List.filter_map
+      (fun (g, _) ->
+        match (g : Network.glabel) with
+        | Network.L_open (r, li, lj) ->
+            remember li;
+            remember lj;
+            Some (Open (li, lj, r))
+        | Network.L_close (r, l) ->
+            remember l;
+            Some (Close (l, r))
+        | Network.L_sync (sender, receiver, a) ->
+            remember sender;
+            remember receiver;
+            Some (Message (sender, receiver, a))
+        | Network.L_event (l, e) ->
+            remember l;
+            Some (Note (l, Fmt.str "%a" Usage.Event.pp e))
+        | Network.L_frame_open (l, p) ->
+            remember l;
+            Some (Note (l, Fmt.str "enter %s" (Usage.Policy.id p)))
+        | Network.L_frame_close (l, p) ->
+            remember l;
+            Some (Note (l, Fmt.str "leave %s" (Usage.Policy.id p)))
+        | Network.L_commit _ -> None)
+      tr.Simulate.steps
+  in
+  { participants = List.rev !seen; lines }
+
+let participants t = t.participants
+
+let pp_mermaid ppf t =
+  (* track which participant each open activated, so closes deactivate
+     the right lifeline *)
+  let opened = Hashtbl.create 7 in
+  Fmt.pf ppf "sequenceDiagram@.";
+  List.iter (fun p -> Fmt.pf ppf "  participant %s@." p) t.participants;
+  List.iter
+    (fun line ->
+      match line with
+      | Open (li, lj, r) ->
+          Hashtbl.replace opened r.Hexpr.rid lj;
+          Fmt.pf ppf "  %s->>+%s: open %a@." li lj Hexpr.pp_req r
+      | Close (l, r) ->
+          let partner =
+            Option.value (Hashtbl.find_opt opened r.Hexpr.rid) ~default:l
+          in
+          Fmt.pf ppf "  %s-->>-%s: close %d@." l partner r.Hexpr.rid
+      | Message (s, d, a) -> Fmt.pf ppf "  %s->>%s: %s@." s d a
+      | Note (l, txt) -> Fmt.pf ppf "  Note over %s: %s@." l txt)
+    t.lines
+
+let pp_text ppf t =
+  Fmt.pf ppf "participants: %a@." Fmt.(list ~sep:(any ", ") string) t.participants;
+  List.iter
+    (fun line ->
+      match line with
+      | Open (li, lj, r) -> Fmt.pf ppf "%s opens session %a with %s@." li Hexpr.pp_req r lj
+      | Close (l, r) -> Fmt.pf ppf "%s closes session %d@." l r.Hexpr.rid
+      | Message (s, d, a) -> Fmt.pf ppf "%s sends %s to %s@." s a d
+      | Note (l, txt) -> Fmt.pf ppf "%s: %s@." l txt)
+    t.lines

@@ -1,0 +1,16 @@
+(** Message sequence charts from execution traces: render a
+    {!Simulate.trace} as a Mermaid [sequenceDiagram] (sessions open and
+    close as activations, synchronisations as arrows, access events as
+    notes). Handy for documentation and for eyeballing interleavings. *)
+
+type t
+
+val of_trace : Simulate.trace -> t
+
+val participants : t -> string list
+(** Locations in order of first appearance. *)
+
+val pp_mermaid : t Fmt.t
+
+val pp_text : t Fmt.t
+(** A plain-text rendering (one interaction per line). *)

@@ -1,0 +1,320 @@
+type stuck_kind =
+  | Security of Usage.Policy.t
+  | Communication
+  | Unplanned_request of int
+
+type stuck = {
+  client : string;
+  component : Network.component;
+  kind : stuck_kind;
+  trace : Network.glabel list;
+}
+
+type stats = { states : int; transitions : int }
+type verdict = Valid of stats | Invalid of stuck
+
+let default_universe repo clients =
+  let of_exprs es = List.concat_map Hexpr.policies es in
+  of_exprs (List.map snd repo @ List.map snd clients)
+  |> List.sort_uniq Usage.Policy.compare
+
+let push_items abs items =
+  List.fold_left
+    (fun acc item ->
+      match acc with
+      | Error _ as e -> e
+      | Ok a -> Validity.Abstract.push a item)
+    (Ok abs) items
+
+(* Why is a non-terminated component without enabled moves stuck? If the
+   raw term could fire an un-planned open, blame the plan; if candidate
+   moves existed but all offended a policy, blame security; otherwise
+   it is a communication deadlock. *)
+let rec unplanned_requests repo plan (comp : Network.component) =
+  match comp with
+  | Network.Leaf (_, h) ->
+      Semantics.transitions h
+      |> List.filter_map (fun (act, _) ->
+             match act with
+             | Action.Op r -> (
+                 match Plan.find plan r.rid with
+                 | None -> Some r.rid
+                 | Some l ->
+                     if List.mem_assoc l repo then None else Some r.rid)
+             | _ -> None)
+  | Network.Session (a, b) ->
+      unplanned_requests repo plan a @ unplanned_requests repo plan b
+
+(* Definition 5(ii), applied to a live session: once both parties have
+   settled on their communication frontier (no autonomous event, commit,
+   open, close or framing moves left), every output one side may
+   internally choose must find a matching input on the other side.
+   Angelic reachability alone would miss this — the run could always
+   avoid the unmatched branch — but the paper's internal choice is
+   decided by the sender alone, so such a state is already stuck. *)
+let rec session_mismatch (comp : Network.component) =
+  match comp with
+  | Network.Leaf _ -> None
+  | Network.Session
+      ((Network.Leaf (_, h1) as l1), (Network.Leaf (_, h2) as l2)) -> (
+      let frontier h =
+        let ts = Semantics.transitions h in
+        let settled =
+          List.for_all
+            (fun ((a : Action.t), _) ->
+              match a with
+              | Action.In _ | Action.Out _ -> true
+              | Action.Tau | Action.Evt _ | Action.Op _ | Action.Cl _
+              | Action.Frm_open _ | Action.Frm_close _ ->
+                  false)
+            ts
+        in
+        let outs =
+          List.filter_map
+            (fun (a, _) -> match a with Action.Out c -> Some c | _ -> None)
+            ts
+        in
+        let ins =
+          List.filter_map
+            (fun (a, _) -> match a with Action.In c -> Some c | _ -> None)
+            ts
+        in
+        (settled, outs, ins)
+      in
+      let s1, out1, in1 = frontier h1 in
+      let s2, out2, in2 = frontier h2 in
+      if s1 && s2 then
+        match
+          ( List.find_opt (fun a -> not (List.mem a in2)) out1,
+            List.find_opt (fun a -> not (List.mem a in1)) out2 )
+        with
+        | Some _, _ | _, Some _ -> Some comp
+        | None, None -> (
+            match session_mismatch l1 with
+            | Some c -> Some c
+            | None -> session_mismatch l2)
+      else None)
+  | Network.Session (a, b) -> (
+      match session_mismatch a with
+      | Some c -> Some c
+      | None -> session_mismatch b)
+
+module State = struct
+  type t = Network.component * Validity.Abstract.t
+
+  let compare (c1, a1) (c2, a2) =
+    match Network.compare_component c1 c2 with
+    | 0 -> Validity.Abstract.compare a1 a2
+    | c -> c
+end
+
+module SMap = Map.Make (State)
+
+let check_client ?universe repo plan (loc, h0) =
+  let universe =
+    match universe with
+    | Some u -> u
+    | None -> default_universe repo [ (loc, h0) ]
+  in
+  let start = (Network.Leaf (loc, h0), Validity.Abstract.init universe) in
+  let parent = ref (SMap.singleton start None) in
+  let q = Queue.create () in
+  Queue.add start q;
+  let transitions = ref 0 in
+  let rec trace_of st acc =
+    match SMap.find st !parent with
+    | None -> acc
+    | Some (g, pred) -> trace_of pred (g :: acc)
+  in
+  let rec bfs () =
+    if Queue.is_empty q then Valid { states = SMap.cardinal !parent; transitions = !transitions }
+    else
+      let ((comp, abs) as st) = Queue.pop q in
+      if Network.terminated comp then bfs ()
+      else
+        match session_mismatch comp with
+        | Some stuck_comp ->
+            Invalid
+              {
+                client = loc;
+                component = stuck_comp;
+                kind = Communication;
+                trace = trace_of st [];
+              }
+        | None ->
+      begin
+        let candidates = Network.component_moves repo plan comp in
+        let enabled, security_block =
+          List.fold_left
+            (fun (en, blocked_by) (g, items, comp') ->
+              match push_items abs items with
+              | Ok abs' -> ((g, (comp', abs')) :: en, blocked_by)
+              | Error p -> (en, Some p))
+            ([], None) candidates
+        in
+        if enabled = [] then
+          let kind =
+            match unplanned_requests repo plan comp with
+            | r :: _ -> Unplanned_request r
+            | [] -> (
+                match security_block with
+                | Some p -> Security p
+                | None -> Communication)
+          in
+          Invalid { client = loc; component = comp; kind; trace = trace_of st [] }
+        else begin
+          List.iter
+            (fun (g, succ) ->
+              incr transitions;
+              if not (SMap.mem succ !parent) then begin
+                parent := SMap.add succ (Some (g, st)) !parent;
+                Queue.add succ q
+              end)
+            enabled;
+          bfs ()
+        end
+      end
+  in
+  bfs ()
+
+let failures ?universe ?(limit = 10) repo plan (loc, h0) =
+  let universe =
+    match universe with
+    | Some u -> u
+    | None -> default_universe repo [ (loc, h0) ]
+  in
+  let start = (Network.Leaf (loc, h0), Validity.Abstract.init universe) in
+  let parent = ref (SMap.singleton start None) in
+  let q = Queue.create () in
+  Queue.add start q;
+  let found = ref [] in
+  let rec trace_of st acc =
+    match SMap.find st !parent with
+    | None -> acc
+    | Some (g, pred) -> trace_of pred (g :: acc)
+  in
+  while (not (Queue.is_empty q)) && List.length !found < limit do
+    let ((comp, abs) as st) = Queue.pop q in
+    if not (Network.terminated comp) then begin
+      match session_mismatch comp with
+      | Some stuck_comp ->
+          found :=
+            {
+              client = loc;
+              component = stuck_comp;
+              kind = Communication;
+              trace = trace_of st [];
+            }
+            :: !found
+      | None ->
+          let candidates = Network.component_moves repo plan comp in
+          let enabled, security_block =
+            List.fold_left
+              (fun (en, blocked_by) (g, items, comp') ->
+                match push_items abs items with
+                | Ok abs' -> ((g, (comp', abs')) :: en, blocked_by)
+                | Error p -> (en, Some p))
+              ([], None) candidates
+          in
+          if enabled = [] then
+            let kind =
+              match unplanned_requests repo plan comp with
+              | r :: _ -> Unplanned_request r
+              | [] -> (
+                  match security_block with
+                  | Some p -> Security p
+                  | None -> Communication)
+            in
+            found :=
+              { client = loc; component = comp; kind; trace = trace_of st [] }
+              :: !found
+          else
+            List.iter
+              (fun (g, succ) ->
+                if not (SMap.mem succ !parent) then begin
+                  parent := SMap.add succ (Some (g, st)) !parent;
+                  Queue.add succ q
+                end)
+              enabled
+    end
+  done;
+  List.rev !found
+
+let check ?universe repo clients =
+  let rec go acc = function
+    | [] -> Valid acc
+    | (plan, cl) :: rest -> (
+        match check_client ?universe repo plan cl with
+        | Valid s ->
+            go { states = acc.states + s.states;
+                 transitions = acc.transitions + s.transitions }
+              rest
+        | Invalid _ as v -> v)
+  in
+  go { states = 0; transitions = 0 } clients
+
+module Config = struct
+  type t = (Plan.t * State.t) list
+
+  let compare =
+    List.compare (fun (p1, s1) (p2, s2) ->
+        match Plan.compare p1 p2 with 0 -> State.compare s1 s2 | c -> c)
+end
+
+module CMap = Map.Make (Config)
+
+let explore_interleaved ?(limit = 1_000_000) repo clients =
+  let universe = default_universe repo (List.map snd clients) in
+  let start =
+    List.map
+      (fun (plan, (loc, h)) ->
+        (plan, (Network.Leaf (loc, h), Validity.Abstract.init universe)))
+      clients
+  in
+  let seen = ref (CMap.singleton start ()) in
+  let q = Queue.create () in
+  Queue.add start q;
+  let transitions = ref 0 in
+  while not (Queue.is_empty q) do
+    if CMap.cardinal !seen > limit then
+      failwith "Netcheck.explore_interleaved: state limit exceeded";
+    let cfg = Queue.pop q in
+    List.iteri
+      (fun i (plan, (comp, abs)) ->
+        Network.component_moves repo plan comp
+        |> List.iter (fun (_, items, comp') ->
+               match push_items abs items with
+               | Error _ -> ()
+               | Ok abs' ->
+                   incr transitions;
+                   let cfg' =
+                     List.mapi
+                       (fun j ((pj, _) as st) ->
+                         if i = j then (pj, (comp', abs')) else st)
+                       cfg
+                   in
+                   if not (CMap.mem cfg' !seen) then begin
+                     seen := CMap.add cfg' () !seen;
+                     Queue.add cfg' q
+                   end))
+      cfg
+  done;
+  { states = CMap.cardinal !seen; transitions = !transitions }
+
+let pp_stuck_kind ppf = function
+  | Security p -> Fmt.pf ppf "security (policy %s)" (Usage.Policy.id p)
+  | Communication -> Fmt.string ppf "communication deadlock"
+  | Unplanned_request r -> Fmt.pf ppf "request %d is not planned" r
+
+let pp_stuck ppf s =
+  Fmt.pf ppf
+    "@[<v>client %s gets stuck: %a@,residual: %a@,after: @[%a@]@]" s.client
+    pp_stuck_kind s.kind Network.pp_component s.component
+    Fmt.(list ~sep:comma Network.pp_glabel)
+    s.trace
+
+let pp_verdict ppf = function
+  | Valid s ->
+      Fmt.pf ppf "valid (%d abstract states, %d transitions)" s.states
+        s.transitions
+  | Invalid s -> Fmt.pf ppf "invalid: %a" pp_stuck s

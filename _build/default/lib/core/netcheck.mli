@@ -1,0 +1,77 @@
+(** Static verification of a planned network: exhaustive exploration of
+    the (finite) abstract configuration graph.
+
+    Histories are unbounded, so configurations are abstracted by
+    {!Validity.Abstract}: one automaton cursor per policy of the
+    network's universe, tracked from the start — the finite-state
+    rendering of history-dependent validity that §3.1 obtains by framing
+    regularization. Components have finitely many residuals (guarded
+    tail recursion), hence the abstract graph is finite and reachability
+    decides the paper's two stuckness conditions:
+
+    - {e security}: a component's only moves all violate active policies;
+    - {e communication}: a session partner offers an output nobody can
+      match, or a party waits forever (non-compliance).
+
+    Clients of a network never interact with each other (sessions are
+    created only from requests), so each top-level client is checked in
+    isolation; {!check} conjoins the per-client verdicts. *)
+
+type stuck_kind =
+  | Security of Usage.Policy.t
+      (** every candidate move violates this (or some) active policy *)
+  | Communication
+      (** no candidate move exists: a communication cannot be matched *)
+  | Unplanned_request of int
+      (** a request has no binding in the plan (or a dangling location) *)
+
+type stuck = {
+  client : string;  (** location of the stuck top-level client *)
+  component : Network.component;  (** the stuck residual *)
+  kind : stuck_kind;
+  trace : Network.glabel list;  (** a shortest path into the stuck state *)
+}
+
+type stats = { states : int; transitions : int }
+
+type verdict = Valid of stats | Invalid of stuck
+
+val check_client :
+  ?universe:Usage.Policy.t list ->
+  Network.repo ->
+  Plan.t ->
+  string * Hexpr.t ->
+  verdict
+(** Explore one client against the repository under the given plan. The
+    universe defaults to every policy occurring in the client, the
+    repository, or the plan's reachable services. *)
+
+val failures :
+  ?universe:Usage.Policy.t list ->
+  ?limit:int ->
+  Network.repo ->
+  Plan.t ->
+  string * Hexpr.t ->
+  stuck list
+(** {e All} distinct stuck abstract states of the planned client, each
+    with a shortest witness — {!check_client} stops at the first.
+    [limit] (default 10) caps the number reported. *)
+
+val check :
+  ?universe:Usage.Policy.t list ->
+  Network.repo ->
+  (Plan.t * (string * Hexpr.t)) list ->
+  verdict
+(** First failure among the clients (each with its own plan — the
+    paper's plan vector [~π]), or combined statistics. *)
+
+val explore_interleaved :
+  ?limit:int ->
+  Network.repo ->
+  (Plan.t * (string * Hexpr.t)) list ->
+  stats
+(** Size of the full interleaved state space (for benchmarks); raises
+    [Failure] past [limit] (default 1_000_000) states. *)
+
+val pp_stuck : stuck Fmt.t
+val pp_verdict : verdict Fmt.t

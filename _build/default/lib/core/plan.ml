@@ -1,0 +1,25 @@
+module IMap = Map.Make (Int)
+
+type t = string IMap.t
+
+let empty = IMap.empty
+
+let add r l t =
+  match IMap.find_opt r t with
+  | Some l' when not (String.equal l l') ->
+      invalid_arg
+        (Printf.sprintf "Plan.add: request %d already bound to %s" r l')
+  | _ -> IMap.add r l t
+
+let of_list l = List.fold_left (fun t (r, loc) -> add r loc t) empty l
+let bindings = IMap.bindings
+let find t r = IMap.find_opt r t
+let domain t = List.map fst (IMap.bindings t)
+let union a b = IMap.fold add b a
+let equal = IMap.equal String.equal
+let compare = IMap.compare String.compare
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any ", ") (fun ppf (r, l) -> pf ppf "%d[%s]" r l))
+    (bindings t)

@@ -1,0 +1,20 @@
+(** Plans [π]: finite maps from request identifiers to the locations of
+    the services chosen to serve them (paper Definition 2,
+    [π ::= ∅ | r[ℓ] | π ∪ π']). *)
+
+type t
+
+val empty : t
+val of_list : (int * string) list -> t
+(** Raises [Invalid_argument] if a request is bound twice. *)
+
+val bindings : t -> (int * string) list
+val add : int -> string -> t -> t
+val find : t -> int -> string option
+val domain : t -> int list
+val union : t -> t -> t
+(** Raises [Invalid_argument] on conflicting bindings. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t

@@ -1,0 +1,59 @@
+(** Construction of valid plans (paper §5): for a client [H] against a
+    repository [R], enumerate the orchestrations [π] binding every
+    (transitively reachable) request to a service, and keep those that
+    drive executions that are both {e compliant} (per-request, Theorem 1
+    via {!Product}) and {e secure} (whole-network, via {!Netcheck}).
+
+    With a valid plan, “switch off any run-time monitor, and live
+    happily: nothing bad will happen”. *)
+
+type site = {
+  req : Hexpr.req;
+  body : Hexpr.t;  (** the client-side body of the [open] *)
+  owner : string;  (** location of the expression containing the site *)
+}
+
+val sites : Network.repo -> string * Hexpr.t -> site list
+(** All request sites reachable from a client: its own [open]s plus
+    those of every repository service (any of which the plan might pull
+    in). Sites are keyed by request identifier; a service shared by two
+    requests contributes its sites once. *)
+
+type reason =
+  | Unserved of int  (** a request that no plan entry covers *)
+  | Not_compliant of {
+      rid : int;
+      loc : string;
+      counterexample : Product.counterexample;
+    }
+  | Insecure of Netcheck.stuck
+  | Outside_fragment of { rid : int; loc : string; reason : string }
+      (** a projection fell outside the paper's §4 fragment (an
+          unguarded [Choice] whose branches communicate differently) *)
+
+type report = { plan : Plan.t; verdict : (Netcheck.stats, reason) result }
+
+val analyze :
+  ?cache:(int * string, Product.counterexample option) Hashtbl.t ->
+  Network.repo ->
+  client:string * Hexpr.t ->
+  Plan.t ->
+  report
+(** Validate one plan: per-request compliance first (cheap, local), then
+    the global security/progress exploration. [cache] memoises the
+    per-(request, service) compliance verdicts across calls —
+    {!valid_plans} shares one over the whole enumeration. *)
+
+val enumerate : Network.repo -> client:string * Hexpr.t -> Plan.t list
+(** All complete plans for the client: every reachable request bound to
+    some repository location (closed under the requests of the services
+    chosen). Exponential in the number of requests — intended for
+    repository-scale inputs like the paper's. *)
+
+val valid_plans :
+  ?all:bool -> Network.repo -> client:string * Hexpr.t -> report list
+(** Reports for the enumerated plans. With [all] (default), include
+    invalid plans with their failure reason; otherwise only valid ones. *)
+
+val pp_reason : reason Fmt.t
+val pp_report : report Fmt.t

@@ -1,0 +1,171 @@
+type state = Contract.t * Contract.t
+
+type stuck_reason = Client_waits_forever | Unmatched_output of string
+
+type t = {
+  initial : state;
+  states : state list;
+  delta : (state * string * state) list;
+  finals : (state * stuck_reason) list;
+}
+
+let outputs trans =
+  List.filter_map
+    (fun (d, a, _) -> if d = Contract.O then Some a else None)
+    trans
+
+let inputs trans =
+  List.filter_map
+    (fun (d, a, _) -> if d = Contract.I then Some a else None)
+    trans
+
+(* ⟨H₁,H₂⟩ ∈ F iff H₁ ≠ ε ∧ (¬(i) ∨ ¬(ii)); see Definition 5. *)
+let final_reason (h1, h2) =
+  if Contract.is_terminated h1 then None
+  else
+    let t1 = Contract.transitions h1 and t2 = Contract.transitions h2 in
+    let out1 = outputs t1 and out2 = outputs t2 in
+    let in1 = inputs t1 and in2 = inputs t2 in
+    if out1 = [] && out2 = [] then Some Client_waits_forever
+    else
+      let unmatched =
+        match List.find_opt (fun a -> not (List.mem a in2)) out1 with
+        | Some a -> Some a
+        | None -> List.find_opt (fun a -> not (List.mem a in1)) out2
+      in
+      Option.map (fun a -> Unmatched_output a) unmatched
+
+module Pair = struct
+  type nonrec t = state
+
+  let compare (a1, b1) (a2, b2) =
+    match Contract.compare a1 a2 with
+    | 0 -> Contract.compare b1 b2
+    | c -> c
+end
+
+module PMap = Map.Make (Pair)
+
+let successors (h1, h2) =
+  Compliance.sync_successors h1 h2
+
+let build c1 c2 =
+  let initial = (c1, c2) in
+  let rec explore (seen, delta, finals) = function
+    | [] -> (seen, delta, finals)
+    | p :: rest -> (
+        match final_reason p with
+        | Some r ->
+            (* final states have no outgoing transitions *)
+            explore (seen, delta, (p, r) :: finals) rest
+        | None ->
+            let succs = successors p in
+            let delta =
+              List.fold_left
+                (fun d (a, q) -> (p, a, q) :: d)
+                delta succs
+            in
+            let fresh =
+              succs |> List.map snd
+              |> List.filter (fun q -> not (PMap.mem q seen))
+              |> List.sort_uniq Pair.compare
+            in
+            let seen =
+              List.fold_left (fun s q -> PMap.add q () s) seen fresh
+            in
+            explore (seen, delta, finals) (fresh @ rest))
+  in
+  let seen, delta, finals =
+    explore (PMap.singleton initial (), [], []) [ initial ]
+  in
+  {
+    initial;
+    states = List.map fst (PMap.bindings seen);
+    delta = List.rev delta;
+    finals = List.rev finals;
+  }
+
+let language_empty t = t.finals = []
+let compliant c1 c2 = language_empty (build c1 c2)
+
+type counterexample = {
+  synchronisations : string list;
+  stuck : state;
+  reason : stuck_reason;
+}
+
+let counterexample c1 c2 =
+  (* BFS over the product, recording parents, stopping at the first
+     (hence shortest) stuck state. *)
+  let initial = (c1, c2) in
+  let parent = ref (PMap.singleton initial None) in
+  let q = Queue.create () in
+  Queue.add initial q;
+  let rec path_of p acc =
+    match PMap.find p !parent with
+    | None -> acc
+    | Some (a, pred) -> path_of pred (a :: acc)
+  in
+  let rec bfs () =
+    if Queue.is_empty q then None
+    else
+      let p = Queue.pop q in
+      match final_reason p with
+      | Some reason ->
+          Some { synchronisations = path_of p []; stuck = p; reason }
+      | None ->
+          List.iter
+            (fun (a, succ) ->
+              if not (PMap.mem succ !parent) then begin
+                parent := PMap.add succ (Some (a, p)) !parent;
+                Queue.add succ q
+              end)
+            (successors p);
+          bfs ()
+  in
+  bfs ()
+
+let pp_stuck_reason ppf = function
+  | Client_waits_forever ->
+      Fmt.string ppf "client is not terminated and no party can output"
+  | Unmatched_output a ->
+      Fmt.pf ppf "output on channel %s has no matching input" a
+
+let pp_counterexample ppf ce =
+  Fmt.pf ppf
+    "@[<v>after synchronising on [%a], the session is stuck:@,\
+     client: %a@,server: %a@,cause: %a@]"
+    Fmt.(list ~sep:comma string)
+    ce.synchronisations Contract.pp (fst ce.stuck) Contract.pp (snd ce.stuck)
+    pp_stuck_reason ce.reason
+
+let pp_dot ppf t =
+  let id =
+    let tbl = Hashtbl.create 17 in
+    let next = ref 0 in
+    fun p ->
+      match Hashtbl.find_opt tbl p with
+      | Some i -> i
+      | None ->
+          let i = !next in
+          incr next;
+          Hashtbl.replace tbl p i;
+          i
+  in
+  Fmt.pf ppf "digraph product {@.  rankdir=LR;@.";
+  List.iter
+    (fun ((c1, c2) as p) ->
+      let shape =
+        if List.exists (fun (q, _) -> Pair.compare p q = 0) t.finals then
+          "doublecircle"
+        else "circle"
+      in
+      Fmt.pf ppf "  %d [shape=%s,label=\"%s | %s\"];@." (id p) shape
+        (String.escaped (Contract.to_string c1))
+        (String.escaped (Contract.to_string c2)))
+    t.states;
+  List.iter
+    (fun (p, a, q) ->
+      Fmt.pf ppf "  %d -> %d [label=\"tau(%s)\"];@." (id p) (id q) a)
+    t.delta;
+  Fmt.pf ppf "}@."

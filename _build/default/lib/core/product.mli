@@ -1,0 +1,54 @@
+(** The product automaton [H₁ ⊗ H₂] of two contracts (paper Definition
+    5) and the model-checking decision procedure of Theorem 1:
+
+    [H₁ ⊢ H₂ ⟺ L(H₁ ⊗ H₂) = ∅].
+
+    Final states of the product are exactly the {e stuck} configurations;
+    because the finality predicate inspects a single state (conditions
+    (i) and (ii)), compliance is an invariant — hence a safety — property
+    (Theorem 2, Corollary 1). *)
+
+type state = Contract.t * Contract.t
+
+type stuck_reason =
+  | Client_waits_forever
+      (** ¬(i): the client is not terminated and nobody can output *)
+  | Unmatched_output of string
+      (** ¬(ii): an internally chosen output on this channel has no
+          matching input on the other side *)
+
+type t = {
+  initial : state;
+  states : state list;
+  delta : (state * string * state) list;
+      (** τ-transitions; the channel that synchronised is kept for
+          diagnostics. *)
+  finals : (state * stuck_reason) list;
+}
+
+val final_reason : state -> stuck_reason option
+(** The state-local finality predicate of Definition 5: [Some r] iff the
+    pair belongs to [F]. This is the invariant [Φ] of Theorem 2. *)
+
+val build : Contract.t -> Contract.t -> t
+(** Reachable fragment of [H₁ ⊗ H₂]; per Definition 5, final states have
+    no outgoing transitions. *)
+
+val language_empty : t -> bool
+
+val compliant : Contract.t -> Contract.t -> bool
+(** The Theorem 1 decision procedure. *)
+
+type counterexample = {
+  synchronisations : string list;
+      (** channels synchronised on the way to the stuck state *)
+  stuck : state;
+  reason : stuck_reason;
+}
+
+val counterexample : Contract.t -> Contract.t -> counterexample option
+(** A shortest path into [F], if the contracts are not compliant. *)
+
+val pp_stuck_reason : stuck_reason Fmt.t
+val pp_counterexample : counterexample Fmt.t
+val pp_dot : t Fmt.t

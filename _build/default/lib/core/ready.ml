@@ -1,0 +1,37 @@
+module Comm = struct
+  type t = Contract.dir * string
+
+  let co (d, a) = (Contract.co d, a)
+
+  let compare (d1, a1) (d2, a2) =
+    match Stdlib.compare d1 d2 with
+    | 0 -> String.compare a1 a2
+    | c -> c
+
+  let pp ppf (d, a) =
+    match d with
+    | Contract.I -> Fmt.pf ppf "%s?" a
+    | Contract.O -> Fmt.pf ppf "%s!" a
+end
+
+module Set = Set.Make (Comm)
+
+let rec ready_sets (c : Contract.t) : Set.t list =
+  let dedup sets = List.sort_uniq Set.compare sets in
+  match c with
+  | Contract.Nil | Contract.Var _ -> [ Set.empty ]
+  | Contract.Int bs ->
+      dedup (List.map (fun (a, _) -> Set.singleton (Contract.O, a)) bs)
+  | Contract.Ext bs ->
+      [ Set.of_list (List.map (fun (a, _) -> (Contract.I, a)) bs) ]
+  | Contract.Mu (_, b) -> ready_sets b
+  | Contract.Seq (c1, c2) ->
+      let r1 = ready_sets c1 in
+      let nonempty = List.filter (fun s -> not (Set.is_empty s)) r1 in
+      let continues = if List.length nonempty < List.length r1 then ready_sets c2 else [] in
+      dedup (nonempty @ continues)
+
+let may_terminate c = List.exists Set.is_empty (ready_sets c)
+
+let pp_ready ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma Comm.pp) (Set.elements s)

@@ -1,0 +1,25 @@
+(** Observable ready sets [H ⇓ S] (paper Definition 3): the sets of
+    communication actions a contract is ready to execute. An internal
+    choice offers one output at a time (one singleton ready set per
+    branch); an external choice offers all its inputs at once (a single
+    ready set). *)
+
+module Comm : sig
+  type t = Contract.dir * string
+
+  val co : t -> t
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module Set : Set.S with type elt = Comm.t
+
+val ready_sets : Contract.t -> Set.t list
+(** All [S] with [H ⇓ S], duplicate-free. Every contract has at least
+    one ready set; terminated contracts (and bare variables) have
+    exactly [∅]. *)
+
+val may_terminate : Contract.t -> bool
+(** [H ⇓ ∅]. *)
+
+val pp_ready : Set.t Fmt.t

@@ -1,0 +1,69 @@
+module Pair = struct
+  type t = Contract.t * Contract.t
+
+  let compare (a1, b1) (a2, b2) =
+    match Contract.compare a1 a2 with
+    | 0 -> Contract.compare b1 b2
+    | c -> c
+end
+
+module PSet = Set.Make (Pair)
+
+let split_frontier c =
+  let ts = Contract.transitions c in
+  let ins =
+    List.filter_map
+      (fun (d, a, k) -> if d = Contract.I then Some (a, k) else None)
+      ts
+  in
+  let outs =
+    List.filter_map
+      (fun (d, a, k) -> if d = Contract.O then Some (a, k) else None)
+      ts
+  in
+  (ins, outs)
+
+(* Greatest fixed point: assume pairs already under scrutiny hold. *)
+let refines s s' =
+  let rec go assumed (s, s') =
+    if PSet.mem (s, s') assumed then (true, assumed)
+    else if Contract.is_terminated s then (true, assumed)
+    else begin
+      let assumed = PSet.add (s, s') assumed in
+      let ins1, outs1 = split_frontier s in
+      let ins2, outs2 = split_frontier s' in
+      if outs1 = [] then
+        (* input frontier: s' must offer at least the same inputs *)
+        if outs2 <> [] then (false, assumed)
+        else
+          List.fold_left
+            (fun (ok, assumed) (a, k1) ->
+              if not ok then (false, assumed)
+              else
+                match List.assoc_opt a ins2 with
+                | None -> (false, assumed)
+                | Some k2 -> go assumed (k1, k2))
+            (true, assumed) ins1
+      else if ins1 = [] then
+        (* output frontier: s' must choose among at most the same outputs *)
+        if ins2 <> [] || outs2 = [] then (false, assumed)
+        else
+          List.fold_left
+            (fun (ok, assumed) (a, k2) ->
+              if not ok then (false, assumed)
+              else
+                match List.assoc_opt a outs1 with
+                | None -> (false, assumed)
+                | Some k1 -> go assumed (k1, k2))
+            (true, assumed) outs2
+      else
+        (* mixed frontiers cannot arise in the fragment; be conservative *)
+        (false, assumed)
+    end
+  in
+  fst (go PSet.empty (s, s'))
+
+let equivalent a b = refines a b && refines b a
+
+let widest_servers repo s =
+  List.filter (fun (_, s') -> refines s s') repo

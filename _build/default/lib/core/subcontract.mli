@@ -1,0 +1,34 @@
+(** The subcontract (server-substitutability) preorder of the contract
+    theory the paper builds on [Castagna–Gesbert–Padovani 2009],
+    specialised to the paper's fragment (output-guarded internal and
+    input-guarded external choices, guarded tail recursion):
+
+    [s ⊑ s'] — every client compliant with [s] is compliant with [s'] —
+    so a repository may transparently substitute [s'] for [s], and a
+    planner may search for services {e up to} [⊑].
+
+    On this fragment the preorder has a simple coinductive
+    characterisation, computed by {!refines}:
+    - a terminated server refines and is refined by anything whose
+      clients are terminated (the only client compliant with [ε] is
+      [ε], which complies with every server);
+    - on an input frontier, the substitute must offer {e at least} the
+      same inputs (and no outputs), with refining continuations;
+    - on an output frontier, the substitute must choose among {e at
+      most} the same outputs (at least one, and no inputs), with
+      refining continuations.
+
+    Soundness ([refines s s' = true] implies substitutability) is
+    property-tested against {!Product.compliant} on random
+    client/server/server triples. *)
+
+val refines : Contract.t -> Contract.t -> bool
+(** [refines s s'] decides [s ⊑ s']. *)
+
+val equivalent : Contract.t -> Contract.t -> bool
+(** Mutual refinement. *)
+
+val widest_servers :
+  (string * Contract.t) list -> Contract.t -> (string * Contract.t) list
+(** [widest_servers repo s]: the named contracts of [repo] that refine
+    [s] — the candidates that may serve any client that [s] serves. *)

@@ -1,0 +1,1 @@
+lib/lambda_sec/ast.ml: Core Fmt Usage

@@ -1,0 +1,1 @@
+lib/lambda_sec/ast.mli: Core Fmt Usage

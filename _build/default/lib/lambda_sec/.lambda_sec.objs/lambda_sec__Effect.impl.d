@@ -1,0 +1,1 @@
+lib/lambda_sec/effect.ml: Array Core Int List Set Usage

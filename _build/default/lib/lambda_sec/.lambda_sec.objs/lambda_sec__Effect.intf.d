@@ -1,0 +1,1 @@
+lib/lambda_sec/effect.mli: Core

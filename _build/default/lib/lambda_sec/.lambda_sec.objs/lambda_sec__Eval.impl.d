@@ -1,0 +1,1 @@
+lib/lambda_sec/eval.ml: Ast Core Fmt List String

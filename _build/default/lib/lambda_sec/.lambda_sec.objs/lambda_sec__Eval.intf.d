@@ -1,0 +1,1 @@
+lib/lambda_sec/eval.mli: Ast Core Fmt

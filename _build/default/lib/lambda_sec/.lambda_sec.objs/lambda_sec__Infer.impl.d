@@ -1,0 +1,1 @@
+lib/lambda_sec/infer.ml: Ast Core Effect Fmt List Result

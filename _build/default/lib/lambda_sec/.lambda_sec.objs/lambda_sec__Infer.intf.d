@@ -1,0 +1,1 @@
+lib/lambda_sec/infer.mli: Ast Core Fmt

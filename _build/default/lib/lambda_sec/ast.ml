@@ -1,0 +1,109 @@
+type ty =
+  | TUnit
+  | TBool
+  | TInt
+  | TStr
+  | TFun of ty * Core.Hexpr.t * ty
+  | TPair of ty * ty
+
+type binop = Add | Sub | Mul | Lt | Leq
+
+type term =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Var of string
+  | Fun of {
+      self : string option;
+      param : string;
+      param_ty : ty;
+      ret_ty : ty option;
+      body : term;
+    }
+  | App of term * term
+  | Let of string * term * term
+  | If of term * term * term
+  | Eq of term * term
+  | Binop of binop * term * term
+  | Pair of term * term
+  | Fst of term
+  | Snd of term
+  | Event of Usage.Event.t
+  | Framed of Usage.Policy.t * term
+  | Send of string
+  | Recv of (string * term) list
+  | Select of (string * term) list
+  | Request of { rid : int; policy : Usage.Policy.t option; body : term }
+
+let rec ty_equal a b =
+  match (a, b) with
+  | TUnit, TUnit | TBool, TBool | TInt, TInt | TStr, TStr -> true
+  | TFun (a1, h1, r1), TFun (a2, h2, r2) ->
+      ty_equal a1 a2 && Core.Hexpr.equal h1 h2 && ty_equal r1 r2
+  | TPair (a1, b1), TPair (a2, b2) -> ty_equal a1 a2 && ty_equal b1 b2
+  | (TUnit | TBool | TInt | TStr | TFun _ | TPair _), _ -> false
+
+let rec pp_ty ppf = function
+  | TUnit -> Fmt.string ppf "unit"
+  | TBool -> Fmt.string ppf "bool"
+  | TInt -> Fmt.string ppf "int"
+  | TStr -> Fmt.string ppf "str"
+  | TFun (a, h, r) ->
+      Fmt.pf ppf "(%a -[%a]-> %a)" pp_ty a Core.Hexpr.pp h pp_ty r
+  | TPair (a, b) -> Fmt.pf ppf "(%a * %a)" pp_ty a pp_ty b
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Lt -> "<" | Leq -> "<=")
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Str s -> Fmt.pf ppf "%S" s
+  | Var x -> Fmt.string ppf x
+  | Fun { self; param; param_ty; body; _ } ->
+      let pp_self ppf = function
+        | None -> ()
+        | Some f -> Fmt.pf ppf "%s " f
+      in
+      Fmt.pf ppf "(fun %a%s:%a -> %a)" pp_self self param pp_ty param_ty pp
+        body
+  | App (a, b) -> Fmt.pf ppf "(%a %a)" pp a pp b
+  | Let (x, a, b) -> Fmt.pf ppf "let %s = %a in@ %a" x pp a pp b
+  | If (c, a, b) -> Fmt.pf ppf "if %a then %a else %a" pp c pp a pp b
+  | Eq (a, b) -> Fmt.pf ppf "(%a = %a)" pp a pp b
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp a pp_binop op pp b
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | Fst a -> Fmt.pf ppf "fst %a" pp a
+  | Snd a -> Fmt.pf ppf "snd %a" pp a
+  | Event e -> Fmt.pf ppf "ev %a" Usage.Event.pp e
+  | Framed (p, e) -> Fmt.pf ppf "%s[%a]" (Usage.Policy.id p) pp e
+  | Send a -> Fmt.pf ppf "send %s" a
+  | Recv bs ->
+      Fmt.pf ppf "recv {%a}"
+        Fmt.(
+          list ~sep:(any " | ") (fun ppf (a, e) -> pf ppf "%s -> %a" a pp e))
+        bs
+  | Select bs ->
+      Fmt.pf ppf "select {%a}"
+        Fmt.(
+          list ~sep:(any " | ") (fun ppf (a, e) -> pf ppf "%s -> %a" a pp e))
+        bs
+  | Request { rid; policy; body } ->
+      let pp_pol ppf = function
+        | None -> ()
+        | Some p -> Fmt.pf ppf ":%s" (Usage.Policy.id p)
+      in
+      Fmt.pf ppf "req_%d%a{%a}" rid pp_pol policy pp body
+
+let lam param param_ty body =
+  Fun { self = None; param; param_ty; ret_ty = None; body }
+
+let fix self param param_ty ret_ty body =
+  Fun { self = Some self; param; param_ty; ret_ty = Some ret_ty; body }
+
+let ( @@@ ) f x = App (f, x)
+let seq a b = Let ("_", a, b)
+let ev ?arg name = Event (Usage.Event.make ?arg name)

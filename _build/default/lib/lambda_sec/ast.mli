@@ -1,0 +1,69 @@
+(** A call-by-value service λ-calculus in the style of [4,5]
+    (call-by-contract): the concrete language whose abstract behaviour
+    the paper's history expressions describe. The paper cites this layer
+    without re-defining it (§3: “we address neither the analogous
+    extensions to the λ-calculus, nor the definition of a type and
+    effect system for it”); we reconstruct it so the pipeline
+    program → effect → verification is runnable end to end.
+
+    Security-relevant constructs: events [ev α], safety framings
+    [φ[e]], service requests [req_r e]; communication constructs:
+    [send], [recv], [select]. *)
+
+type ty =
+  | TUnit
+  | TBool
+  | TInt
+  | TStr
+  | TFun of ty * Core.Hexpr.t * ty
+      (** [τ₁ --H--> τ₂]: the latent effect [H] fires at application *)
+  | TPair of ty * ty
+
+type binop = Add | Sub | Mul | Lt | Leq
+
+type term =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Var of string
+  | Fun of {
+      self : string option;  (** [Some f] for recursive functions *)
+      param : string;
+      param_ty : ty;
+      ret_ty : ty option;  (** mandatory when [self] is given *)
+      body : term;
+    }
+  | App of term * term
+  | Let of string * term * term
+  | If of term * term * term
+  | Eq of term * term  (** polymorphic equality on base values *)
+  | Binop of binop * term * term  (** integer arithmetic and comparison *)
+  | Pair of term * term
+  | Fst of term
+  | Snd of term
+  | Event of Usage.Event.t  (** fire [α]; type [unit] *)
+  | Framed of Usage.Policy.t * term  (** [φ[e]] *)
+  | Send of string  (** [ā]; type [unit] *)
+  | Recv of (string * term) list  (** external choice on channels *)
+  | Select of (string * term) list
+      (** internal choice: the service decides which branch to send *)
+  | Request of { rid : int; policy : Usage.Policy.t option; body : term }
+      (** [open_{r,φ} body close_{r,φ}]: a client-side session *)
+
+val ty_equal : ty -> ty -> bool
+(** Structural; latent effects compared with {!Core.Hexpr.equal}. *)
+
+val pp_ty : ty Fmt.t
+val pp_binop : binop Fmt.t
+val pp : term Fmt.t
+
+(** {1 Convenience constructors} *)
+
+val lam : string -> ty -> term -> term
+val fix : string -> string -> ty -> ty -> term -> term
+val ( @@@ ) : term -> term -> term
+val seq : term -> term -> term
+(** [seq e1 e2] = [Let ("_", e1, e2)]. *)
+
+val ev : ?arg:Usage.Value.t -> string -> term

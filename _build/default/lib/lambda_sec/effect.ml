@@ -1,0 +1,74 @@
+module H = Core.Hexpr
+
+let rec push_seq (h : H.t) : H.t =
+  match h with
+  | H.Seq (H.Ext bs, k) ->
+      H.branch (List.map (fun (a, c) -> (a, push_seq (H.seq c k))) bs)
+  | H.Seq (H.Int bs, k) ->
+      H.select (List.map (fun (a, c) -> (a, push_seq (H.seq c k))) bs)
+  | _ -> h
+
+let join h1 h2 =
+  let h1 = push_seq h1 and h2 = push_seq h2 in
+  match (h1, h2) with
+  | H.Int bs1, H.Int bs2
+    when List.for_all (fun (a, _) -> not (List.mem_assoc a bs2)) bs1 ->
+      H.select (bs1 @ bs2)
+  | _ -> H.choice h1 h2
+
+let item_of_action (a : Core.Action.t) : Core.History.item option =
+  match a with
+  | Core.Action.Evt e -> Some (Core.History.Ev e)
+  | Core.Action.Frm_open p -> Some (Core.History.Op p)
+  | Core.Action.Frm_close p -> Some (Core.History.Cl p)
+  | Core.Action.Op { policy = Some p; _ } -> Some (Core.History.Op p)
+  | Core.Action.Cl { policy = Some p; _ } -> Some (Core.History.Cl p)
+  | Core.Action.Op { policy = None; _ }
+  | Core.Action.Cl { policy = None; _ }
+  | Core.Action.In _ | Core.Action.Out _ | Core.Action.Tau ->
+      None
+
+let item_equal a b =
+  match ((a : Core.History.item), (b : Core.History.item)) with
+  | Core.History.Ev e, Core.History.Ev f -> Usage.Event.equal e f
+  | Core.History.Op p, Core.History.Op q
+  | Core.History.Cl p, Core.History.Cl q ->
+      Usage.Policy.equal p q
+  | (Core.History.Ev _ | Core.History.Op _ | Core.History.Cl _), _ -> false
+
+module HSet = Set.Make (struct
+  type t = H.t * int
+
+  let compare (h1, i1) (h2, i2) =
+    match Int.compare i1 i2 with 0 -> H.compare h1 h2 | c -> c
+end)
+
+(* BFS over (expression state, items consumed); communications are
+   ε-moves. The items list is indexed by position so visited states can
+   be deduplicated. *)
+let admits h0 items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let rec go seen = function
+    | [] -> false
+    | (h, i) :: rest ->
+        i = n
+        ||
+        let succs =
+          Core.Semantics.transitions h
+          |> List.filter_map (fun (act, h') ->
+                 match item_of_action act with
+                 | None -> Some (h', i)
+                 | Some item ->
+                     if i < n && item_equal item arr.(i) then Some (h', i + 1)
+                     else None)
+          |> List.filter (fun st -> not (HSet.mem st seen))
+          |> List.sort_uniq (fun (h1, i1) (h2, i2) ->
+                 match Int.compare i1 i2 with
+                 | 0 -> H.compare h1 h2
+                 | c -> c)
+        in
+        let seen = List.fold_left (fun s st -> HSet.add st s) seen succs in
+        go seen (rest @ succs)
+  in
+  n = 0 || go (HSet.singleton (h0, 0)) [ (h0, 0) ]

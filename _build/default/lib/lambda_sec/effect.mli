@@ -1,0 +1,20 @@
+(** Helpers connecting inferred effects back to the paper's guarded
+    fragment. *)
+
+val push_seq : Core.Hexpr.t -> Core.Hexpr.t
+(** Distribute a leading sequential composition into choice prefixes:
+    [(Σ aᵢ.Hᵢ)·K ≡ Σ aᵢ.(Hᵢ·K)] (and likewise for [⊕]). Exposes the
+    guard structure the {!join} of conditionals needs. Semantics
+    preserving (same LTS). *)
+
+val join : Core.Hexpr.t -> Core.Hexpr.t -> Core.Hexpr.t
+(** The effect of a conditional: when both branches start with disjoint
+    output guards, their join is the paper's internal choice [⊕] — a
+    data-dependent decision abstracted as the service choosing; otherwise
+    it falls back to the unguarded [Choice] extension. *)
+
+val admits : Core.Hexpr.t -> Core.History.item list -> bool
+(** Does the history expression admit the given logged history as (a
+    prefix of) one of its traces? Communications are treated as silent.
+    Used to state effect soundness: every history an evaluation logs is
+    admitted by the inferred effect. *)

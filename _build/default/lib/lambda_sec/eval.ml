@@ -1,0 +1,150 @@
+type value =
+  | VUnit
+  | VBool of bool
+  | VInt of int
+  | VStr of string
+  | VClos of env * Ast.term
+  | VPair of value * value
+
+and env = (string * value) list
+
+type strategy = {
+  pick_select : string list -> string;
+  pick_recv : string list -> string;
+}
+
+let first_strategy =
+  let first = function [] -> invalid_arg "empty choice" | a :: _ -> a in
+  { pick_select = first; pick_recv = first }
+
+let scripted names =
+  let remaining = ref names in
+  let pick options =
+    match !remaining with
+    | n :: rest when List.mem n options ->
+        remaining := rest;
+        n
+    | _ -> ( match options with [] -> invalid_arg "empty choice" | a :: _ -> a)
+  in
+  { pick_select = pick; pick_recv = pick }
+
+type error = Security of Core.Validity.violation | Stuck of string
+
+exception Abort of error
+
+let rec value_equal a b =
+  match (a, b) with
+  | VUnit, VUnit -> true
+  | VBool x, VBool y -> x = y
+  | VInt x, VInt y -> x = y
+  | VStr x, VStr y -> String.equal x y
+  | VPair (a1, b1), VPair (a2, b2) -> value_equal a1 a2 && value_equal b1 b2
+  | (VUnit | VBool _ | VInt _ | VStr _ | VClos _ | VPair _), _ -> false
+
+let eval ?(monitor = true) ?(strategy = first_strategy) term =
+  let mon = ref Core.Validity.Monitor.empty in
+  let log item =
+    if monitor then
+      match Core.Validity.Monitor.push !mon item with
+      | Ok m -> mon := m
+      | Error v -> raise (Abort (Security v))
+    else mon := Core.Validity.Monitor.push_unchecked !mon item
+  in
+  let rec go env (e : Ast.term) : value =
+    match e with
+    | Ast.Unit -> VUnit
+    | Ast.Bool b -> VBool b
+    | Ast.Int n -> VInt n
+    | Ast.Str s -> VStr s
+    | Ast.Var x -> (
+        match List.assoc_opt x env with
+        | Some v -> v
+        | None -> raise (Abort (Stuck ("unbound variable " ^ x))))
+    | Ast.Fun _ -> VClos (env, e)
+    | Ast.App (e1, e2) -> (
+        let f = go env e1 in
+        let arg = go env e2 in
+        match f with
+        | VClos (cenv, Ast.Fun { self; param; body; _ }) ->
+            let cenv =
+              match self with
+              | None -> cenv
+              | Some name -> (name, f) :: cenv
+            in
+            go ((param, arg) :: cenv) body
+        | _ -> raise (Abort (Stuck "application of a non-function")))
+    | Ast.Let (x, e1, e2) ->
+        let v = go env e1 in
+        go ((x, v) :: env) e2
+    | Ast.If (c, e1, e2) -> (
+        match go env c with
+        | VBool true -> go env e1
+        | VBool false -> go env e2
+        | _ -> raise (Abort (Stuck "if on a non-boolean")))
+    | Ast.Eq (e1, e2) ->
+        let v1 = go env e1 in
+        let v2 = go env e2 in
+        VBool (value_equal v1 v2)
+    | Ast.Binop (op, e1, e2) -> (
+        let v1 = go env e1 in
+        let v2 = go env e2 in
+        match (v1, v2) with
+        | VInt a, VInt b -> (
+            match op with
+            | Ast.Add -> VInt (a + b)
+            | Ast.Sub -> VInt (a - b)
+            | Ast.Mul -> VInt (a * b)
+            | Ast.Lt -> VBool (a < b)
+            | Ast.Leq -> VBool (a <= b))
+        | _ -> raise (Abort (Stuck "arithmetic on non-integers")))
+    | Ast.Pair (e1, e2) ->
+        let v1 = go env e1 in
+        let v2 = go env e2 in
+        VPair (v1, v2)
+    | Ast.Fst e -> (
+        match go env e with
+        | VPair (a, _) -> a
+        | _ -> raise (Abort (Stuck "fst of a non-pair")))
+    | Ast.Snd e -> (
+        match go env e with
+        | VPair (_, b) -> b
+        | _ -> raise (Abort (Stuck "snd of a non-pair")))
+    | Ast.Event ev ->
+        log (Core.History.Ev ev);
+        VUnit
+    | Ast.Framed (p, e) ->
+        log (Core.History.Op p);
+        let v = go env e in
+        log (Core.History.Cl p);
+        v
+    | Ast.Send _ -> VUnit
+    | Ast.Recv branches ->
+        let a = strategy.pick_recv (List.map fst branches) in
+        go env (List.assoc a branches)
+    | Ast.Select branches ->
+        let a = strategy.pick_select (List.map fst branches) in
+        go env (List.assoc a branches)
+    | Ast.Request { policy; body; _ } -> (
+        match policy with
+        | None -> go env body
+        | Some p ->
+            log (Core.History.Op p);
+            let v = go env body in
+            log (Core.History.Cl p);
+            v)
+  in
+  match go [] term with
+  | v -> Ok (v, Core.Validity.Monitor.history !mon)
+  | exception Abort e -> Error e
+
+let rec pp_value ppf = function
+  | VUnit -> Fmt.string ppf "()"
+  | VBool b -> Fmt.bool ppf b
+  | VInt n -> Fmt.int ppf n
+  | VStr s -> Fmt.pf ppf "%S" s
+  | VClos _ -> Fmt.string ppf "<closure>"
+  | VPair (a, b) -> Fmt.pf ppf "(%a, %a)" pp_value a pp_value b
+
+let pp_error ppf = function
+  | Security v -> Fmt.pf ppf "security abort: %a" Core.Validity.pp_violation v
+  | Stuck msg -> Fmt.pf ppf "stuck: %s" msg

@@ -1,0 +1,45 @@
+(** A big-step, history-logging evaluator for the service λ-calculus,
+    with the run-time security monitor the paper's static analysis makes
+    redundant.
+
+    Communication is resolved by a {!strategy} (the evaluator runs one
+    service in isolation, so the environment's moves are oracles); the
+    logged history contains the events and framings, exactly what the
+    network semantics would log. *)
+
+type value =
+  | VUnit
+  | VBool of bool
+  | VInt of int
+  | VStr of string
+  | VClos of env * Ast.term
+  | VPair of value * value
+
+and env = (string * value) list
+
+type strategy = {
+  pick_select : string list -> string;  (** which branch we decide to send *)
+  pick_recv : string list -> string;  (** which message the partner sends *)
+}
+
+val first_strategy : strategy
+val scripted : string list -> strategy
+(** Consumes the given channel names in order (for both kinds of
+    choices); falls back to the first branch when exhausted. *)
+
+type error =
+  | Security of Core.Validity.violation
+      (** the monitor aborted the execution *)
+  | Stuck of string
+
+val eval :
+  ?monitor:bool ->
+  ?strategy:strategy ->
+  Ast.term ->
+  (value * Core.History.t, error) result
+(** [monitor] (default [true]) enforces framings at run time; with
+    [monitor:false] the history is logged but never checked — safe
+    exactly when the static analysis validated the service. *)
+
+val pp_value : value Fmt.t
+val pp_error : error Fmt.t

@@ -1,0 +1,1 @@
+lib/quant/cost.ml: Array Core Graph List Model

@@ -1,0 +1,1 @@
+lib/quant/cost.mli: Core Model

@@ -1,0 +1,1 @@
+lib/quant/graph.ml: Array List Map

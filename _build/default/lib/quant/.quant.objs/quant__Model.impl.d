@@ -1,0 +1,1 @@
+lib/quant/model.ml: Fmt List Option Printf Usage

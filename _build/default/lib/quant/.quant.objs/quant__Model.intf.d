@@ -1,0 +1,1 @@
+lib/quant/model.mli: Fmt Usage

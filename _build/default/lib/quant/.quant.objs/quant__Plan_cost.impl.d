@@ -1,0 +1,1 @@
+lib/quant/plan_cost.ml: Core Fmt Graph List Map Model Usage

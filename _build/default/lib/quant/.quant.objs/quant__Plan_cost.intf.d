@@ -1,0 +1,1 @@
+lib/quant/plan_cost.mli: Core Fmt Model

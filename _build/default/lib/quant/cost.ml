@@ -1,0 +1,78 @@
+let weight model (act : Core.Action.t) =
+  match act with
+  | Core.Action.Evt e -> Model.cost model e
+  | Core.Action.In _ | Core.Action.Out _ | Core.Action.Tau
+  | Core.Action.Op _ | Core.Action.Cl _ | Core.Action.Frm_open _
+  | Core.Action.Frm_close _ ->
+      0.
+
+let graph_of model h0 =
+  let states = Core.Semantics.reachable h0 in
+  let index =
+    List.fold_left
+      (fun (i, m) s -> (i + 1, Core.Semantics.Map.add s i m))
+      (0, Core.Semantics.Map.empty)
+      states
+    |> snd
+  in
+  let id s = Core.Semantics.Map.find s index in
+  let edges =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun (act, s') -> (id s, weight model act, id s'))
+          (Core.Semantics.transitions s))
+      states
+  in
+  (List.length states, edges, id h0, states, id)
+
+let worst_case model h0 =
+  let n, edges, init, _, _ = graph_of model h0 in
+  Graph.supremum ~n ~edges ~init
+
+let best_case model h0 =
+  let n, edges, init, states, id = graph_of model h0 in
+  let terminal = Array.make n false in
+  List.iter
+    (fun s -> if Core.Semantics.is_terminated s then terminal.(id s) <- true)
+    states;
+  Graph.shortest_to ~n ~edges ~init ~target:(fun v -> terminal.(v))
+
+let expected ?(fuel = 64) model h0 =
+  (* value iteration over the finite LTS: V_0 = 0;
+     V_{k+1}(s) = mean over enabled moves of (weight + V_k(s')) *)
+  let states = Core.Semantics.reachable h0 in
+  let index =
+    List.fold_left
+      (fun (i, m) s -> (i + 1, Core.Semantics.Map.add s i m))
+      (0, Core.Semantics.Map.empty)
+      states
+    |> snd
+  in
+  let id s = Core.Semantics.Map.find s index in
+  let moves =
+    List.map
+      (fun s ->
+        ( id s,
+          List.map
+            (fun (act, s') -> (weight model act, id s'))
+            (Core.Semantics.transitions s) ))
+      states
+  in
+  let n = List.length states in
+  let v = ref (Array.make n 0.) in
+  for _ = 1 to fuel do
+    let v' = Array.make n 0. in
+    List.iter
+      (fun (i, outs) ->
+        match outs with
+        | [] -> v'.(i) <- 0.
+        | _ ->
+            let total =
+              List.fold_left (fun acc (w, j) -> acc +. w +. !v.(j)) 0. outs
+            in
+            v'.(i) <- total /. float_of_int (List.length outs))
+      moves;
+    v := v'
+  done;
+  !v.(id h0)

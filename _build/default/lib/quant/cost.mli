@@ -1,0 +1,19 @@
+(** Worst- and best-case event cost of a stand-alone history expression,
+    computed on its finite LTS. Communications, commits, session and
+    framing actions are free; each access event is billed by the
+    {!Model}. *)
+
+val worst_case : Model.t -> Core.Hexpr.t -> float option
+(** Supremum of the accumulated cost over all runs (equivalently over
+    all finite prefixes); [None] when a reachable loop bills events, so
+    the cost is unbounded. *)
+
+val best_case : Model.t -> Core.Hexpr.t -> float option
+(** Least cost of a {e terminating} run; [None] when no run
+    terminates. *)
+
+val expected : ?fuel:int -> Model.t -> Core.Hexpr.t -> float
+(** Fuel-bounded expected cost under the uniform random scheduler: the
+    mean accumulated event cost of a run truncated after [fuel]
+    (default 64) steps. A lower bound of the true expectation; monotone
+    in [fuel]. *)

@@ -1,0 +1,140 @@
+let out_edges n edges =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (s, w, d) ->
+      if w < 0. then invalid_arg "Quant.Graph: negative weight";
+      adj.(s) <- (w, d) :: adj.(s))
+    edges;
+  adj
+
+let reachable_from adj init =
+  let n = Array.length adj in
+  let seen = Array.make n false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      List.iter (fun (_, d) -> go d) adj.(s)
+    end
+  in
+  go init;
+  seen
+
+(* Tarjan's strongly connected components, iterative. *)
+let sccs adj reachable =
+  let n = Array.length adj in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let comp = Array.make n (-1) in
+  let counter = ref 0 in
+  let n_comps = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun (_, w) ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      adj.(v);
+    if low.(v) = index.(v) then begin
+      let c = !n_comps in
+      incr n_comps;
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            comp.(w) <- c;
+            if w <> v then pop ()
+      in
+      pop ()
+    end
+  in
+  for v = 0 to n - 1 do
+    if reachable.(v) && index.(v) = -1 then strongconnect v
+  done;
+  (comp, !n_comps)
+
+let supremum ~n ~edges ~init =
+  if n = 0 then Some 0.
+  else begin
+    let adj = out_edges n edges in
+    let reach = reachable_from adj init in
+    let comp, n_comps = sccs adj reach in
+    (* unbounded iff a positive edge joins two nodes of one reachable SCC *)
+    let unbounded =
+      List.exists
+        (fun (s, w, d) ->
+          w > 0. && reach.(s) && comp.(s) = comp.(d))
+        edges
+    in
+    if unbounded then None
+    else begin
+      (* longest path on the condensation: process components in reverse
+         topological order (Tarjan numbers components in reverse order of
+         completion, so increasing component id = reverse topological). *)
+      let best = Array.make n_comps neg_infinity in
+      best.(comp.(init)) <- 0.;
+      (* components are numbered such that edges go from higher to lower
+         completion; iterate in decreasing discovery: simple fixpoint is
+         safest for clarity *)
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (s, w, d) ->
+            if reach.(s) && best.(comp.(s)) > neg_infinity then begin
+              let cand = best.(comp.(s)) +. w in
+              if comp.(s) <> comp.(d) && cand > best.(comp.(d)) then begin
+                best.(comp.(d)) <- cand;
+                changed := true
+              end
+            end)
+          edges
+      done;
+      let sup = Array.fold_left max 0. best in
+      Some sup
+    end
+  end
+
+module Pq = Map.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+let shortest_to ~n ~edges ~init ~target =
+  let adj = out_edges n edges in
+  let dist = Array.make n infinity in
+  dist.(init) <- 0.;
+  let q = ref (Pq.singleton (0., init) ()) in
+  let result = ref None in
+  (try
+     while not (Pq.is_empty !q) do
+       let (d, v), () = Pq.min_binding !q in
+       q := Pq.remove (d, v) !q;
+       if d <= dist.(v) then begin
+         if target v then begin
+           result := Some d;
+           raise Exit
+         end;
+         List.iter
+           (fun (w, u) ->
+             let nd = d +. w in
+             if nd < dist.(u) then begin
+               dist.(u) <- nd;
+               q := Pq.add (nd, u) () !q
+             end)
+           adj.(v)
+       end
+     done
+   with Exit -> ());
+  !result

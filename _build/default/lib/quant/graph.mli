@@ -1,0 +1,18 @@
+(** Path-cost analyses on finite weighted graphs (non-negative weights).
+    Nodes are integers [0 … n-1]. *)
+
+val supremum :
+  n:int -> edges:(int * float * int) list -> init:int -> float option
+(** Supremum of the accumulated weight over all finite paths from
+    [init]: [None] when unbounded (a positive-weight edge lies inside a
+    cycle reachable from [init]), otherwise the longest-path value over
+    the condensation. *)
+
+val shortest_to :
+  n:int ->
+  edges:(int * float * int) list ->
+  init:int ->
+  target:(int -> bool) ->
+  float option
+(** Dijkstra: least accumulated weight from [init] to any node
+    satisfying [target]; [None] if unreachable. *)

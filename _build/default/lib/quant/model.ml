@@ -1,0 +1,19 @@
+type t = { default : float; table : (string * float) list }
+
+let of_list ?(default = 0.) table =
+  List.iter
+    (fun (name, c) ->
+      if c < 0. then
+        invalid_arg (Printf.sprintf "Quant.Model: negative cost for %s" name))
+    (("<default>", default) :: table);
+  { default; table }
+
+let uniform c = of_list ~default:c []
+
+let cost t (e : Usage.Event.t) =
+  Option.value (List.assoc_opt e.name t.table) ~default:t.default
+
+let pp ppf t =
+  Fmt.pf ppf "{%a; _ -> %g}"
+    Fmt.(list ~sep:(any "; ") (fun ppf (n, c) -> pf ppf "%s -> %g" n c))
+    t.table t.default

@@ -1,0 +1,14 @@
+(** Cost models: a non-negative price per access event, by event name.
+    The quantitative layer the paper leaves as future work (§5, “along
+    the lines of [14]”): events are the billable operations, so the
+    worst/best-case cost of a service is a property of its history
+    expression. *)
+
+type t
+
+val of_list : ?default:float -> (string * float) list -> t
+(** Raises [Invalid_argument] on a negative price. *)
+
+val uniform : float -> t
+val cost : t -> Usage.Event.t -> float
+val pp : t Fmt.t

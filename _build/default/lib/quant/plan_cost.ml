@@ -1,0 +1,89 @@
+module State = struct
+  type t = Core.Network.component * Core.Validity.Abstract.t
+
+  let compare (c1, a1) (c2, a2) =
+    match Core.Network.compare_component c1 c2 with
+    | 0 -> Core.Validity.Abstract.compare a1 a2
+    | c -> c
+end
+
+module SMap = Map.Make (State)
+
+let glabel_weight model = function
+  | Core.Network.L_event (_, e) -> Model.cost model e
+  | Core.Network.L_open _ | Core.Network.L_close _ | Core.Network.L_sync _
+  | Core.Network.L_frame_open _ | Core.Network.L_frame_close _
+  | Core.Network.L_commit _ ->
+      0.
+
+let push_items abs items =
+  List.fold_left
+    (fun acc item ->
+      match acc with
+      | Error _ as e -> e
+      | Ok a -> Core.Validity.Abstract.push a item)
+    (Ok abs) items
+
+let worst_case repo plan (loc, h0) model =
+  let universe =
+    List.concat_map Core.Hexpr.policies (h0 :: List.map snd repo)
+    |> List.sort_uniq Usage.Policy.compare
+  in
+  let start =
+    (Core.Network.Leaf (loc, h0), Core.Validity.Abstract.init universe)
+  in
+  (* enumerate the abstract states, then hand the weighted graph over *)
+  let index = ref (SMap.singleton start 0) in
+  let next = ref 1 in
+  let id st =
+    match SMap.find_opt st !index with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        index := SMap.add st i !index;
+        i
+  in
+  let edges = ref [] in
+  let rec explore st =
+    let i = id st in
+    let comp, abs = st in
+    Core.Network.component_moves repo plan comp
+    |> List.iter (fun (g, items, comp') ->
+           match push_items abs items with
+           | Error _ -> ()
+           | Ok abs' ->
+               let st' = (comp', abs') in
+               let fresh = not (SMap.mem st' !index) in
+               edges := (i, glabel_weight model g, id st') :: !edges;
+               if fresh then explore st')
+  in
+  explore start;
+  Graph.supremum ~n:!next ~edges:!edges ~init:0
+
+type priced = { plan : Core.Plan.t; cost : float option }
+
+let cheapest repo ~client model =
+  let valid = Core.Planner.valid_plans ~all:false repo ~client in
+  let priced =
+    List.map
+      (fun (r : Core.Planner.report) ->
+        { plan = r.Core.Planner.plan;
+          cost = worst_case repo r.Core.Planner.plan client model })
+      valid
+  in
+  let better a b =
+    match (a.cost, b.cost) with
+    | Some x, Some y -> if x <= y then a else b
+    | Some _, None -> a
+    | None, Some _ -> b
+    | None, None -> a
+  in
+  match priced with
+  | [] -> None
+  | p :: rest -> Some (List.fold_left better p rest)
+
+let pp_priced ppf p =
+  match p.cost with
+  | Some c -> Fmt.pf ppf "%a at worst-case cost %g" Core.Plan.pp p.plan c
+  | None -> Fmt.pf ppf "%a with unbounded cost" Core.Plan.pp p.plan

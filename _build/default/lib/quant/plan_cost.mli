@@ -1,0 +1,31 @@
+(** Cost-aware orchestration: the worst-case billing of a client under a
+    plan, and plan selection by price.
+
+    The analysis runs over the same finite abstract configuration graph
+    as {!Core.Netcheck} (component × policy cursors), so only executions
+    permitted by the security monitor are billed. *)
+
+val worst_case :
+  Core.Network.repo ->
+  Core.Plan.t ->
+  string * Core.Hexpr.t ->
+  Model.t ->
+  float option
+(** Supremum of the accumulated event cost over all runs of the planned
+    client; [None] when unbounded (a billable loop). *)
+
+type priced = {
+  plan : Core.Plan.t;
+  cost : float option;  (** [None] = unbounded *)
+}
+
+val cheapest :
+  Core.Network.repo ->
+  client:string * Core.Hexpr.t ->
+  Model.t ->
+  priced option
+(** Among the {e valid} plans (per {!Core.Planner.valid_plans}), one
+    with the least worst-case cost — bounded costs preferred over
+    unbounded; [None] when no valid plan exists. *)
+
+val pp_priced : priced Fmt.t

@@ -1,0 +1,1 @@
+lib/reports/encode.ml: Core Fmt Json List Quant Usage

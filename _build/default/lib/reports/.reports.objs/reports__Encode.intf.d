@@ -1,0 +1,1 @@
+lib/reports/encode.mli: Core Json Quant

@@ -1,0 +1,1 @@
+lib/reports/json.ml: Buffer Char Float Fmt Printf String

@@ -1,0 +1,1 @@
+lib/reports/json.mli: Fmt

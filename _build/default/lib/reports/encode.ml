@@ -1,0 +1,116 @@
+let plan p =
+  Json.Obj
+    (List.map
+       (fun (r, l) -> (string_of_int r, Json.String l))
+       (Core.Plan.bindings p))
+
+let hexpr h = Json.String (Core.Hexpr.to_string h)
+
+let stuck (s : Core.Netcheck.stuck) =
+  let kind, detail =
+    match s.Core.Netcheck.kind with
+    | Core.Netcheck.Security p -> ("security", Json.String (Usage.Policy.id p))
+    | Core.Netcheck.Communication -> ("communication", Json.Null)
+    | Core.Netcheck.Unplanned_request r -> ("unplanned-request", Json.Int r)
+  in
+  Json.Obj
+    [
+      ("client", Json.String s.Core.Netcheck.client);
+      ("kind", Json.String kind);
+      ("detail", detail);
+      ( "component",
+        Json.String (Fmt.str "%a" Core.Network.pp_component s.Core.Netcheck.component) );
+      ( "trace",
+        Json.List
+          (List.map
+             (fun g -> Json.String (Fmt.str "%a" Core.Network.pp_glabel g))
+             s.Core.Netcheck.trace) );
+    ]
+
+let counterexample (ce : Core.Product.counterexample) =
+  Json.Obj
+    [
+      ( "synchronisations",
+        Json.List (List.map (fun a -> Json.String a) ce.Core.Product.synchronisations) );
+      ("client", Json.String (Core.Contract.to_string (fst ce.Core.Product.stuck)));
+      ("server", Json.String (Core.Contract.to_string (snd ce.Core.Product.stuck)));
+      ( "cause",
+        Json.String (Fmt.str "%a" Core.Product.pp_stuck_reason ce.Core.Product.reason) );
+    ]
+
+let planner_report (r : Core.Planner.report) =
+  let verdict, detail =
+    match r.Core.Planner.verdict with
+    | Ok stats ->
+        ( "valid",
+          Json.Obj
+            [
+              ("states", Json.Int stats.Core.Netcheck.states);
+              ("transitions", Json.Int stats.Core.Netcheck.transitions);
+            ] )
+    | Error (Core.Planner.Unserved rid) -> ("unserved", Json.Int rid)
+    | Error (Core.Planner.Not_compliant { rid; loc; counterexample = ce }) ->
+        ( "not-compliant",
+          Json.Obj
+            [
+              ("request", Json.Int rid);
+              ("service", Json.String loc);
+              ("counterexample", counterexample ce);
+            ] )
+    | Error (Core.Planner.Insecure s) -> ("insecure", stuck s)
+    | Error (Core.Planner.Outside_fragment { rid; loc; reason }) ->
+        ( "outside-fragment",
+          Json.Obj
+            [
+              ("request", Json.Int rid);
+              ("service", Json.String loc);
+              ("reason", Json.String reason);
+            ] )
+  in
+  Json.Obj
+    [
+      ("plan", plan r.Core.Planner.plan);
+      ("verdict", Json.String verdict);
+      ("detail", detail);
+    ]
+
+let netcheck_verdict = function
+  | Core.Netcheck.Valid stats ->
+      Json.Obj
+        [
+          ("verdict", Json.String "valid");
+          ("states", Json.Int stats.Core.Netcheck.states);
+          ("transitions", Json.Int stats.Core.Netcheck.transitions);
+        ]
+  | Core.Netcheck.Invalid s ->
+      Json.Obj [ ("verdict", Json.String "invalid"); ("stuck", stuck s) ]
+
+let sim_stats (s : Core.Simulate.stats) =
+  Json.Obj
+    [
+      ("runs", Json.Int s.Core.Simulate.runs);
+      ("completed", Json.Int s.Core.Simulate.completed);
+      ("stuck", Json.Int s.Core.Simulate.stuck);
+      ("out_of_fuel", Json.Int s.Core.Simulate.out_of_fuel);
+      ("avg_steps", Json.Float s.Core.Simulate.avg_steps);
+      ("avg_events", Json.Float s.Core.Simulate.avg_events);
+      ("valid_histories", Json.Int s.Core.Simulate.outcomes_valid);
+    ]
+
+let priced (p : Quant.Plan_cost.priced) =
+  Json.Obj
+    [
+      ("plan", plan p.Quant.Plan_cost.plan);
+      ( "cost",
+        match p.Quant.Plan_cost.cost with
+        | Some c -> Json.Float c
+        | None -> Json.Null );
+    ]
+
+let violation (v : Core.Validity.violation) =
+  Json.Obj
+    [
+      ("policy", Json.String (Usage.Policy.id v.Core.Validity.policy));
+      ( "prefix",
+        Json.String (Fmt.str "%a" Core.History.pp v.Core.Validity.prefix) );
+    ]

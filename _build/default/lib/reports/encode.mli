@@ -1,0 +1,13 @@
+(** JSON encodings of the library's analysis results, for the CLI's
+    [--json] output and any external tooling. *)
+
+val plan : Core.Plan.t -> Json.t
+val hexpr : Core.Hexpr.t -> Json.t
+
+val planner_report : Core.Planner.report -> Json.t
+(** [{"plan": …, "verdict": "valid"|…, "detail": …}] *)
+
+val netcheck_verdict : Core.Netcheck.verdict -> Json.t
+val sim_stats : Core.Simulate.stats -> Json.t
+val priced : Quant.Plan_cost.priced -> Json.t
+val violation : Core.Validity.violation -> Json.t

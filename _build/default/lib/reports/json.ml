@@ -1,0 +1,43 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Fmt.pf ppf "%.1f" f
+      else Fmt.pf ppf "%.12g" f
+  | String s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | List xs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ",") pp) xs
+  | Obj fields ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(
+          list ~sep:(any ",") (fun ppf (k, v) ->
+              pf ppf "\"%s\":%a" (escape k) pp v))
+        fields
+
+let to_string t = Fmt.str "%a" pp t

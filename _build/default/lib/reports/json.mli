@@ -1,0 +1,20 @@
+(** A minimal JSON tree and printer (RFC 8259 string escaping), kept
+    dependency-free so the CLI can emit machine-readable reports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : t Fmt.t
+(** Compact (no insignificant whitespace beyond single spaces). *)
+
+val to_string : t -> string
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control characters
+    as [\uXXXX]). *)

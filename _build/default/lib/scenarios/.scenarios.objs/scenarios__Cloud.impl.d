@@ -1,0 +1,1 @@
+lib/scenarios/cloud.ml: Core Usage

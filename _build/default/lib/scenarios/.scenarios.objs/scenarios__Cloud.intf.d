@@ -1,0 +1,1 @@
+lib/scenarios/cloud.mli: Core Usage

@@ -1,0 +1,1 @@
+lib/scenarios/ecommerce.ml: Core List Usage

@@ -1,0 +1,1 @@
+lib/scenarios/ecommerce.mli: Core Usage

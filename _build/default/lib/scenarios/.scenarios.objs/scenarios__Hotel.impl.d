@@ -1,0 +1,1 @@
+lib/scenarios/hotel.ml: Core List Usage

@@ -1,0 +1,1 @@
+lib/scenarios/hotel.mli: Core Usage

@@ -1,0 +1,1 @@
+lib/scenarios/mesh.ml: Core List Usage

@@ -1,0 +1,1 @@
+lib/scenarios/mesh.mli: Core Usage

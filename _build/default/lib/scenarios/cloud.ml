@@ -1,0 +1,103 @@
+let max_writes n =
+  Usage.Policy_lib.instantiate0 (Usage.Policy_lib.at_most ~n "write")
+
+let no_delete_after_snapshot =
+  Usage.Policy_lib.instantiate0
+    (Usage.Policy_lib.never_after ~first:"snapshot" ~then_:"delete")
+
+let job_protocol =
+  Core.Hexpr.select
+    [
+      ( "job",
+        Core.Hexpr.branch
+          [ ("result", Core.Hexpr.nil); ("error", Core.Hexpr.nil) ] );
+    ]
+
+let analyst = Core.Hexpr.open_ ~rid:1 ~policy:(max_writes 2) job_protocol
+
+let strict_analyst =
+  Core.Hexpr.frame no_delete_after_snapshot
+    (Core.Hexpr.open_ ~rid:1 ~policy:(max_writes 2) job_protocol)
+
+let orchestrator =
+  Core.Hexpr.branch
+    [
+      ( "job",
+        Core.Hexpr.seq
+          (Core.Hexpr.open_ ~rid:2
+             (Core.Hexpr.select
+                [
+                  ( "task",
+                    Core.Hexpr.branch
+                      [ ("done_", Core.Hexpr.nil); ("failed", Core.Hexpr.nil) ] );
+                ]))
+          (Core.Hexpr.select
+             [ ("result", Core.Hexpr.nil); ("error", Core.Hexpr.nil) ]) );
+    ]
+
+let worker ~puts =
+  let rec persist n =
+    if n = 0 then Core.Hexpr.select [ ("fin", Core.Hexpr.nil) ]
+    else
+      Core.Hexpr.select [ ("put", Core.Hexpr.branch [ ("ack", persist (n - 1)) ]) ]
+  in
+  Core.Hexpr.branch
+    [
+      ( "task",
+        Core.Hexpr.seq
+          (Core.Hexpr.open_ ~rid:3 (persist puts))
+          (Core.Hexpr.select
+             [ ("done_", Core.Hexpr.nil); ("failed", Core.Hexpr.nil) ]) );
+    ]
+
+let frugal_worker = worker ~puts:2
+let greedy_worker = worker ~puts:3
+
+let storage =
+  Core.Hexpr.mu "loop"
+    (Core.Hexpr.branch
+       [
+         ( "put",
+           Core.Hexpr.seq (Core.Hexpr.ev "write")
+             (Core.Hexpr.select [ ("ack", Core.Hexpr.var "loop") ]) );
+         ("fin", Core.Hexpr.nil);
+       ])
+
+let compacting_storage =
+  Core.Hexpr.mu "loop"
+    (Core.Hexpr.branch
+       [
+         ( "put",
+           Core.Hexpr.seq_all
+             [
+               Core.Hexpr.ev "write";
+               Core.Hexpr.ev "snapshot";
+               Core.Hexpr.ev "delete";
+               Core.Hexpr.select [ ("ack", Core.Hexpr.var "loop") ];
+             ] );
+         ("fin", Core.Hexpr.nil);
+       ])
+
+let flaky_storage =
+  Core.Hexpr.branch
+    [
+      ( "put",
+        Core.Hexpr.seq (Core.Hexpr.ev "write")
+          (Core.Hexpr.select
+             [
+               ("ack", Core.Hexpr.branch [ ("fin", Core.Hexpr.nil) ]);
+               ("nack", Core.Hexpr.nil);
+             ]) );
+      ("fin", Core.Hexpr.nil);
+    ]
+
+let repo ~worker =
+  [
+    ("orc", orchestrator);
+    ("wrk", worker);
+    ("store", storage);
+    ("compact", compacting_storage);
+    ("flaky", flaky_storage);
+  ]
+
+let good_plan = Core.Plan.of_list [ (1, "orc"); (2, "wrk"); (3, "store") ]

@@ -1,0 +1,45 @@
+(** A three-level cloud workflow: analyst → orchestrator → worker →
+    storage. Exercises deep session nesting, recursive services, and
+    policies imposed at the top constraining events two sessions below. *)
+
+val max_writes : int -> Usage.Policy.t
+val no_delete_after_snapshot : Usage.Policy.t
+
+val analyst : Core.Hexpr.t
+
+(** Submits a job under [max_writes 2] (rid 1). *)
+
+val strict_analyst : Core.Hexpr.t
+
+(** The analyst additionally framed by {!no_delete_after_snapshot}. *)
+
+(** delegates via rid 2 *)
+val orchestrator : Core.Hexpr.t
+
+val worker : puts:int -> Core.Hexpr.t
+
+(** Stores [puts] objects through rid 3, then finishes. *)
+
+(** 2 puts *)
+val frugal_worker : Core.Hexpr.t
+
+(** 3 puts — breaks [max_writes 2] *)
+val greedy_worker : Core.Hexpr.t
+
+(** recursive, one [write] per put *)
+val storage : Core.Hexpr.t
+
+(** writes, snapshots, deletes *)
+val compacting_storage : Core.Hexpr.t
+
+(** may answer [nack]: not compliant *)
+val flaky_storage : Core.Hexpr.t
+
+val repo : worker:Core.Hexpr.t -> Core.Network.repo
+
+(** [orc], the given worker as [wrk], and the three storages
+    ([store], [compact], [flaky]). *)
+
+val good_plan : Core.Plan.t
+
+(** [{1[orc], 2[wrk], 3[store]}]. *)

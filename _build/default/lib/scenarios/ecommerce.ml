@@ -1,0 +1,63 @@
+let spend_automaton =
+  Usage.Usage_automaton.make ~name:"spend" ~params:[ "limit" ] ~init:0
+    ~offending:[ 1 ]
+    ~edges:
+      [
+        Usage.Usage_automaton.edge 0 "charge"
+          (Usage.Guard.Cmp (Gt, Arg, Param "limit"))
+          1;
+      ]
+
+let spend limit =
+  Usage.Usage_automaton.instantiate spend_automaton [ Usage.Value.int limit ]
+
+let auth_first =
+  Usage.Policy_lib.instantiate0
+    (Usage.Policy_lib.requires_before ~before:"auth" ~target:"charge")
+
+let shop_protocol =
+  Core.Hexpr.select
+    [ ("order", Core.Hexpr.branch [ ("ok", Core.Hexpr.nil); ("fail", Core.Hexpr.nil) ]) ]
+
+let shopper = Core.Hexpr.open_ ~rid:10 ~policy:(spend 100) shop_protocol
+
+let careful_shopper =
+  Core.Hexpr.frame auth_first
+    (Core.Hexpr.open_ ~rid:11 ~policy:(spend 100) shop_protocol)
+
+let marketplace =
+  Core.Hexpr.branch
+    [
+      ( "order",
+        Core.Hexpr.seq
+          (Core.Hexpr.open_ ~rid:20
+             (Core.Hexpr.select
+                [
+                  ( "pay",
+                    Core.Hexpr.branch
+                      [ ("done_", Core.Hexpr.nil); ("reject", Core.Hexpr.nil) ] );
+                ]))
+          (Core.Hexpr.select
+             [ ("ok", Core.Hexpr.nil); ("fail", Core.Hexpr.nil) ]) );
+    ]
+
+let provider ~auth ~charge ~extra =
+  let answers =
+    List.map (fun a -> (a, Core.Hexpr.nil)) ([ "done_"; "reject" ] @ extra)
+  in
+  Core.Hexpr.seq_all
+    ((if auth then [ Core.Hexpr.ev "auth" ] else [])
+    @ [
+        Core.Hexpr.ev ~arg:(Usage.Value.int charge) "charge";
+        Core.Hexpr.branch [ ("pay", Core.Hexpr.select answers) ];
+      ])
+
+let alpha = provider ~auth:true ~charge:80 ~extra:[]
+let bravo = provider ~auth:false ~charge:150 ~extra:[]
+let charlie = provider ~auth:true ~charge:40 ~extra:[ "retry" ]
+
+let repo =
+  [ ("mkt", marketplace); ("alpha", alpha); ("bravo", bravo); ("charlie", charlie) ]
+
+let good_plan = Core.Plan.of_list [ (10, "mkt"); (20, "alpha") ]
+let careful_plan = Core.Plan.of_list [ (11, "mkt"); (20, "alpha") ]

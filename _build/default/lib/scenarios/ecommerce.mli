@@ -1,0 +1,44 @@
+(** A marketplace scenario: a shopper buys through a marketplace that
+    delegates payment to a provider. Exercises custom parametric
+    policies (a spending limit), layered framings across session
+    boundaries, and the full failure taxonomy (non-compliance,
+    black-list-style security, threshold security). *)
+
+val spend_automaton : Usage.Usage_automaton.t
+
+(** [spend(limit)]: no single [charge(x)] with [x > limit]. *)
+
+val spend : int -> Usage.Policy.t
+
+val auth_first : Usage.Policy.t
+
+(** Every [charge] preceded by an [auth]. *)
+
+val shopper : Core.Hexpr.t
+
+(** [open(10: spend(100)){ order!.(ok? + fail?) }]. *)
+
+val careful_shopper : Core.Hexpr.t
+
+(** The shopper additionally framed by {!auth_first} (rid 11). *)
+
+val marketplace : Core.Hexpr.t
+
+(** authenticates, charges 80: fine *)
+val alpha : Core.Hexpr.t
+
+(** no auth, charges 150: insecure *)
+val bravo : Core.Hexpr.t
+
+(** may answer [retry]: not compliant *)
+val charlie : Core.Hexpr.t
+
+val repo : Core.Network.repo
+
+val good_plan : Core.Plan.t
+
+(** [{10[mkt], 20[alpha]}] — the valid plan for {!shopper}. *)
+
+val careful_plan : Core.Plan.t
+
+(** [{11[mkt], 20[alpha]}] — the valid plan for {!careful_shopper}. *)

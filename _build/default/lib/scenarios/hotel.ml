@@ -1,0 +1,58 @@
+let phi1 = Usage.Policy_lib.hotel_policy ~blacklist:[ "s1" ] ~price:45 ~rating:100
+let phi2 =
+  Usage.Policy_lib.hotel_policy ~blacklist:[ "s1"; "s3" ] ~price:40 ~rating:70
+
+(* Req.(CoBo.Pay + NoAv) *)
+let client_request_body _policy =
+  Core.Hexpr.select
+    [
+      ( "req",
+        Core.Hexpr.branch
+          [ ("cobo", Core.Hexpr.send "pay"); ("noav", Core.Hexpr.nil) ] );
+    ]
+
+let client ~rid ~policy = Core.Hexpr.open_ ~rid ~policy (client_request_body policy)
+let client1 = client ~rid:1 ~policy:phi1
+let client2 = client ~rid:2 ~policy:phi2
+
+(* IdC.(Bok + UnA) — what the broker runs inside its session with a hotel *)
+let broker_request_body =
+  Core.Hexpr.select
+    [ ("idc", Core.Hexpr.branch [ ("bok", Core.Hexpr.nil); ("una", Core.Hexpr.nil) ]) ]
+
+(* Req. open_{3,∅} IdC.(Bok + UnA) close_3 . (CoBo.Pay ⊕ NoAv) *)
+let broker =
+  Core.Hexpr.branch
+    [
+      ( "req",
+        Core.Hexpr.seq
+          (Core.Hexpr.open_ ~rid:3 broker_request_body)
+          (Core.Hexpr.select
+             [ ("cobo", Core.Hexpr.recv "pay"); ("noav", Core.Hexpr.nil) ]) );
+    ]
+
+(* sgn(name).price(p).rating(t). IdC.(Bok ⊕ UnA ⊕ extra…) *)
+let hotel name ~price ~rating ~extra =
+  let answers =
+    List.map (fun a -> (a, Core.Hexpr.nil)) ([ "bok"; "una" ] @ extra)
+  in
+  Core.Hexpr.seq_all
+    [
+      Core.Hexpr.ev ~arg:(Usage.Value.str name) "sgn";
+      Core.Hexpr.ev ~arg:(Usage.Value.int price) "price";
+      Core.Hexpr.ev ~arg:(Usage.Value.int rating) "rating";
+      Core.Hexpr.branch [ ("idc", Core.Hexpr.select answers) ];
+    ]
+
+let s1 = hotel "s1" ~price:45 ~rating:80 ~extra:[]
+let s2 = hotel "s2" ~price:70 ~rating:100 ~extra:[ "del" ]
+let s3 = hotel "s3" ~price:90 ~rating:100 ~extra:[]
+let s4 = hotel "s4" ~price:50 ~rating:90 ~extra:[]
+
+let hotels = [ ("s1", s1); ("s2", s2); ("s3", s3); ("s4", s4) ]
+let repo = ("br", broker) :: hotels
+
+let plan1 = Core.Plan.of_list [ (1, "br"); (3, "s3") ]
+let plan2_s2 = Core.Plan.of_list [ (2, "br"); (3, "s2") ]
+let plan2_s3 = Core.Plan.of_list [ (2, "br"); (3, "s3") ]
+let plan2_s4 = Core.Plan.of_list [ (2, "br"); (3, "s4") ]

@@ -1,0 +1,51 @@
+(** The paper's motivating scenario (§2, Fig. 2): two clients, a hotel
+    broker, and four hotels.
+
+    {v
+    C1 = open_{1,φ({s1},45,100)} Req.(CoBo.Pay + NoAv) close_1
+    C2 = open_{2,φ({s1,s3},40,70)} Req.(CoBo.Pay + NoAv) close_2
+    Br = Req. open_{3,∅} IdC.(Bok + UnA) close_3 . (CoBo.Pay ⊕ NoAv)
+    S1 = sgn(s1).price(45).rating(80).  IdC.(Bok ⊕ UnA)
+    S2 = sgn(s2).price(70).rating(100). IdC.(Bok ⊕ UnA ⊕ Del)
+    S3 = sgn(s3).price(90).rating(100). IdC.(Bok ⊕ UnA)
+    S4 = sgn(s4).price(50).rating(90).  IdC.(Bok ⊕ UnA)
+    v} *)
+
+val phi1 : Usage.Policy.t
+(** [φ({s1}, 45, 100)] — client 1's quality-of-service policy. *)
+
+val phi2 : Usage.Policy.t
+(** [φ({s1,s3}, 40, 70)] — client 2's. *)
+
+val client1 : Core.Hexpr.t
+val client2 : Core.Hexpr.t
+val broker : Core.Hexpr.t
+val hotel : string -> price:int -> rating:int -> extra:string list -> Core.Hexpr.t
+val s1 : Core.Hexpr.t
+val s2 : Core.Hexpr.t
+val s3 : Core.Hexpr.t
+val s4 : Core.Hexpr.t
+
+val repo : Core.Network.repo
+(** [br, s1, s2, s3, s4] at locations ["br"; "s1"; …]. *)
+
+val plan1 : Core.Plan.t
+(** The paper's valid plan [π₁ = {1[br], 3[s3]}]. *)
+
+val plan2_s2 : Core.Plan.t
+(** C2's plan sending request 3 to S2 — invalid (non-compliance). *)
+
+val plan2_s3 : Core.Plan.t
+(** C2's plan sending request 3 to S3 — invalid (black-listed). *)
+
+val plan2_s4 : Core.Plan.t
+(** C2's valid plan [{2[br], 3[s4]}]. *)
+
+val hotels : (string * Core.Hexpr.t) list
+(** The four hotels with their locations. *)
+
+val broker_request_body : Core.Hexpr.t
+(** The body of the broker's request 3, [IdC.(Bok + UnA)]. *)
+
+val client_request_body : Usage.Policy.t -> Core.Hexpr.t
+(** The body of a client's request, [Req.(CoBo.Pay + NoAv)]. *)

@@ -1,0 +1,92 @@
+let auth_first =
+  Usage.Policy_lib.instantiate0
+    (Usage.Policy_lib.requires_before ~before:"auth" ~target:"charge")
+
+let cap limit =
+  Usage.Usage_automaton.instantiate
+    (Usage.Policy_lib.arg_at_most "charge")
+    [ Usage.Value.int limit ]
+
+let shopper_policy = Usage.Policy_ops.conj auth_first (cap 60)
+
+let shopper =
+  Core.Hexpr.open_ ~rid:1 ~policy:shopper_policy
+    (Core.Hexpr.select
+       [ ("login", Core.Hexpr.branch [ ("ok", Core.Hexpr.nil); ("no", Core.Hexpr.nil) ]) ])
+
+let gateway =
+  Core.Hexpr.branch
+    [
+      ( "login",
+        Core.Hexpr.seq
+          (Core.Hexpr.open_ ~rid:2
+             (Core.Hexpr.select
+                [
+                  ( "place",
+                    Core.Hexpr.branch
+                      [ ("confirm", Core.Hexpr.nil); ("reject", Core.Hexpr.nil) ] );
+                ]))
+          (Core.Hexpr.select [ ("ok", Core.Hexpr.nil); ("no", Core.Hexpr.nil) ]) );
+    ]
+
+let orders =
+  Core.Hexpr.branch
+    [
+      ( "place",
+        Core.Hexpr.seq_all
+          [
+            Core.Hexpr.open_ ~rid:3
+              (Core.Hexpr.select
+                 [
+                   ( "pay",
+                     Core.Hexpr.branch
+                       [ ("paid", Core.Hexpr.nil); ("declined", Core.Hexpr.nil) ] );
+                 ]);
+            Core.Hexpr.open_ ~rid:4
+              (Core.Hexpr.select
+                 [
+                   ( "reserve",
+                     Core.Hexpr.branch
+                       [ ("held", Core.Hexpr.nil); ("sold_out", Core.Hexpr.nil) ] );
+                 ]);
+            Core.Hexpr.select
+              [ ("confirm", Core.Hexpr.nil); ("reject", Core.Hexpr.nil) ];
+          ] );
+    ]
+
+let provider ~auth ~amount ~extra =
+  let answers =
+    List.map (fun a -> (a, Core.Hexpr.nil)) ([ "paid"; "declined" ] @ extra)
+  in
+  Core.Hexpr.seq_all
+    ((if auth then [ Core.Hexpr.ev "auth" ] else [])
+    @ [
+        Core.Hexpr.ev ~arg:(Usage.Value.int amount) "charge";
+        Core.Hexpr.branch [ ("pay", Core.Hexpr.select answers) ];
+      ])
+
+let pay_a = provider ~auth:true ~amount:40 ~extra:[]
+let pay_b = provider ~auth:false ~amount:90 ~extra:[]
+
+let stock ~extra =
+  let answers =
+    List.map (fun a -> (a, Core.Hexpr.nil)) ([ "held"; "sold_out" ] @ extra)
+  in
+  Core.Hexpr.branch
+    [ ("reserve", Core.Hexpr.seq (Core.Hexpr.ev "reserve") (Core.Hexpr.select answers)) ]
+
+let inventory = stock ~extra:[]
+let inventory_flaky = stock ~extra:[ "backorder" ]
+
+let repo =
+  [
+    ("gw", gateway);
+    ("orders", orders);
+    ("payA", pay_a);
+    ("payB", pay_b);
+    ("inv", inventory);
+    ("invX", inventory_flaky);
+  ]
+
+let good_plan =
+  Core.Plan.of_list [ (1, "gw"); (2, "orders"); (3, "payA"); (4, "inv") ]

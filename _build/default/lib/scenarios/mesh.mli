@@ -1,0 +1,28 @@
+(** A small microservice mesh: shopper → gateway → orders, with the
+    order service opening {e two} nested sessions in sequence (payment,
+    then inventory). Four chained requests, a conjoined client policy
+    (authenticate-before-charge ∧ spending cap), and the full failure
+    taxonomy across a six-service repository. *)
+
+val auth_first : Usage.Policy.t
+val cap : int -> Usage.Policy.t
+val shopper_policy : Usage.Policy.t
+(** [auth_first & cap 60]. *)
+
+val shopper : Core.Hexpr.t  (** request 1, under {!shopper_policy} *)
+
+val gateway : Core.Hexpr.t  (** request 2 *)
+
+val orders : Core.Hexpr.t  (** requests 3 (payment) and 4 (inventory) *)
+
+val pay_a : Core.Hexpr.t  (** authenticates, charges 40 *)
+
+val pay_b : Core.Hexpr.t  (** charges 90, no authentication *)
+
+val inventory : Core.Hexpr.t
+
+val inventory_flaky : Core.Hexpr.t  (** may answer [backorder] *)
+
+val repo : Core.Network.repo
+val good_plan : Core.Plan.t
+(** [{1[gw], 2[orders], 3[payA], 4[inv]}]. *)

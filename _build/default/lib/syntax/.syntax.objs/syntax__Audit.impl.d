@@ -1,0 +1,1 @@
+lib/syntax/audit.ml: Fmt Lexer List Option String Usage

@@ -1,0 +1,1 @@
+lib/syntax/audit.mli: Fmt Usage

@@ -1,0 +1,1 @@
+lib/syntax/lexer.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/syntax/lint.ml: Core Fmt Int List Printf Spec String Usage

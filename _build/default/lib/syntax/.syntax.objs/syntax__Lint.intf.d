@@ -1,0 +1,1 @@
+lib/syntax/lint.mli: Fmt Spec

@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Array Core Fmt Hashtbl Lambda_sec Lexer List Spec String Usage

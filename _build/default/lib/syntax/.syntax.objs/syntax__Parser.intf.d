@@ -1,0 +1,1 @@
+lib/syntax/parser.mli: Core Lambda_sec Spec Usage

@@ -1,0 +1,1 @@
+lib/syntax/spec.ml: Core Fmt Lambda_sec List Printf Usage

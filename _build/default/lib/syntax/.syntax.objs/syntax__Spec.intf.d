@@ -1,0 +1,1 @@
+lib/syntax/spec.mli: Core Fmt Lambda_sec Usage

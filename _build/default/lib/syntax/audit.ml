@@ -1,0 +1,46 @@
+exception Error of string * int
+
+(* the lexer already handles whitespace and // comments *)
+let parse_line line lineno =
+  let toks =
+    try Lexer.tokenize line
+    with Lexer.Error (msg, _, _) -> raise (Error (msg, lineno))
+  in
+  match List.map (fun t -> t.Lexer.token) toks with
+  | [ Lexer.EOF ] -> None
+  | [ Lexer.IDENT name; Lexer.EOF ] -> Some (Usage.Event.make name)
+  | [ Lexer.IDENT name; Lexer.LPAREN; Lexer.INTLIT n; Lexer.RPAREN; Lexer.EOF ]
+    ->
+      Some (Usage.Event.make ~arg:(Usage.Value.int n) name)
+  | [ Lexer.IDENT name; Lexer.LPAREN; Lexer.IDENT s; Lexer.RPAREN; Lexer.EOF ]
+    ->
+      Some (Usage.Event.make ~arg:(Usage.Value.str s) name)
+  | _ -> raise (Error ("expected `name' or `name(value)'", lineno))
+
+let parse_log src =
+  String.split_on_char '\n' src
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (lineno, line) -> parse_line line lineno)
+
+let parse_log_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_log src
+
+type verdict = { policy : Usage.Policy.t; violation_at : int option }
+
+let check policies events =
+  List.map
+    (fun policy ->
+      let violation_at =
+        Option.map (fun i -> i + 1) (Usage.Policy.first_violation policy events)
+      in
+      { policy; violation_at })
+    policies
+
+let pp_verdict ppf v =
+  match v.violation_at with
+  | None -> Fmt.pf ppf "%s: respected" (Usage.Policy.id v.policy)
+  | Some i -> Fmt.pf ppf "%s: VIOLATED at event %d" (Usage.Policy.id v.policy) i

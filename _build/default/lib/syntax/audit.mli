@@ -1,0 +1,24 @@
+(** Offline auditing: replay a runtime event log against policies.
+
+    Log format: one event per line — [name] or [name(value)] (integer,
+    identifier, or set); blank lines and [//] comments ignored. This is
+    the deployment-side complement of the static story: a service that
+    was {e not} statically validated can still have its recorded traces
+    checked after the fact. *)
+
+exception Error of string * int
+(** message, line number *)
+
+val parse_log : string -> Usage.Event.t list
+(** Raises {!Error} on malformed lines. *)
+
+val parse_log_file : string -> Usage.Event.t list
+
+type verdict = {
+  policy : Usage.Policy.t;
+  violation_at : int option;
+      (** 1-based index of the first offending event, if any *)
+}
+
+val check : Usage.Policy.t list -> Usage.Event.t list -> verdict list
+val pp_verdict : verdict Fmt.t

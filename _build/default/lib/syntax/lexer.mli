@@ -1,0 +1,47 @@
+(** Hand-written lexer for the [.susf] concrete syntax. *)
+
+type token =
+  | IDENT of string
+  | INTLIT of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | DOT
+  | COLON
+  | QUESTION
+  | BANG
+  | PLUS  (** [+] external choice *)
+  | OPLUS  (** [(+)] internal choice *)
+  | CHOICE  (** [<+>] unguarded choice *)
+  | HASH
+  | TILDE
+  | ARROW  (** [->] *)
+  | EDGE  (** [--] *)
+  | EDGEARROW  (** [-->] *)
+  | LE
+  | LT
+  | GE
+  | GT
+  | EQUAL
+  | EQEQ  (** [==], term-level equality *)
+  | NEQ
+  | PIPE
+  | STAR
+  | MINUS
+  | AMP  (** [&], policy conjunction *)
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+(** message, line, column *)
+
+val tokenize : string -> located list
+(** Whitespace-insensitive; [//] introduces a line comment. *)
+
+val pp_token : token Fmt.t

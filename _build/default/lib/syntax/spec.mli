@@ -1,0 +1,34 @@
+(** A parsed [.susf] specification: policy automata, a repository of
+    services, clients, and named plans. *)
+
+type t = {
+  automata : (string * Usage.Usage_automaton.t) list;
+  services : (string * Core.Hexpr.t) list;  (** the repository *)
+  clients : (string * Core.Hexpr.t) list;
+  plans : (string * Core.Plan.t) list;
+  programs : (string * Lambda_sec.Ast.term) list;
+      (** λ-calculus programs; their inferred effects are clients *)
+  networks : (string * (string * string) list) list;
+      (** named plan vectors: [(client, plan)] associations — the
+          paper's [~π] at the surface level *)
+}
+
+val empty : t
+val repo : t -> Core.Network.repo
+val find_automaton : t -> string -> Usage.Usage_automaton.t option
+val find_client : t -> string -> Core.Hexpr.t option
+val find_plan : t -> string -> Core.Plan.t option
+val find_program : t -> string -> Lambda_sec.Ast.term option
+
+val resolve_network :
+  t -> string -> ((Core.Plan.t * (string * Core.Hexpr.t)) list, string) result
+(** Resolve a named network to its plan vector; [Error msg] when it, or
+    one of its clients or plans, is not declared. *)
+
+val pp : t Fmt.t
+
+val to_susf : t Fmt.t
+(** Render the specification back to parseable [.susf] source
+    ({!Parser.spec_of_string} ∘ {!to_susf} is the identity up to
+    normalisation). λ-programs are re-emitted too, except inferred-type
+    annotations, which the surface syntax carries verbatim. *)

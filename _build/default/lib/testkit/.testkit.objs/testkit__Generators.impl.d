@@ -1,0 +1,1 @@
+lib/testkit/generators.ml: Contract Core Fmt Gen Hexpr History Lambda_sec List Printf QCheck Usage

@@ -1,0 +1,1 @@
+lib/usage/event.ml: Fmt Option String Value

@@ -1,0 +1,1 @@
+lib/usage/event.mli: Fmt Value

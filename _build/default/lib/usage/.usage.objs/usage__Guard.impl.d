@@ -1,0 +1,1 @@
+lib/usage/guard.ml: Fmt List String Value

@@ -1,0 +1,1 @@
+lib/usage/guard.mli: Fmt Value

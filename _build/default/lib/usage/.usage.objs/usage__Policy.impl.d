@@ -1,0 +1,1 @@
+lib/usage/policy.ml: Automata Event Fmt Guard List String

@@ -1,0 +1,1 @@
+lib/usage/policy.mli: Automata Event Fmt Guard

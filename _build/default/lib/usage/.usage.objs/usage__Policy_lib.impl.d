@@ -1,0 +1,1 @@
+lib/usage/policy_lib.ml: Guard List Printf Usage_automaton Value

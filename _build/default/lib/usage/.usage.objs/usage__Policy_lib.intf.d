@@ -1,0 +1,1 @@
+lib/usage/policy_lib.mli: Policy Usage_automaton

@@ -1,0 +1,1 @@
+lib/usage/policy_ops.ml: Automata Event Fmt Guard Int List Policy Printf String

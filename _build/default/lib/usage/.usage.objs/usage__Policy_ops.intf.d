@@ -1,0 +1,1 @@
+lib/usage/policy_ops.mli: Automata Event Fmt Policy

@@ -1,0 +1,1 @@
+lib/usage/policy_regex.ml: Automata Fmt Guard List Stdlib Usage_automaton

@@ -1,0 +1,1 @@
+lib/usage/policy_regex.mli: Automata Fmt Guard Usage_automaton

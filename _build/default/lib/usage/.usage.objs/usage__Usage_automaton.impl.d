@@ -1,0 +1,1 @@
+lib/usage/usage_automaton.ml: Fmt Guard List Policy Printf String Value

@@ -1,0 +1,1 @@
+lib/usage/usage_automaton.mli: Fmt Guard Policy Value

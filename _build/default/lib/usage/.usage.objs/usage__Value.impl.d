@@ -1,0 +1,1 @@
+lib/usage/value.ml: Fmt Int List String

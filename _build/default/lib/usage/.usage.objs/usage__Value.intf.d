@@ -1,0 +1,1 @@
+lib/usage/value.mli: Fmt

@@ -1,0 +1,15 @@
+type t = { name : string; arg : Value.t option }
+
+let make ?arg name = { name; arg }
+
+let compare a b =
+  match String.compare a.name b.name with
+  | 0 -> Option.compare Value.compare a.arg b.arg
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf e =
+  match e.arg with
+  | None -> Fmt.string ppf e.name
+  | Some v -> Fmt.pf ppf "%s(%a)" e.name Value.pp v

@@ -1,0 +1,9 @@
+(** Access events [α(v)]: the security-relevant operations recorded in
+    execution histories (paper §3, set [Ev]). *)
+
+type t = { name : string; arg : Value.t option }
+
+val make : ?arg:Value.t -> string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t

@@ -1,0 +1,108 @@
+type expr = Arg | Param of string | Const of Value.t
+type cmp = Le | Lt | Ge | Gt | Eq | Ne
+
+type t =
+  | True
+  | Member of expr * expr
+  | Not_member of expr * expr
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+type env = (string * Value.t) list
+
+let params g =
+  let of_expr acc = function
+    | Arg | Const _ -> acc
+    | Param p -> p :: acc
+  in
+  let rec go acc = function
+    | True -> acc
+    | Member (a, b) | Not_member (a, b) | Cmp (_, a, b) ->
+        of_expr (of_expr acc a) b
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Not a -> go acc a
+  in
+  go [] g |> List.sort_uniq String.compare
+
+let rename_params f g =
+  let expr = function
+    | Arg -> Arg
+    | Param p -> Param (f p)
+    | Const v -> Const v
+  in
+  let rec go = function
+    | True -> True
+    | Member (a, b) -> Member (expr a, expr b)
+    | Not_member (a, b) -> Not_member (expr a, expr b)
+    | Cmp (op, a, b) -> Cmp (op, expr a, expr b)
+    | And (a, b) -> And (go a, go b)
+    | Or (a, b) -> Or (go a, go b)
+    | Not a -> Not (go a)
+  in
+  go g
+
+let eval_expr env arg = function
+  | Arg -> arg
+  | Param p -> List.assoc_opt p env
+  | Const v -> Some v
+
+let eval_cmp op a b =
+  match op with
+  | Eq -> Value.equal a b
+  | Ne -> not (Value.equal a b)
+  | Le | Lt | Ge | Gt -> (
+      match (Value.as_int a, Value.as_int b) with
+      | Some x, Some y -> (
+          match op with
+          | Le -> x <= y
+          | Lt -> x < y
+          | Ge -> x >= y
+          | Gt -> x > y
+          | Eq | Ne -> assert false)
+      | _ -> false)
+
+let rec eval env g arg =
+  let expr e = eval_expr env arg e in
+  match g with
+  | True -> true
+  | Member (a, b) -> (
+      match (expr a, expr b) with
+      | Some v, Some w -> Value.mem v w
+      | _ -> false)
+  | Not_member (a, b) -> (
+      match (expr a, expr b) with
+      | Some v, Some w -> not (Value.mem v w)
+      | _ -> false)
+  | Cmp (op, a, b) -> (
+      match (expr a, expr b) with
+      | Some v, Some w -> eval_cmp op v w
+      | _ -> false)
+  | And (a, b) -> eval env a arg && eval env b arg
+  | Or (a, b) -> eval env a arg || eval env b arg
+  | Not a -> not (eval env a arg)
+
+let pp_expr ppf = function
+  | Arg -> Fmt.string ppf "x"
+  | Param p -> Fmt.string ppf p
+  | Const v -> Value.pp ppf v
+
+let pp_cmp ppf op =
+  Fmt.string ppf
+    (match op with
+    | Le -> "<="
+    | Lt -> "<"
+    | Ge -> ">="
+    | Gt -> ">"
+    | Eq -> "="
+    | Ne -> "!=")
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | Member (a, b) -> Fmt.pf ppf "%a in %a" pp_expr a pp_expr b
+  | Not_member (a, b) -> Fmt.pf ppf "%a notin %a" pp_expr a pp_expr b
+  | Cmp (op, a, b) -> Fmt.pf ppf "%a %a %a" pp_expr a pp_cmp op pp_expr b
+  | And (a, b) -> Fmt.pf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a or %a)" pp a pp b
+  | Not a -> Fmt.pf ppf "not %a" pp a

@@ -1,0 +1,43 @@
+(** Symbolic guards on usage-automaton edges.
+
+    An edge of a parametric usage automaton is labelled [α(x) when g]
+    where [g] constrains the event's argument [x] against the automaton's
+    formal parameters (e.g. [x ∈ bl], [y ≤ p] in the paper's Fig. 1).
+    Guards are first-order terms, so they can be printed, compared and
+    parsed; they are evaluated only after instantiation, when an
+    environment binds every parameter to a {!Value.t}. *)
+
+type expr =
+  | Arg  (** the event's argument (the bound variable of the edge) *)
+  | Param of string  (** a formal parameter of the automaton *)
+  | Const of Value.t
+
+type cmp = Le | Lt | Ge | Gt | Eq | Ne
+
+type t =
+  | True
+  | Member of expr * expr
+  | Not_member of expr * expr
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+type env = (string * Value.t) list
+(** Bindings of formal parameters to actuals. *)
+
+val params : t -> string list
+(** Formal parameters mentioned by the guard, sorted, no duplicates. *)
+
+val rename_params : (string -> string) -> t -> t
+(** Apply a renaming to every [Param]; used to keep the parameter spaces
+    of two policies apart when building their product. *)
+
+val eval : env -> t -> Value.t option -> bool
+(** [eval env g arg] evaluates [g] with parameters bound by [env] and
+    [Arg] bound to [arg]. Conservative failure: a guard that dereferences
+    a missing argument or parameter, or compares non-integers with an
+    order, evaluates to [false]. *)
+
+val pp : t Fmt.t
+val pp_expr : expr Fmt.t

@@ -1,0 +1,37 @@
+module Label = struct
+  type t = { ev_name : string; guard : Guard.t; env : Guard.env }
+  type letter = Event.t
+
+  let sat l (e : Event.t) =
+    String.equal l.ev_name e.name && Guard.eval l.env l.guard e.arg
+
+  let pp ppf l =
+    match l.guard with
+    | Guard.True -> Fmt.pf ppf "%s(x)" l.ev_name
+    | g -> Fmt.pf ppf "%s(x) when %a" l.ev_name Guard.pp g
+
+  let pp_letter = Event.pp
+end
+
+module A = Automata.Sfa.Make (Label)
+
+type t = { id : string; automaton : A.t }
+
+let make ~id ~init ~offending ~trans =
+  { id; automaton = A.create ~init ~finals:offending ~trans }
+
+let id p = p.id
+let automaton p = p.automaton
+let respects p tr = not (A.violates p.automaton tr)
+let first_violation p tr = A.first_violation p.automaton tr
+
+type cursor = A.States.t
+
+let start p = A.States.singleton (A.initial p.automaton)
+let advance p c e = A.step p.automaton c e
+let offending p c = not (A.States.disjoint c (A.finals p.automaton))
+let replay p tr = List.fold_left (advance p) (start p) tr
+let cursor_states c = A.States.elements c
+let equal a b = String.equal a.id b.id
+let compare a b = String.compare a.id b.id
+let pp ppf p = Fmt.string ppf p.id

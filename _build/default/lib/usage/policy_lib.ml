@@ -1,0 +1,82 @@
+open Usage_automaton
+
+(* States of [hotel] follow the paper's Fig. 1 numbering: q1 start, q6
+   offending. q3/q5 are absorbing OK states via the implicit self-loops. *)
+let hotel =
+  make ~name:"phi" ~params:[ "bl"; "p"; "t" ] ~init:1 ~offending:[ 6 ]
+    ~edges:
+      [
+        edge 1 "sgn" (Guard.Not_member (Arg, Param "bl")) 2;
+        edge 1 "sgn" (Guard.Member (Arg, Param "bl")) 6;
+        edge 2 "price" (Guard.Cmp (Le, Arg, Param "p")) 3;
+        edge 2 "price" (Guard.Cmp (Gt, Arg, Param "p")) 4;
+        edge 4 "rating" (Guard.Cmp (Ge, Arg, Param "t")) 5;
+        edge 4 "rating" (Guard.Cmp (Lt, Arg, Param "t")) 6;
+      ]
+
+let hotel_policy ~blacklist ~price ~rating =
+  instantiate hotel
+    [
+      Value.set (List.map Value.str blacklist);
+      Value.int price;
+      Value.int rating;
+    ]
+
+let never ev =
+  make
+    ~name:(Printf.sprintf "never_%s" ev)
+    ~params:[] ~init:0 ~offending:[ 1 ]
+    ~edges:[ edge 0 ev Guard.True 1 ]
+
+let never_after ~first ~then_ =
+  make
+    ~name:(Printf.sprintf "never_%s_after_%s" then_ first)
+    ~params:[] ~init:0 ~offending:[ 2 ]
+    ~edges:[ edge 0 first Guard.True 1; edge 1 then_ Guard.True 2 ]
+
+let at_most ~n ev =
+  if n < 0 then invalid_arg "Policy_lib.at_most: negative bound";
+  let counting = List.init n (fun i -> edge i ev Guard.True (i + 1)) in
+  make
+    ~name:(Printf.sprintf "at_most_%d_%s" n ev)
+    ~params:[] ~init:0
+    ~offending:[ n + 1 ]
+    ~edges:(counting @ [ edge n ev Guard.True (n + 1) ])
+
+let requires_before ~before ~target =
+  make
+    ~name:(Printf.sprintf "%s_requires_%s" target before)
+    ~params:[] ~init:0 ~offending:[ 2 ]
+    ~edges:[ edge 0 target Guard.True 2; edge 0 before Guard.True 1 ]
+
+let alternate ~first ~second =
+  make
+    ~name:(Printf.sprintf "alternate_%s_%s" first second)
+    ~params:[] ~init:0 ~offending:[ 2 ]
+    ~edges:
+      [
+        edge 0 first Guard.True 1;
+        edge 0 second Guard.True 2;
+        edge 1 second Guard.True 0;
+        edge 1 first Guard.True 2;
+      ]
+
+let mutually_exclusive a b =
+  make
+    ~name:(Printf.sprintf "exclusive_%s_%s" a b)
+    ~params:[] ~init:0 ~offending:[ 3 ]
+    ~edges:
+      [
+        edge 0 a Guard.True 1;
+        edge 0 b Guard.True 2;
+        edge 1 b Guard.True 3;
+        edge 2 a Guard.True 3;
+      ]
+
+let arg_at_most ev_name =
+  make
+    ~name:(Printf.sprintf "%s_at_most" ev_name)
+    ~params:[ "max" ] ~init:0 ~offending:[ 1 ]
+    ~edges:[ edge 0 ev_name (Guard.Cmp (Gt, Arg, Param "max")) 1 ]
+
+let instantiate0 u = instantiate u []

@@ -1,0 +1,40 @@
+(** A small standard library of usage automata: the paper's hotel-broker
+    policy (Fig. 1) and generic safety patterns used by the examples and
+    tests. *)
+
+val hotel : Usage_automaton.t
+(** The paper's [φ(bl, p, t)] (Fig. 1) over events [sgn], [price],
+    [rating]: violated when the signing hotel is black-listed, or when
+    its price exceeds [p] and its rating is below [t]. *)
+
+val hotel_policy : blacklist:string list -> price:int -> rating:int -> Policy.t
+(** [φ] instantiated; e.g. the paper's [φ₁ = φ({s1},45,100)]. *)
+
+val never : string -> Usage_automaton.t
+(** [never ev]: the event [ev] must not occur at all. No parameters. *)
+
+val never_after : first:string -> then_:string -> Usage_automaton.t
+(** [never_after ~first ~then_]: once [first] has occurred, [then_] is
+    forbidden (the paper's “never write after read”). *)
+
+val at_most : n:int -> string -> Usage_automaton.t
+(** [at_most ~n ev]: at most [n] occurrences of [ev]. *)
+
+val requires_before : before:string -> target:string -> Usage_automaton.t
+(** [requires_before ~before ~target]: every [target] must be preceded by
+    at least one [before] (e.g. authenticate before paying). *)
+
+val alternate : first:string -> second:string -> Usage_automaton.t
+(** [alternate ~first ~second]: occurrences of the two events must
+    strictly alternate, starting with [first]; other events are
+    ignored. *)
+
+val mutually_exclusive : string -> string -> Usage_automaton.t
+(** Once one of the two events has occurred, the other is forbidden. *)
+
+val arg_at_most : string -> Usage_automaton.t
+(** [arg_at_most ev]: parametric in [max]; forbids any [ev(x)] with
+    [x > max] (e.g. a spending limit). *)
+
+val instantiate0 : Usage_automaton.t -> Policy.t
+(** Instantiate a parameterless automaton. *)

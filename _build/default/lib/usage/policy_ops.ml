@@ -1,0 +1,174 @@
+module A = Policy.A
+
+(* States of an instantiated policy: everything mentioned by its
+   transitions, its initial state and its offending set. *)
+let states_of p =
+  let a = Policy.automaton p in
+  List.fold_left
+    (fun acc (s, _, d) -> s :: d :: acc)
+    (A.initial a :: A.States.elements (A.finals a))
+    (A.transitions a)
+  |> List.sort_uniq Int.compare
+
+let edges_by_name p =
+  let a = Policy.automaton p in
+  fun src name ->
+    A.transitions a
+    |> List.filter_map (fun (s, (lbl : Policy.Label.t), d) ->
+           if s = src && String.equal lbl.ev_name name then
+             Some (lbl.guard, lbl.env, d)
+           else None)
+
+let event_names p =
+  let a = Policy.automaton p in
+  A.transitions a
+  |> List.map (fun (_, (lbl : Policy.Label.t), _) -> lbl.ev_name)
+  |> List.sort_uniq String.compare
+
+(* Rename parameters apart and merge the two environments. *)
+let split_envs env1 env2 =
+  let left k = "l_" ^ k and right k = "r_" ^ k in
+  let merged =
+    List.map (fun (k, v) -> (left k, v)) env1
+    @ List.map (fun (k, v) -> (right k, v)) env2
+  in
+  (left, right, merged)
+
+let neg_of guards =
+  match guards with
+  | [] -> Guard.True
+  | g :: rest ->
+      Guard.Not (List.fold_left (fun acc g' -> Guard.Or (acc, g')) g rest)
+
+let conj p q =
+  let states_p = states_of p and states_q = states_of q in
+  let n_q = List.fold_left max 0 states_q + 1 in
+  let encode s1 s2 = (s1 * n_q) + s2 in
+  let names =
+    List.sort_uniq String.compare (event_names p @ event_names q)
+  in
+  let edges_p = edges_by_name p and edges_q = edges_by_name q in
+  let trans = ref [] in
+  let add s1 s2 name guard env d1 d2 =
+    trans :=
+      (encode s1 s2, { Policy.Label.ev_name = name; guard; env }, encode d1 d2)
+      :: !trans
+  in
+  List.iter
+    (fun s1 ->
+      List.iter
+        (fun s2 ->
+          List.iter
+            (fun name ->
+              let e1 = edges_p s1 name and e2 = edges_q s2 name in
+              (* both step *)
+              List.iter
+                (fun (g1, env1, d1) ->
+                  List.iter
+                    (fun (g2, env2, d2) ->
+                      let l, r, env = split_envs env1 env2 in
+                      add s1 s2 name
+                        (Guard.And
+                           (Guard.rename_params l g1, Guard.rename_params r g2))
+                        env d1 d2)
+                    e2)
+                e1;
+              (* left steps, right stays (no right guard matches) *)
+              List.iter
+                (fun (g1, env1, d1) ->
+                  let g2s = List.map (fun (g, env2, _) ->
+                      let _, r, _ = split_envs env1 env2 in
+                      Guard.rename_params r g) e2
+                  in
+                  let env =
+                    List.map (fun (k, v) -> ("l_" ^ k, v)) env1
+                    @ List.concat_map
+                        (fun (_, env2, _) ->
+                          List.map (fun (k, v) -> ("r_" ^ k, v)) env2)
+                        e2
+                  in
+                  add s1 s2 name
+                    (Guard.And (Guard.rename_params (fun k -> "l_" ^ k) g1, neg_of g2s))
+                    env d1 s2)
+                e1;
+              (* right steps, left stays *)
+              List.iter
+                (fun (g2, env2, d2) ->
+                  let g1s = List.map (fun (g, env1, _) ->
+                      let l, _, _ = split_envs env1 env2 in
+                      Guard.rename_params l g) e1
+                  in
+                  let env =
+                    List.map (fun (k, v) -> ("r_" ^ k, v)) env2
+                    @ List.concat_map
+                        (fun (_, env1, _) ->
+                          List.map (fun (k, v) -> ("l_" ^ k, v)) env1)
+                        e1
+                  in
+                  add s1 s2 name
+                    (Guard.And (Guard.rename_params (fun k -> "r_" ^ k) g2, neg_of g1s))
+                    env s1 d2)
+                e2)
+            names)
+        states_q)
+    states_p;
+  let offending =
+    let fp = A.finals (Policy.automaton p) and fq = A.finals (Policy.automaton q) in
+    List.concat_map
+      (fun s1 ->
+        List.filter_map
+          (fun s2 ->
+            if A.States.mem s1 fp || A.States.mem s2 fq then
+              Some (encode s1 s2)
+            else None)
+          states_q)
+      states_p
+  in
+  Policy.make
+    ~id:(Printf.sprintf "(%s & %s)" (Policy.id p) (Policy.id q))
+    ~init:(encode (A.initial (Policy.automaton p)) (A.initial (Policy.automaton q)))
+    ~offending ~trans:!trans
+
+let conj_all = function
+  | [] -> None
+  | p :: rest -> Some (List.fold_left conj p rest)
+
+module Nfa_event = Automata.Nfa.Make (Event)
+
+let to_nfa ~alphabet p =
+  let a = Policy.automaton p in
+  let trans = A.concrete_transitions a alphabet in
+  Nfa_event.create ~init:[ A.initial a ]
+    ~finals:(A.States.elements (A.finals a))
+    ~trans
+
+let subsumes ~alphabet p q =
+  (* violations(q) ⊆ violations(p) *)
+  let vp = to_nfa ~alphabet p and vq = to_nfa ~alphabet q in
+  Nfa_event.is_language_empty
+    (Nfa_event.intersect vq (Nfa_event.complement ~alphabet vp))
+
+let equivalent_on ~alphabet p q =
+  subsumes ~alphabet p q && subsumes ~alphabet q p
+
+let vacuous ~alphabet p = Nfa_event.is_language_empty (to_nfa ~alphabet p)
+
+let witness ~alphabet p = Nfa_event.shortest_accepted (to_nfa ~alphabet p)
+
+let pp_dot ppf p =
+  let a = Policy.automaton p in
+  Fmt.pf ppf "digraph policy {@.  rankdir=LR;@.  label=%S;@." (Policy.id p);
+  List.iter
+    (fun s ->
+      let shape =
+        if A.States.mem s (A.finals a) then "doublecircle" else "circle"
+      in
+      Fmt.pf ppf "  %d [shape=%s];@." s shape)
+    (states_of p);
+  Fmt.pf ppf "  init [shape=point]; init -> %d;@." (A.initial a);
+  List.iter
+    (fun (s, (lbl : Policy.Label.t), d) ->
+      Fmt.pf ppf "  %d -> %d [label=\"%s\"];@." s d
+        (String.escaped (Fmt.str "%a" Policy.Label.pp lbl)))
+    (A.transitions a);
+  Fmt.pf ppf "}@."

@@ -1,0 +1,51 @@
+(** Operations on instantiated policies.
+
+    The most useful one is {!conj}: a single policy that is violated
+    exactly when either conjunct is — so a client can impose several
+    requirements on one session (the calculus attaches one policy per
+    request; conjunction recovers the general case). *)
+
+val conj : Policy.t -> Policy.t -> Policy.t
+(** [conj p q] is the symbolic product automaton of [p] and [q]: a trace
+    violates it iff it violates [p] or violates [q]. The identifier is
+    ["(id_p & id_q)"]. Parameter environments are kept apart by
+    renaming, so policies instantiated from the same automaton with
+    different actuals conjoin correctly. *)
+
+val conj_all : Policy.t list -> Policy.t option
+(** Fold of {!conj}; [None] on the empty list. *)
+
+val event_names : Policy.t -> string list
+(** The event names the policy observes, sorted. *)
+
+(** {1 Language reasoning over a finite ground alphabet}
+
+    Instantiated policies are symbolic automata; over a {e finite} set of
+    ground events they concretise to NFAs ({!Automata.Nfa}), making
+    violation-language inclusion, equivalence, and vacuity decidable.
+    The alphabet should cover every event the analysed services can
+    fire. *)
+
+module Nfa_event : module type of Automata.Nfa.Make (Event)
+
+val to_nfa : alphabet:Event.t list -> Policy.t -> Nfa_event.t
+(** The concrete violation automaton: accepts exactly the violating
+    traces over [alphabet]. *)
+
+val subsumes : alphabet:Event.t list -> Policy.t -> Policy.t -> bool
+(** [subsumes ~alphabet p q]: [p] is at least as strict as [q] — every
+    trace violating [q] violates [p] (so enforcing [p] makes [q]
+    redundant). *)
+
+val equivalent_on : alphabet:Event.t list -> Policy.t -> Policy.t -> bool
+
+val vacuous : alphabet:Event.t list -> Policy.t -> bool
+(** No trace over the alphabet can ever violate the policy: enforcing it
+    is a no-op (typically a sign the policy observes the wrong events). *)
+
+val witness : alphabet:Event.t list -> Policy.t -> Event.t list option
+(** A shortest violating trace over the alphabet, if any. *)
+
+val pp_dot : Policy.t Fmt.t
+(** GraphViz rendering: offending states are double circles, edges are
+    labelled with event name and guard. *)

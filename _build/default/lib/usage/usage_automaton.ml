@@ -1,0 +1,57 @@
+type edge = { src : int; ev_name : string; guard : Guard.t; dst : int }
+
+type t = {
+  name : string;
+  params : string list;
+  init : int;
+  offending : int list;
+  edges : edge list;
+}
+
+let edge src ev_name guard dst = { src; ev_name; guard; dst }
+
+let make ~name ~params ~init ~offending ~edges =
+  let distinct = List.sort_uniq String.compare params in
+  if List.length distinct <> List.length params then
+    invalid_arg "Usage_automaton.make: duplicate parameter";
+  List.iter
+    (fun e ->
+      List.iter
+        (fun p ->
+          if not (List.mem p params) then
+            invalid_arg
+              (Printf.sprintf
+                 "Usage_automaton.make: edge of %s uses undeclared parameter %s"
+                 name p))
+        (Guard.params e.guard))
+    edges;
+  { name; params; init; offending; edges }
+
+let instantiate u actuals =
+  if List.length actuals <> List.length u.params then
+    invalid_arg
+      (Printf.sprintf "Usage_automaton.instantiate: %s expects %d parameters"
+         u.name (List.length u.params));
+  let env = List.combine u.params actuals in
+  let id =
+    Fmt.str "%s(%a)" u.name Fmt.(list ~sep:(any ",") Value.pp) actuals
+  in
+  let trans =
+    List.map
+      (fun e ->
+        (e.src, { Policy.Label.ev_name = e.ev_name; guard = e.guard; env }, e.dst))
+      u.edges
+  in
+  Policy.make ~id ~init:u.init ~offending:u.offending ~trans
+
+let pp ppf u =
+  Fmt.pf ppf "@[<v>policy %s(%a): init q%d, offending {%a}@,%a@]" u.name
+    Fmt.(list ~sep:comma string)
+    u.params u.init
+    Fmt.(list ~sep:comma (fmt "q%d"))
+    u.offending
+    Fmt.(
+      list ~sep:cut (fun ppf e ->
+          pf ppf "q%d --%s(x) when %a--> q%d" e.src e.ev_name Guard.pp e.guard
+            e.dst))
+    u.edges

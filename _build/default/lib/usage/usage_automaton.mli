@@ -1,0 +1,36 @@
+(** Parametric usage automata [Bartoletti 2009], the policy language of
+    the paper (Fig. 1).
+
+    A usage automaton has formal parameters (e.g. a black list [bl] and
+    thresholds [p], [t]); its edges are labelled by an event name and a
+    {!Guard.t} relating the event's argument to the parameters. Applying
+    the automaton to actual values yields an ordinary {!Policy.t}. *)
+
+type edge = { src : int; ev_name : string; guard : Guard.t; dst : int }
+
+type t = private {
+  name : string;
+  params : string list;
+  init : int;
+  offending : int list;
+  edges : edge list;
+}
+
+val make :
+  name:string ->
+  params:string list ->
+  init:int ->
+  offending:int list ->
+  edges:edge list ->
+  t
+(** Raises [Invalid_argument] if parameters are not distinct or an edge
+    guard mentions an undeclared parameter. *)
+
+val edge : int -> string -> Guard.t -> int -> edge
+
+val instantiate : t -> Value.t list -> Policy.t
+(** [instantiate u actuals] binds [u.params] to [actuals] positionally.
+    The resulting policy's id is [u.name(actuals…)].
+    Raises [Invalid_argument] on arity mismatch. *)
+
+val pp : t Fmt.t

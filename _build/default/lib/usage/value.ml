@@ -1,0 +1,27 @@
+type t = Int of int | Str of string | Set of t list
+
+let int n = Int n
+let str s = Str s
+
+let rec compare v w =
+  match (v, w) with
+  | Int a, Int b -> Int.compare a b
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str a, Str b -> String.compare a b
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Set a, Set b -> List.compare compare a b
+
+let equal v w = compare v w = 0
+let set vs = Set (List.sort_uniq compare vs)
+
+let mem v = function Set vs -> List.exists (equal v) vs | w -> equal v w
+let as_int = function Int n -> Some n | Str _ | Set _ -> None
+
+(* No break hints: these strings end up inside policy identifiers, which
+   must stay single-line. *)
+let rec pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Str s -> Fmt.string ppf s
+  | Set vs -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") pp) vs

@@ -1,0 +1,23 @@
+(** First-order data carried by events and policy parameters: integers,
+    strings, and finite sets thereof (black lists). *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Set of t list  (** sorted, duplicate-free by construction via {!set} *)
+
+val int : int -> t
+val str : string -> t
+
+val set : t list -> t
+(** Builds a set value; sorts and deduplicates its elements. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val mem : t -> t -> bool
+(** [mem v (Set vs)] is set membership; [mem v w] with a non-set [w] is
+    equality. *)
+
+val as_int : t -> int option
+val pp : t Fmt.t

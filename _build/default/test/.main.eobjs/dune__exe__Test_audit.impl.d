@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Core Fmt List Scenarios String Syntax Usage

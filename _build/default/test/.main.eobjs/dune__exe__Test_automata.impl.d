@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Automata Char Dump Fmt Gen List QCheck QCheck_alcotest Testkit

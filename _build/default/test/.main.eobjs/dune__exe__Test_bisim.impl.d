@@ -1,0 +1,1 @@
+test/test_bisim.ml: Alcotest Bisim Contract Core Hexpr List Product QCheck QCheck_alcotest Result Syntax Testkit Usage Validity

@@ -1,0 +1,1 @@
+test/test_bpa.ml: Alcotest Bpa Core Hexpr List QCheck QCheck_alcotest Result String Testkit Usage Validity

@@ -1,0 +1,1 @@
+test/test_compliance.ml: Alcotest Compliance Contract Core List Product QCheck QCheck_alcotest Scenarios Set Testkit

@@ -1,0 +1,1 @@
+test/test_contract.ml: Alcotest Compliance Contract Core Dump Fmt Hexpr List Product QCheck QCheck_alcotest Ready Scenarios Testkit

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Bpa Core Filename Hexpr Lambda_sec List Planner Printf Result String Syntax Sys Validity

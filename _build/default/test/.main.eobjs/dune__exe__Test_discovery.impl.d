@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Contract Core Discovery Hexpr List Netcheck Plan Planner Product QCheck QCheck_alcotest Result Scenarios String Subcontract Testkit Usage

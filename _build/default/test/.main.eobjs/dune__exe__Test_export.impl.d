@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Contract Core Export Fmt Network Plan Scenarios Simulate String

@@ -1,0 +1,1 @@
+test/test_hexpr.ml: Alcotest Core Fmt Hexpr List QCheck QCheck_alcotest Scenarios Testkit Usage

@@ -1,0 +1,1 @@
+test/test_lambda.ml: Alcotest Ast Core Effect Eval Infer Lambda_sec List QCheck QCheck_alcotest Result Scenarios Syntax Testkit Usage

@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Bisim Contract Core Hexpr List Product QCheck QCheck_alcotest Result Testkit Validity

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest List String Syntax

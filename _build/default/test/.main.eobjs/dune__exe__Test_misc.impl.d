@@ -1,0 +1,1 @@
+test/test_misc.ml: Action Alcotest Core Fmt Hexpr History List Network Plan Planner Scenarios Simulate Testkit Usage Validity

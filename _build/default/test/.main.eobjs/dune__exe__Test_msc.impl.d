@@ -1,0 +1,1 @@
+test/test_msc.ml: Alcotest Core Fmt Msc Network Scenarios Simulate String

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Core Fmt Hexpr History List Network Plan Scenarios Simulate String Usage Validity

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Core Dump Fmt Hexpr History List Netcheck Network Plan Planner QCheck QCheck_alcotest Result Scenarios Simulate Usage Validity

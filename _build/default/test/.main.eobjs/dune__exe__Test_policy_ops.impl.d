@@ -1,0 +1,1 @@
+test/test_policy_ops.ml: Alcotest Core Event Fmt List QCheck QCheck_alcotest Scenarios String Testkit Usage Value

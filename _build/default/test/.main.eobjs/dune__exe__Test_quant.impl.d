@@ -1,0 +1,1 @@
+test/test_quant.ml: Alcotest Core Float Hexpr List Option Plan QCheck QCheck_alcotest Quant Scenarios Testkit Usage

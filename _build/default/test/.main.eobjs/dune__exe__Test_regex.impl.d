@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Automata Char Dump Fmt List QCheck QCheck_alcotest String Testkit Usage

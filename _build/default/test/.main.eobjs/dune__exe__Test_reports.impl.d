@@ -1,0 +1,1 @@
+test/test_reports.ml: Alcotest Astring Core Encode Json List Reports Scenarios

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Cloud Core Ecommerce Hexpr History List Mesh Netcheck Network Plan Planner Quant Scenarios Simulate Usage Validity

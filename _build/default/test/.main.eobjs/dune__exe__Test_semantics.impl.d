@@ -1,0 +1,1 @@
+test/test_semantics.ml: Action Alcotest Core Hexpr List QCheck QCheck_alcotest Scenarios Semantics Testkit Usage

@@ -1,0 +1,1 @@
+test/test_subcontract.ml: Alcotest Bisim Contract Core List Product QCheck QCheck_alcotest Scenarios Subcontract Testkit

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Core Fmt Hexpr Lambda_sec List Netcheck Option Plan Planner QCheck QCheck_alcotest Result Scenarios String Syntax Testkit Usage

@@ -1,0 +1,1 @@
+test/test_usage.ml: Alcotest QCheck QCheck_alcotest Scenarios Testkit Usage

@@ -1,0 +1,1 @@
+test/test_validity.ml: Alcotest Core Hexpr History List QCheck QCheck_alcotest Result Testkit Usage Validity

@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "secure-unfailing-services"
+    [
+      ("automata", Test_automata.suite);
+      ("usage", Test_usage.suite);
+      ("hexpr", Test_hexpr.suite);
+      ("semantics", Test_semantics.suite);
+      ("validity", Test_validity.suite);
+      ("contract", Test_contract.suite);
+      ("compliance", Test_compliance.suite);
+      ("network", Test_network.suite);
+      ("planner", Test_planner.suite);
+      ("bisim", Test_bisim.suite);
+      ("subcontract", Test_subcontract.suite);
+      ("policy-ops", Test_policy_ops.suite);
+      ("quant", Test_quant.suite);
+      ("bpa", Test_bpa.suite);
+      ("lambda", Test_lambda.suite);
+      ("syntax", Test_syntax.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("export", Test_export.suite);
+      ("corpus", Test_corpus.suite);
+      ("msc", Test_msc.suite);
+      ("reports", Test_reports.suite);
+      ("lint", Test_lint.suite);
+      ("discovery", Test_discovery.suite);
+      ("regex", Test_regex.suite);
+      ("audit", Test_audit.suite);
+      ("misc", Test_misc.suite);
+      ("laws", Test_laws.suite);
+      ("cli", Test_cli.suite);
+    ]

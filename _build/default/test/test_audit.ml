@@ -1,0 +1,76 @@
+(* Offline log auditing. *)
+
+let ev = Usage.Event.make
+let i = Usage.Value.int
+let s = Usage.Value.str
+
+let test_parse_log () =
+  let events =
+    Syntax.Audit.parse_log
+      "sgn(s1)\nprice(45) // receipt\n\n// a comment line\nrating(80)\nping\n"
+  in
+  Alcotest.(check int) "four events" 4 (List.length events);
+  Alcotest.(check bool) "first" true
+    (Usage.Event.equal (List.nth events 0) (ev ~arg:(s "s1") "sgn"));
+  Alcotest.(check bool) "second" true
+    (Usage.Event.equal (List.nth events 1) (ev ~arg:(i 45) "price"));
+  Alcotest.(check bool) "argless" true
+    (Usage.Event.equal (List.nth events 3) (ev "ping"))
+
+let test_parse_errors () =
+  (match Syntax.Audit.parse_log "sgn(s1)\nnot an event!\n" with
+  | exception Syntax.Audit.Error (_, 2) -> ()
+  | _ -> Alcotest.fail "expected an error on line 2");
+  match Syntax.Audit.parse_log "sgn($)\n" with
+  | exception Syntax.Audit.Error (_, 1) -> ()
+  | _ -> Alcotest.fail "expected a lexer error on line 1"
+
+let test_check () =
+  let events = [ ev ~arg:(s "s4") "sgn"; ev ~arg:(i 50) "price"; ev ~arg:(i 90) "rating" ] in
+  let verdicts =
+    Syntax.Audit.check [ Scenarios.Hotel.phi1; Scenarios.Hotel.phi2 ] events
+  in
+  (match verdicts with
+  | [ v1; v2 ] ->
+      Alcotest.(check (option int)) "phi1 violated at rating" (Some 3)
+        v1.Syntax.Audit.violation_at;
+      Alcotest.(check (option int)) "phi2 respected" None
+        v2.Syntax.Audit.violation_at
+  | _ -> Alcotest.fail "two verdicts");
+  Alcotest.(check string) "rendering"
+    "phi({s1},45,100): VIOLATED at event 3"
+    (Fmt.str "%a" Syntax.Audit.pp_verdict (List.hd verdicts))
+
+let test_simulated_logs_audit_clean () =
+  (* histories produced by monitored runs of a valid plan pass the audit *)
+  let t =
+    Core.Simulate.run Scenarios.Hotel.repo
+      (Core.Network.initial ~plan:Scenarios.Hotel.plan1
+         [ ("c1", Scenarios.Hotel.client1) ])
+      (Core.Simulate.random ~seed:9)
+  in
+  match t.Core.Simulate.final with
+  | [ c ] ->
+      let events =
+        Core.History.flatten (Core.Validity.Monitor.history c.Core.Network.monitor)
+      in
+      let log =
+        String.concat "\n"
+          (List.map (fun e -> Fmt.str "%a" Usage.Event.pp e) events)
+      in
+      let reparsed = Syntax.Audit.parse_log log in
+      Alcotest.(check int) "log round-trips" (List.length events)
+        (List.length reparsed);
+      let verdicts = Syntax.Audit.check [ Scenarios.Hotel.phi1 ] reparsed in
+      Alcotest.(check bool) "clean audit" true
+        (List.for_all (fun v -> v.Syntax.Audit.violation_at = None) verdicts)
+  | _ -> Alcotest.fail "one client"
+
+let suite =
+  [
+    Alcotest.test_case "log parsing" `Quick test_parse_log;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "checking" `Quick test_check;
+    Alcotest.test_case "simulated logs audit clean" `Quick
+      test_simulated_logs_audit_clean;
+  ]

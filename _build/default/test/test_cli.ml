@@ -1,0 +1,90 @@
+(* End-to-end tests of the susf binary: every subcommand runs against
+   the shipped hotel specification and exits with the documented code.
+   The binary is declared as a test dependency, so the relative path is
+   stable inside the dune sandbox. *)
+
+let susf = "../bin/susf.exe"
+let hotel = "../examples/data/hotel.susf"
+
+let run args =
+  let null = " > /dev/null 2> /dev/null" in
+  Sys.command (Filename.quote_command susf args ^ null)
+
+let check_exit expected args () =
+  Alcotest.(check int) (String.concat " " args) expected (run args)
+
+let write_log name contents =
+  let oc = open_out name in
+  output_string oc contents;
+  close_out oc;
+  name
+
+let test_audit_codes () =
+  let clean = write_log "clean.log" "sgn(s3)\nprice(90)\nrating(100)\n" in
+  let dirty = write_log "dirty.log" "sgn(s1)\n" in
+  Alcotest.(check int) "clean audit" 0
+    (run [ "audit"; hotel; clean; "--policy"; "phi({s1},45,100)" ]);
+  Alcotest.(check int) "dirty audit" 1
+    (run [ "audit"; hotel; dirty; "--policy"; "phi({s1},45,100)" ])
+
+let test_fmt_reparses () =
+  (* susf fmt output must be accepted by susf check *)
+  let code =
+    Sys.command
+      (Filename.quote_command susf [ "fmt"; hotel ]
+      ^ " > roundtrip.susf 2> /dev/null")
+  in
+  Alcotest.(check int) "fmt succeeds" 0 code;
+  Alcotest.(check int) "reparses and verifies" 0
+    (run [ "check"; "roundtrip.susf"; "-c"; "c1"; "-p"; "pi1" ])
+
+let suite =
+  [
+    Alcotest.test_case "check valid plan" `Quick
+      (check_exit 0 [ "check"; hotel; "-c"; "c1"; "-p"; "pi1" ]);
+    Alcotest.test_case "check invalid plan" `Quick
+      (check_exit 1 [ "check"; hotel; "-c"; "c2"; "-p"; "pi1" ]);
+    Alcotest.test_case "check json" `Quick
+      (check_exit 0 [ "check"; hotel; "--json" ]);
+    Alcotest.test_case "check-network" `Quick
+      (check_exit 0 [ "check-network"; hotel; "both" ]);
+    Alcotest.test_case "plans" `Quick (check_exit 0 [ "plans"; hotel ]);
+    (* c1's own projection is ε (its session body is inside the open),
+       so it trivially complies with the broker; two whole services
+       facing each other both wait for input and are stuck *)
+    Alcotest.test_case "compliance (yes)" `Quick
+      (check_exit 0 [ "compliance"; hotel; "c1"; "br" ]);
+    Alcotest.test_case "compliance (no)" `Quick
+      (check_exit 1 [ "compliance"; hotel; "br"; "s2" ]);
+    Alcotest.test_case "subcontract" `Quick
+      (check_exit 0 [ "subcontract"; hotel; "s2"; "s3" ]);
+    Alcotest.test_case "validity" `Quick (check_exit 0 [ "validity"; hotel ]);
+    Alcotest.test_case "simulate" `Quick
+      (check_exit 0 [ "simulate"; hotel; "-c"; "c1"; "-p"; "pi1"; "--compact" ]);
+    Alcotest.test_case "batch" `Quick
+      (check_exit 0 [ "batch"; hotel; "-c"; "c1"; "-p"; "pi1"; "--runs"; "10" ]);
+    Alcotest.test_case "coverage" `Quick
+      (check_exit 0 [ "coverage"; hotel; "-c"; "c1"; "-p"; "pi1"; "--runs"; "5" ]);
+    Alcotest.test_case "msc" `Quick
+      (check_exit 0 [ "msc"; hotel; "-c"; "c1"; "-p"; "pi1" ]);
+    Alcotest.test_case "cost" `Quick
+      (check_exit 0 [ "cost"; hotel; "-c"; "c1"; "--model"; "sgn=1" ]);
+    Alcotest.test_case "effects" `Quick (check_exit 0 [ "effects"; hotel ]);
+    Alcotest.test_case "graph" `Quick
+      (check_exit 0 [ "graph"; hotel; "c1"; "-p"; "pi1" ]);
+    Alcotest.test_case "dot" `Quick (check_exit 0 [ "dot"; hotel; "c1"; "br" ]);
+    Alcotest.test_case "dot-policy" `Quick
+      (check_exit 0 [ "dot-policy"; hotel; "phi({s1},45,100)" ]);
+    Alcotest.test_case "discover" `Quick
+      (check_exit 0 [ "discover"; hotel; "idc!.(bok? + una?)" ]);
+    Alcotest.test_case "diagnose (valid)" `Quick
+      (check_exit 0 [ "diagnose"; hotel; "-c"; "c1"; "-p"; "pi1" ]);
+    Alcotest.test_case "diagnose (invalid)" `Quick
+      (check_exit 1 [ "diagnose"; hotel; "-c"; "c2"; "-p"; "pi1" ]);
+    Alcotest.test_case "lint" `Quick (check_exit 0 [ "lint"; hotel ]);
+    Alcotest.test_case "show" `Quick (check_exit 0 [ "show"; hotel ]);
+    Alcotest.test_case "unknown file" `Quick
+      (check_exit 124 [ "check"; "no-such-file.susf" ]);
+    Alcotest.test_case "audit exit codes" `Quick test_audit_codes;
+    Alcotest.test_case "fmt round trip" `Quick test_fmt_reparses;
+  ]

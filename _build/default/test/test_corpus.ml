@@ -1,0 +1,106 @@
+(* Data-driven regression corpus: every [.susf] file under [corpus/]
+   carries machine-checked expectations in its comments.
+
+   - [// EXPECT-CHECK <client> <plan> <verdict>]
+     runs the planner ([analyze]) and compares the verdict
+     (valid | not-compliant | insecure | unserved);
+   - [// EXPECT-VALIDITY <client-or-service> <valid|invalid>]
+     checks stand-alone static validity (both engines must agree);
+   - [// EXPECT-EFFECT <program> <client>]
+     the program's inferred, normalised effect must be exactly the named
+     client's history expression. *)
+
+open Core
+
+let corpus_dir = "corpus"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let expectations src =
+  String.split_on_char '\n' src
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         match String.split_on_char ' ' line with
+         | "//" :: "EXPECT-CHECK" :: client :: plan :: verdict :: [] ->
+             Some (`Check (client, plan, verdict))
+         | "//" :: "EXPECT-VALIDITY" :: name :: verdict :: [] ->
+             Some (`Validity (name, verdict))
+         | "//" :: "EXPECT-EFFECT" :: program :: client :: [] ->
+             Some (`Effect (program, client))
+         | _ -> None)
+
+let verdict_string (r : Planner.report) =
+  match r.Planner.verdict with
+  | Ok _ -> "valid"
+  | Error (Planner.Not_compliant _) -> "not-compliant"
+  | Error (Planner.Insecure _) -> "insecure"
+  | Error (Planner.Unserved _) -> "unserved"
+  | Error (Planner.Outside_fragment _) -> "outside-fragment"
+
+let lookup_expr spec name =
+  match Syntax.Spec.find_client spec name with
+  | Some h -> h
+  | None -> (
+      match List.assoc_opt name (Syntax.Spec.repo spec) with
+      | Some h -> h
+      | None -> Alcotest.failf "unknown client or service %s" name)
+
+let run_file path () =
+  let src = read_file path in
+  let spec = Syntax.Parser.spec_of_string src in
+  let expected = expectations src in
+  Alcotest.(check bool)
+    (path ^ " has expectations") true (expected <> []);
+  List.iter
+    (function
+      | `Check (client, plan, verdict) ->
+          let h = lookup_expr spec client in
+          let p =
+            match Syntax.Spec.find_plan spec plan with
+            | Some p -> p
+            | None -> Alcotest.failf "unknown plan %s" plan
+          in
+          let r = Planner.analyze (Syntax.Spec.repo spec) ~client:(client, h) p in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: %s under %s" path client plan)
+            verdict (verdict_string r)
+      | `Validity (name, verdict) ->
+          let h = lookup_expr spec name in
+          let direct = Result.is_ok (Validity.check_expr h) in
+          let bpa = Result.is_ok (Bpa.Check.valid h) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: engines agree on %s" path name)
+            true (direct = bpa);
+          Alcotest.(check string)
+            (Printf.sprintf "%s: validity of %s" path name)
+            verdict
+            (if direct then "valid" else "invalid")
+      | `Effect (program, client) -> (
+          let t =
+            match Syntax.Spec.find_program spec program with
+            | Some t -> t
+            | None -> Alcotest.failf "unknown program %s" program
+          in
+          let expected_effect = lookup_expr spec client in
+          match Lambda_sec.Infer.infer [] t with
+          | Error e ->
+              Alcotest.failf "%s: %s does not type: %a" path program
+                Lambda_sec.Infer.pp_error e
+          | Ok (_, eff) ->
+              Alcotest.check
+                (Alcotest.testable Hexpr.pp Hexpr.equal)
+                (Printf.sprintf "%s: effect of %s" path program)
+                expected_effect (Hexpr.normalize eff)))
+    expected
+
+let suite =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".susf")
+  |> List.sort compare
+  |> List.map (fun f ->
+         Alcotest.test_case f `Quick (run_file (Filename.concat corpus_dir f)))

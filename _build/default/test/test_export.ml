@@ -1,0 +1,80 @@
+(* DOT exports and batch simulation statistics. *)
+
+open Core
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_hexpr_dot () =
+  let out = Fmt.str "%a" Export.hexpr_dot Scenarios.Hotel.s3 in
+  Alcotest.(check bool) "digraph" true (contains out "digraph hexpr");
+  Alcotest.(check bool) "has event label" true (contains out "sgn(s3)");
+  Alcotest.(check bool) "has terminal" true (contains out "doublecircle");
+  Alcotest.(check bool) "has init" true (contains out "init ->")
+
+let test_contract_dot () =
+  let out =
+    Fmt.str "%a" Export.contract_dot (Contract.project Scenarios.Hotel.broker)
+  in
+  Alcotest.(check bool) "digraph" true (contains out "digraph contract");
+  Alcotest.(check bool) "input label" true (contains out "req?");
+  Alcotest.(check bool) "output label" true (contains out "cobo!")
+
+let test_client_graph_dot () =
+  let out =
+    Fmt.str "%t"
+      (Export.client_graph_dot Scenarios.Hotel.repo Scenarios.Hotel.plan1
+         ("c1", Scenarios.Hotel.client1))
+  in
+  Alcotest.(check bool) "digraph" true (contains out "digraph client");
+  Alcotest.(check bool) "shows sync moves" true (contains out "tau(req)");
+  Alcotest.(check bool) "no blocked moves under pi1" false (contains out "blocked by")
+
+let test_client_graph_blocked () =
+  (* under the black-listed plan, the graph shows the blocked event *)
+  let out =
+    Fmt.str "%t"
+      (Export.client_graph_dot Scenarios.Hotel.repo Scenarios.Hotel.plan2_s3
+         ("c2", Scenarios.Hotel.client2))
+  in
+  Alcotest.(check bool) "dashed blocked edge" true (contains out "blocked by");
+  Alcotest.(check bool) "names the policy" true
+    (contains out "phi({s1,s3},40,70)");
+  Alcotest.(check bool) "stuck state highlighted" true (contains out "color=red")
+
+let test_batch_valid_plan () =
+  let stats =
+    Simulate.batch ~runs:40 Scenarios.Hotel.repo (fun () ->
+        Network.initial ~plan:Scenarios.Hotel.plan1
+          [ ("c1", Scenarios.Hotel.client1) ])
+  in
+  Alcotest.(check int) "all complete" 40 stats.Simulate.completed;
+  Alcotest.(check int) "all valid" 40 stats.Simulate.outcomes_valid;
+  Alcotest.(check int) "none stuck" 0 stats.Simulate.stuck;
+  Alcotest.(check bool) "sensible step count" true
+    (stats.Simulate.avg_steps >= 11.0 && stats.Simulate.avg_steps <= 13.0);
+  Alcotest.(check (float 1e-9)) "three events per run" 3.0 stats.Simulate.avg_events
+
+let test_batch_insecure_plan () =
+  let stats =
+    Simulate.batch ~runs:40 Scenarios.Hotel.repo (fun () ->
+        Network.initial
+          ~plan:(Plan.of_list [ (1, "br"); (3, "s1") ])
+          [ ("c1", Scenarios.Hotel.client1) ])
+  in
+  (* the monitor blocks the black-listed signing, so every run strands *)
+  Alcotest.(check int) "all stuck" 40 stats.Simulate.stuck;
+  (* but no history is ever invalid: the monitor did its job *)
+  Alcotest.(check int) "histories stay valid" 40 stats.Simulate.outcomes_valid
+
+let suite =
+  [
+    Alcotest.test_case "hexpr dot" `Quick test_hexpr_dot;
+    Alcotest.test_case "contract dot" `Quick test_contract_dot;
+    Alcotest.test_case "client graph dot" `Quick test_client_graph_dot;
+    Alcotest.test_case "blocked moves rendered" `Quick test_client_graph_blocked;
+    Alcotest.test_case "batch: valid plan" `Quick test_batch_valid_plan;
+    Alcotest.test_case "batch: insecure plan" `Quick test_batch_insecure_plan;
+  ]

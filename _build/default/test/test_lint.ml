@@ -1,0 +1,126 @@
+(* The specification linter. *)
+
+let lint src = Syntax.Lint.spec (Syntax.Parser.spec_of_string src)
+
+let messages fs = List.map (fun f -> f.Syntax.Lint.message) fs
+
+let has_subject fs subject =
+  List.exists (fun f -> String.equal f.Syntax.Lint.subject subject) fs
+
+let severities fs = List.map (fun f -> f.Syntax.Lint.severity) fs
+
+let test_clean_spec () =
+  let fs =
+    lint
+      {|
+service s = a?.(#x . b!);
+client  c = open(1){ a!.b? };
+plan    p = { 1 -> s };
+|}
+  in
+  (* only the no-policy info remains *)
+  Alcotest.(check (list string)) "only info" [ "request 1 imposes no policy" ]
+    (messages fs);
+  Alcotest.(check bool) "is info" true
+    (severities fs = [ Syntax.Lint.Info ])
+
+let test_hotel_spec () =
+  let spec = Syntax.Parser.spec_of_file "../examples/data/hotel.susf" in
+  let fs = Syntax.Lint.spec spec in
+  (* the broker can never receive s2's del *)
+  Alcotest.(check bool) "flags dead del channel" true
+    (has_subject fs "channel del");
+  Alcotest.(check bool) "no errors" true
+    (List.for_all (fun f -> f.Syntax.Lint.severity <> Syntax.Lint.Error) fs)
+
+let test_duplicate_names () =
+  let fs = lint {|
+service s = a?;
+service s = b?;
+|} in
+  Alcotest.(check bool) "duplicate flagged" true
+    (List.exists
+       (fun f ->
+         f.Syntax.Lint.severity = Syntax.Lint.Error
+         && String.equal f.Syntax.Lint.subject "service s")
+       fs)
+
+let test_bad_plan () =
+  let fs =
+    lint {|
+client c = open(1){ a! };
+plan p = { 1 -> ghost, 9 -> ghost };
+|}
+  in
+  Alcotest.(check bool) "unknown location is an error" true
+    (List.exists
+       (fun f ->
+         f.Syntax.Lint.severity = Syntax.Lint.Error
+         && String.equal f.Syntax.Lint.subject "plan p")
+       fs);
+  Alcotest.(check bool) "unknown request is a warning" true
+    (List.exists
+       (fun f -> String.equal f.Syntax.Lint.message "request 9 is not opened by any declaration")
+       fs)
+
+let test_uncovered_request () =
+  let fs = lint {|
+service s = a?;
+client c = open(7){ a! };
+|} in
+  Alcotest.(check bool) "uncovered request" true
+    (List.exists
+       (fun f ->
+         String.equal f.Syntax.Lint.message
+           "request 7 is not covered by any declared plan")
+       fs)
+
+let test_unheard_policy_event () =
+  let fs =
+    lint
+      {|
+policy q() {
+  start a;
+  offending bad;
+  a -- launch(x) --> bad;
+}
+service s = go?.(#ping . ok!);
+client c = open(1: q()){ go!.ok? };
+plan p = { 1 -> s };
+|}
+  in
+  Alcotest.(check bool) "unheard event" true
+    (List.exists
+       (fun f ->
+         String.equal f.Syntax.Lint.message
+           "observes event launch, which nothing in this specification fires")
+       fs);
+  Alcotest.(check bool) "hence vacuous" true
+    (List.exists
+       (fun f ->
+         String.equal f.Syntax.Lint.message
+           "cannot be violated by any event of this specification (vacuous)")
+       fs)
+
+let test_errors_first () =
+  let fs =
+    lint {|
+service s = a?;
+service s = a?;
+client c = open(1){ a! };
+|}
+  in
+  match severities fs with
+  | Syntax.Lint.Error :: _ -> ()
+  | _ -> Alcotest.fail "errors must sort first"
+
+let suite =
+  [
+    Alcotest.test_case "clean spec" `Quick test_clean_spec;
+    Alcotest.test_case "hotel spec" `Quick test_hotel_spec;
+    Alcotest.test_case "duplicate names" `Quick test_duplicate_names;
+    Alcotest.test_case "bad plans" `Quick test_bad_plan;
+    Alcotest.test_case "uncovered requests" `Quick test_uncovered_request;
+    Alcotest.test_case "unheard policy events" `Quick test_unheard_policy_event;
+    Alcotest.test_case "errors sort first" `Quick test_errors_first;
+  ]

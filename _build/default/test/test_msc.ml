@@ -1,0 +1,55 @@
+(* Message sequence charts. *)
+
+open Core
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let fig3_trace () =
+  let cfg =
+    Network.initial ~plan:Scenarios.Hotel.plan1
+      [ ("c1", Scenarios.Hotel.client1) ]
+  in
+  Simulate.run Scenarios.Hotel.repo cfg (Simulate.random ~seed:2)
+
+let test_participants () =
+  let msc = Msc.of_trace (fig3_trace ()) in
+  Alcotest.(check (list string)) "in order of appearance" [ "c1"; "br"; "s3" ]
+    (Msc.participants msc)
+
+let test_mermaid () =
+  let out = Fmt.str "%a" Msc.pp_mermaid (Msc.of_trace (fig3_trace ())) in
+  Alcotest.(check bool) "header" true (contains out "sequenceDiagram");
+  Alcotest.(check bool) "open activates" true (contains out "c1->>+br: open 1");
+  Alcotest.(check bool) "nested session" true (contains out "br->>+s3: open 3");
+  Alcotest.(check bool) "events as notes" true (contains out "Note over s3: sgn(s3)");
+  Alcotest.(check bool) "close deactivates the callee" true
+    (contains out "br-->>-s3: close 3");
+  Alcotest.(check bool) "final close" true (contains out "c1-->>-br: close 1")
+
+let test_message_direction () =
+  let out = Fmt.str "%a" Msc.pp_mermaid (Msc.of_trace (fig3_trace ())) in
+  (* the client sends the request; the broker forwards the data *)
+  Alcotest.(check bool) "c1 sends req" true (contains out "c1->>br: req");
+  Alcotest.(check bool) "br sends idc" true (contains out "br->>s3: idc");
+  (* the hotel answers *)
+  Alcotest.(check bool) "hotel answers" true
+    (contains out "s3->>br: bok" || contains out "s3->>br: una")
+
+let test_text_rendering () =
+  let out = Fmt.str "%a" Msc.pp_text (Msc.of_trace (fig3_trace ())) in
+  Alcotest.(check bool) "participants line" true
+    (contains out "participants: c1, br, s3");
+  Alcotest.(check bool) "open line" true
+    (contains out "c1 opens session 1: phi({s1},45,100) with br");
+  Alcotest.(check bool) "send line" true (contains out "c1 sends req to br")
+
+let suite =
+  [
+    Alcotest.test_case "participants" `Quick test_participants;
+    Alcotest.test_case "mermaid rendering" `Quick test_mermaid;
+    Alcotest.test_case "message direction" `Quick test_message_direction;
+    Alcotest.test_case "text rendering" `Quick test_text_rendering;
+  ]

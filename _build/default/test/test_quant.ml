@@ -1,0 +1,231 @@
+(* The quantitative extension: cost models, worst/best-case costs of
+   expressions, and cost-aware plan selection. *)
+
+open Core
+
+let model =
+  Quant.Model.of_list [ ("write", 2.0); ("read", 1.0); ("free", 0.0) ]
+
+let f = Alcotest.float 1e-9
+let ev = Hexpr.ev
+
+let test_model () =
+  Alcotest.check f "write" 2.0 (Quant.Model.cost model (Usage.Event.make "write"));
+  Alcotest.check f "unknown is default" 0.0
+    (Quant.Model.cost model (Usage.Event.make "zzz"));
+  Alcotest.check f "uniform" 3.0
+    (Quant.Model.cost (Quant.Model.uniform 3.0) (Usage.Event.make "any"));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Quant.Model: negative cost for bad") (fun () ->
+      ignore (Quant.Model.of_list [ ("bad", -1.0) ]))
+
+let wc h = Quant.Cost.worst_case model h
+let bc h = Quant.Cost.best_case model h
+
+let test_straight_line () =
+  let h = Hexpr.seq_all [ ev "write"; ev "read"; ev "write" ] in
+  Alcotest.(check (option f)) "worst" (Some 5.0) (wc h);
+  Alcotest.(check (option f)) "best" (Some 5.0) (bc h)
+
+let test_choice_costs () =
+  (* the client may be sent down either branch *)
+  let h = Hexpr.branch [ ("a", ev "write"); ("b", ev "read") ] in
+  Alcotest.(check (option f)) "worst takes write" (Some 2.0) (wc h);
+  Alcotest.(check (option f)) "best takes read" (Some 1.0) (bc h)
+
+let test_free_loop () =
+  (* a loop whose events are free: bounded worst case *)
+  let h =
+    Hexpr.mu "h"
+      (Hexpr.branch [ ("more", Hexpr.seq (ev "free") (Hexpr.var "h")); ("stop", ev "write") ])
+  in
+  Alcotest.(check (option f)) "free loop bounded" (Some 2.0) (wc h);
+  Alcotest.(check (option f)) "best exits immediately" (Some 2.0) (bc h)
+
+let test_billable_loop () =
+  let h =
+    Hexpr.mu "h"
+      (Hexpr.branch [ ("more", Hexpr.seq (ev "write") (Hexpr.var "h")); ("stop", Hexpr.nil) ])
+  in
+  Alcotest.(check (option f)) "billable loop unbounded" None (wc h);
+  Alcotest.(check (option f)) "but can terminate for free" (Some 0.0) (bc h)
+
+let test_nonterminating () =
+  let h = Hexpr.mu "h" (Hexpr.branch [ ("a", Hexpr.var "h") ]) in
+  Alcotest.(check (option f)) "never terminates" None (bc h);
+  Alcotest.(check (option f)) "but costs nothing" (Some 0.0) (wc h)
+
+let test_frames_are_free () =
+  let p = List.nth Testkit.Generators.policy_pool 0 in
+  let h = Hexpr.frame p (ev "write") in
+  Alcotest.(check (option f)) "frame free" (Some 2.0) (wc h)
+
+(* plan-level costs on the cloud-like scenario *)
+
+let storage =
+  Hexpr.mu "loop"
+    (Hexpr.branch
+       [
+         ("put", Hexpr.seq (ev "write") (Hexpr.select [ ("ack", Hexpr.var "loop") ]));
+         ("fin", Hexpr.nil);
+       ])
+
+let cheap_storage =
+  Hexpr.mu "loop"
+    (Hexpr.branch
+       [
+         ("put", Hexpr.seq (ev "free") (Hexpr.select [ ("ack", Hexpr.var "loop") ]));
+         ("fin", Hexpr.nil);
+       ])
+
+let client_two_puts =
+  Hexpr.open_ ~rid:1
+    (Hexpr.select
+       [ ("put", Hexpr.branch [ ("ack", Hexpr.select [ ("put", Hexpr.branch [ ("ack", Hexpr.select [ ("fin", Hexpr.nil) ]) ]) ]) ]) ])
+
+let repo = [ ("store", storage); ("cheap", cheap_storage) ]
+
+let test_plan_cost () =
+  let cost loc =
+    Quant.Plan_cost.worst_case repo
+      (Plan.of_list [ (1, loc) ])
+      ("cl", client_two_puts)
+      model
+  in
+  Alcotest.(check (option f)) "two writes" (Some 4.0) (cost "store");
+  Alcotest.(check (option f)) "free storage" (Some 0.0) (cost "cheap")
+
+let test_cheapest () =
+  match Quant.Plan_cost.cheapest repo ~client:("cl", client_two_puts) model with
+  | None -> Alcotest.fail "a valid plan exists"
+  | Some priced -> (
+      Alcotest.(check (option f)) "cheapest is free" (Some 0.0)
+        priced.Quant.Plan_cost.cost;
+      match Plan.find priced.Quant.Plan_cost.plan 1 with
+      | Some "cheap" -> ()
+      | _ -> Alcotest.fail "expected the cheap storage")
+
+let test_unbounded_client () =
+  (* a client that may put forever: the billable plan is unbounded *)
+  let forever =
+    Hexpr.open_ ~rid:1
+      (Hexpr.mu "h"
+         (Hexpr.select
+            [ ("put", Hexpr.branch [ ("ack", Hexpr.var "h") ]); ("fin", Hexpr.nil) ]))
+  in
+  Alcotest.(check (option f)) "unbounded" None
+    (Quant.Plan_cost.worst_case repo (Plan.of_list [ (1, "store") ])
+       ("cl", forever) model);
+  match Quant.Plan_cost.cheapest repo ~client:("cl", forever) model with
+  | Some { Quant.Plan_cost.cost = Some 0.0; plan } -> (
+      match Plan.find plan 1 with
+      | Some "cheap" -> ()
+      | _ -> Alcotest.fail "cheap expected")
+  | _ -> Alcotest.fail "the free plan is bounded"
+
+(* properties *)
+
+let prop_best_le_worst =
+  QCheck.Test.make ~name:"best-case ≤ worst-case when both exist" ~count:200
+    Testkit.Generators.hexpr_arb (fun h ->
+      let m = Quant.Model.uniform 1.0 in
+      match (Quant.Cost.best_case m h, Quant.Cost.worst_case m h) with
+      | Some b, Some w -> b <= w
+      | _ -> true)
+
+let prop_zero_model_zero_cost =
+  QCheck.Test.make ~name:"free model costs nothing" ~count:200
+    Testkit.Generators.hexpr_arb (fun h ->
+      Quant.Cost.worst_case (Quant.Model.uniform 0.0) h = Some 0.0)
+
+let prop_worst_monotone_in_model =
+  QCheck.Test.make ~name:"worst-case monotone in prices" ~count:150
+    Testkit.Generators.hexpr_arb (fun h ->
+      let w1 = Quant.Cost.worst_case (Quant.Model.uniform 1.0) h in
+      let w2 = Quant.Cost.worst_case (Quant.Model.uniform 2.0) h in
+      match (w1, w2) with
+      | Some a, Some b -> b >= a
+      | None, None -> true
+      (* both models price every event positively, so boundedness agrees *)
+      | Some _, None | None, Some _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "cost models" `Quick test_model;
+    Alcotest.test_case "straight line" `Quick test_straight_line;
+    Alcotest.test_case "choices" `Quick test_choice_costs;
+    Alcotest.test_case "free loop" `Quick test_free_loop;
+    Alcotest.test_case "billable loop" `Quick test_billable_loop;
+    Alcotest.test_case "non-terminating" `Quick test_nonterminating;
+    Alcotest.test_case "framings are free" `Quick test_frames_are_free;
+    Alcotest.test_case "plan costs" `Quick test_plan_cost;
+    Alcotest.test_case "cheapest plan" `Quick test_cheapest;
+    Alcotest.test_case "unbounded client" `Quick test_unbounded_client;
+    QCheck_alcotest.to_alcotest prop_best_le_worst;
+    QCheck_alcotest.to_alcotest prop_zero_model_zero_cost;
+    QCheck_alcotest.to_alcotest prop_worst_monotone_in_model;
+  ]
+
+(* --- expected cost (fuel-bounded value iteration) --- *)
+
+let test_expected_straight_line () =
+  let h = Hexpr.seq_all [ ev "write"; ev "read" ] in
+  Alcotest.check f "deterministic = exact" 3.0 (Quant.Cost.expected model h)
+
+let test_expected_branch () =
+  (* a fair branch between a 2.0 and a 1.0 path: expectation 1.5 *)
+  let h = Hexpr.branch [ ("a", ev "write"); ("b", ev "read") ] in
+  Alcotest.check f "mean of branches" 1.5 (Quant.Cost.expected model h)
+
+let test_expected_loop_converges () =
+  (* loop: with probability 1/2 pay 2.0 and retry, else stop.
+     E = 1/2 (2 + E) ⇒ E = 2. *)
+  let h =
+    Hexpr.mu "h"
+      (Hexpr.branch
+         [ ("more", Hexpr.seq (ev "write") (Hexpr.var "h")); ("stop", Hexpr.nil) ])
+  in
+  let e = Quant.Cost.expected ~fuel:200 model h in
+  Alcotest.(check bool) "close to 2.0" true (Float.abs (e -. 2.0) < 1e-6)
+
+let prop_expected_monotone_in_fuel =
+  QCheck.Test.make ~name:"expected cost is monotone in fuel" ~count:150
+    Testkit.Generators.hexpr_arb (fun h ->
+      let m = Quant.Model.uniform 1.0 in
+      Quant.Cost.expected ~fuel:8 m h <= Quant.Cost.expected ~fuel:32 m h +. 1e-9)
+
+let prop_expected_bounded_by_worst =
+  QCheck.Test.make ~name:"expected ≤ worst-case when bounded" ~count:150
+    Testkit.Generators.hexpr_arb (fun h ->
+      let m = Quant.Model.uniform 1.0 in
+      match Quant.Cost.worst_case m h with
+      | Some w -> Quant.Cost.expected ~fuel:64 m h <= w +. 1e-9
+      | None -> true)
+
+(* --- coverage --- *)
+
+let test_coverage () =
+  let cov =
+    Core.Simulate.coverage ~runs:60 Scenarios.Hotel.repo (fun () ->
+        Core.Network.initial ~plan:Scenarios.Hotel.plan1
+          [ ("c1", Scenarios.Hotel.client1) ])
+  in
+  let count k = Option.value (List.assoc_opt k cov) ~default:0 in
+  Alcotest.(check int) "every run opens request 1" 60 (count "open:1");
+  Alcotest.(check int) "every run opens request 3" 60 (count "open:3");
+  Alcotest.(check int) "every run signs" 60 (count "event:sgn");
+  Alcotest.(check bool) "both hotel answers occur" true
+    (count "chan:bok" > 0 && count "chan:una" > 0);
+  Alcotest.(check bool) "pay only on booked runs" true
+    (count "chan:pay" <= count "chan:cobo")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "expected: straight line" `Quick test_expected_straight_line;
+      Alcotest.test_case "expected: branch" `Quick test_expected_branch;
+      Alcotest.test_case "expected: loop converges" `Quick test_expected_loop_converges;
+      QCheck_alcotest.to_alcotest prop_expected_monotone_in_fuel;
+      QCheck_alcotest.to_alcotest prop_expected_bounded_by_worst;
+      Alcotest.test_case "coverage" `Quick test_coverage;
+    ]

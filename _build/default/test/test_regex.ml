@@ -1,0 +1,159 @@
+(* Regular expressions: derivative semantics vs Thompson compilation,
+   and regex-defined policies. *)
+
+module CharAlpha = struct
+  type t = char
+
+  let compare = Char.compare
+  let pp = Fmt.char
+end
+
+module R = Automata.Regex.Make (CharAlpha)
+
+let word s = List.init (String.length s) (String.get s)
+
+(* (a|b)*abb — the classic *)
+let classic =
+  R.(cat (star (alt (sym 'a') (sym 'b'))) (of_word [ 'a'; 'b'; 'b' ]))
+
+let test_matches () =
+  Alcotest.(check bool) "abb" true (R.matches classic (word "abb"));
+  Alcotest.(check bool) "aabb" true (R.matches classic (word "aabb"));
+  Alcotest.(check bool) "babb" true (R.matches classic (word "babb"));
+  Alcotest.(check bool) "ab" false (R.matches classic (word "ab"));
+  Alcotest.(check bool) "abba" false (R.matches classic (word "abba"));
+  Alcotest.(check bool) "empty" false (R.matches classic [])
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "alt empty" true (R.alt R.empty (R.sym 'a') = R.sym 'a');
+  Alcotest.(check bool) "cat eps" true (R.cat R.eps (R.sym 'a') = R.sym 'a');
+  Alcotest.(check bool) "cat empty annihilates" true
+    (R.cat R.empty (R.sym 'a') = R.empty);
+  Alcotest.(check bool) "star of eps" true (R.star R.eps = R.eps);
+  Alcotest.(check bool) "star idempotent" true
+    (R.star (R.star (R.sym 'a')) = R.star (R.sym 'a'))
+
+let test_nullable () =
+  Alcotest.(check bool) "eps" true (R.nullable R.eps);
+  Alcotest.(check bool) "star" true (R.nullable (R.star (R.sym 'a')));
+  Alcotest.(check bool) "sym" false (R.nullable (R.sym 'a'));
+  Alcotest.(check bool) "opt" true (R.nullable (R.opt (R.sym 'a')))
+
+let test_compile () =
+  let n = R.compile classic in
+  Alcotest.(check bool) "nfa abb" true (R.N.accepts n (word "abb"));
+  Alcotest.(check bool) "nfa babb" true (R.N.accepts n (word "babb"));
+  Alcotest.(check bool) "nfa abba" false (R.N.accepts n (word "abba"));
+  let e = R.compile R.empty in
+  Alcotest.(check bool) "empty language" true (R.N.is_language_empty e);
+  let plus_a = R.compile (R.plus (R.sym 'a')) in
+  Alcotest.(check bool) "a+ rejects eps" false (R.N.accepts plus_a []);
+  Alcotest.(check bool) "a+ accepts aa" true (R.N.accepts plus_a (word "aa"))
+
+(* random regex generator *)
+let regex_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 8) @@ fix (fun self n ->
+        if n <= 0 then
+          oneof [ return R.eps; map R.sym (oneofl [ 'a'; 'b'; 'c' ]); return R.empty ]
+        else
+          frequency
+            [
+              (1, return R.eps);
+              (3, map R.sym (oneofl [ 'a'; 'b'; 'c' ]));
+              (3, map2 R.alt (self (n / 2)) (self (n / 2)));
+              (3, map2 R.cat (self (n / 2)) (self (n / 2)));
+              (2, map R.star (self (n / 2)));
+            ]))
+
+let prop_thompson_matches_derivatives =
+  QCheck.Test.make ~name:"Thompson = Brzozowski" ~count:500
+    (QCheck.make
+       ~print:(fun (r, w) ->
+         Fmt.str "%a on %a" R.pp r Fmt.(Dump.list char) w)
+       QCheck.Gen.(pair regex_gen Testkit.Generators.word_gen))
+    (fun (r, w) -> R.matches r w = R.N.accepts (R.compile r) w)
+
+let prop_star_absorbs =
+  QCheck.Test.make ~name:"w ∈ L(r) implies ww ∈ L(r*)" ~count:300
+    (QCheck.make QCheck.Gen.(pair regex_gen Testkit.Generators.word_gen))
+    (fun (r, w) ->
+      if R.matches r w then R.matches (R.star r) (w @ w) else true)
+
+(* --- regex-defined policies --- *)
+
+let ev = Usage.Event.make
+
+let test_forbid_sequence () =
+  (* never write after read, as a forbidden subsequence *)
+  let aut =
+    Usage.Policy_regex.(
+      forbid ~name:"no_w_after_r" ~params:[]
+        (R.cat (evp "read") (evp "write")))
+  in
+  let p = Usage.Policy_lib.instantiate0 aut in
+  Alcotest.(check bool) "r then w" false
+    (Usage.Policy.respects p [ ev "read"; ev "write" ]);
+  Alcotest.(check bool) "interleaved" false
+    (Usage.Policy.respects p [ ev "read"; ev "log"; ev "write" ]);
+  Alcotest.(check bool) "w then r" true
+    (Usage.Policy.respects p [ ev "write"; ev "read" ])
+
+let test_forbid_equals_library_policy () =
+  (* the regex rendering of never_after agrees with the hand-written
+     automaton on the whole language over a ground alphabet *)
+  let aut =
+    Usage.Policy_regex.(
+      forbid ~name:"re" ~params:[] (R.cat (evp "read") (evp "write")))
+  in
+  let regex_policy = Usage.Policy_lib.instantiate0 aut in
+  let hand =
+    Usage.Policy_lib.instantiate0
+      (Usage.Policy_lib.never_after ~first:"read" ~then_:"write")
+  in
+  let alphabet = [ ev "read"; ev "write"; ev "log" ] in
+  Alcotest.(check bool) "language-equivalent" true
+    (Usage.Policy_ops.equivalent_on ~alphabet regex_policy hand)
+
+let test_forbid_guarded () =
+  (* two expensive charges in a row *)
+  let big = Usage.Guard.Cmp (Gt, Arg, Param "limit") in
+  let aut =
+    Usage.Policy_regex.(
+      forbid ~name:"two_big" ~params:[ "limit" ]
+        (R.cat (evp ~guard:big "charge") (evp ~guard:big "charge")))
+  in
+  let p = Usage.Usage_automaton.instantiate aut [ Usage.Value.int 50 ] in
+  let charge n = ev ~arg:(Usage.Value.int n) "charge" in
+  Alcotest.(check bool) "one big fine" true
+    (Usage.Policy.respects p [ charge 80 ]);
+  Alcotest.(check bool) "two big forbidden" false
+    (Usage.Policy.respects p [ charge 80; charge 90 ]);
+  Alcotest.(check bool) "big small big fine?" true
+    (* the small charge matches no pattern at the middle state, so it is
+       skipped; the second big charge then completes the pattern *)
+    (Usage.Policy.respects p [ charge 80; charge 10 ] );
+  Alcotest.(check bool) "big small big violates (subsequence)" false
+    (Usage.Policy.respects p [ charge 80; charge 10; charge 90 ])
+
+let test_forbid_nullable_rejected () =
+  Alcotest.(check bool) "nullable rejected" true
+    (try
+       ignore
+         (Usage.Policy_regex.(forbid ~name:"bad" ~params:[] (R.star (evp "x"))));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "matching" `Quick test_matches;
+    Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+    Alcotest.test_case "nullability" `Quick test_nullable;
+    Alcotest.test_case "compilation" `Quick test_compile;
+    QCheck_alcotest.to_alcotest prop_thompson_matches_derivatives;
+    QCheck_alcotest.to_alcotest prop_star_absorbs;
+    Alcotest.test_case "forbidden sequences" `Quick test_forbid_sequence;
+    Alcotest.test_case "regex = library policy" `Quick test_forbid_equals_library_policy;
+    Alcotest.test_case "guarded patterns" `Quick test_forbid_guarded;
+    Alcotest.test_case "nullable forbidden" `Quick test_forbid_nullable_rejected;
+  ]

@@ -1,0 +1,87 @@
+(* The JSON tree, escaping, and the report encoders. *)
+
+open Reports
+
+let str j = Json.to_string j
+
+let test_scalars () =
+  Alcotest.(check string) "null" "null" (str Json.Null);
+  Alcotest.(check string) "true" "true" (str (Json.Bool true));
+  Alcotest.(check string) "int" "42" (str (Json.Int 42));
+  Alcotest.(check string) "float" "1.5" (str (Json.Float 1.5));
+  Alcotest.(check string) "integral float" "3.0" (str (Json.Float 3.0));
+  Alcotest.(check string) "string" "\"hi\"" (str (Json.String "hi"))
+
+let test_escaping () =
+  Alcotest.(check string) "quotes" "\"a\\\"b\"" (str (Json.String "a\"b"));
+  Alcotest.(check string) "backslash" "\"a\\\\b\"" (str (Json.String "a\\b"));
+  Alcotest.(check string) "newline" "\"a\\nb\"" (str (Json.String "a\nb"));
+  Alcotest.(check string) "control" "\"a\\u0001b\"" (str (Json.String "a\001b"))
+
+let test_nesting () =
+  let j =
+    Json.Obj
+      [
+        ("xs", Json.List [ Json.Int 1; Json.Int 2 ]);
+        ("o", Json.Obj [ ("k", Json.Null) ]);
+      ]
+  in
+  Alcotest.(check string) "nested" "{\"xs\":[1,2],\"o\":{\"k\":null}}" (str j)
+
+let test_planner_report_valid () =
+  let r =
+    Core.Planner.analyze Scenarios.Hotel.repo
+      ~client:("c1", Scenarios.Hotel.client1)
+      Scenarios.Hotel.plan1
+  in
+  match Encode.planner_report r with
+  | Json.Obj fields ->
+      Alcotest.(check bool) "has plan" true (List.mem_assoc "plan" fields);
+      Alcotest.(check bool) "verdict valid" true
+        (List.assoc "verdict" fields = Json.String "valid")
+  | _ -> Alcotest.fail "expected an object"
+
+let test_planner_report_noncompliant () =
+  let r =
+    Core.Planner.analyze Scenarios.Hotel.repo
+      ~client:("c2", Scenarios.Hotel.client2)
+      Scenarios.Hotel.plan2_s2
+  in
+  let s = str (Encode.planner_report r) in
+  Alcotest.(check bool) "marks non-compliance" true
+    (Astring.String.is_infix ~affix:"not-compliant" s);
+  Alcotest.(check bool) "names the channel" true
+    (Astring.String.is_infix ~affix:"del" s)
+
+let test_planner_report_insecure () =
+  let r =
+    Core.Planner.analyze Scenarios.Hotel.repo
+      ~client:("c2", Scenarios.Hotel.client2)
+      Scenarios.Hotel.plan2_s3
+  in
+  let s = str (Encode.planner_report r) in
+  Alcotest.(check bool) "marks insecurity" true
+    (Astring.String.is_infix ~affix:"insecure" s);
+  Alcotest.(check bool) "names the policy" true
+    (Astring.String.is_infix ~affix:"phi({s1,s3},40,70)" s)
+
+let test_stats_encoding () =
+  let stats =
+    Core.Simulate.batch ~runs:5 Scenarios.Hotel.repo (fun () ->
+        Core.Network.initial ~plan:Scenarios.Hotel.plan1
+          [ ("c1", Scenarios.Hotel.client1) ])
+  in
+  let s = str (Encode.sim_stats stats) in
+  Alcotest.(check bool) "runs recorded" true
+    (Astring.String.is_infix ~affix:"\"runs\":5" s)
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    Alcotest.test_case "nesting" `Quick test_nesting;
+    Alcotest.test_case "planner report (valid)" `Quick test_planner_report_valid;
+    Alcotest.test_case "planner report (non-compliant)" `Quick test_planner_report_noncompliant;
+    Alcotest.test_case "planner report (insecure)" `Quick test_planner_report_insecure;
+    Alcotest.test_case "stats encoding" `Quick test_stats_encoding;
+  ]

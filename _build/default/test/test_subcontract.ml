@@ -1,0 +1,126 @@
+(* The subcontract preorder and its soundness for substitutability. *)
+
+open Core
+
+let recv = Contract.recv
+let send = Contract.send
+
+let test_basics () =
+  Alcotest.(check bool) "reflexive" true (Subcontract.refines (recv "a") (recv "a"));
+  (* a server may gain inputs *)
+  Alcotest.(check bool) "wider external choice" true
+    (Subcontract.refines (recv "a")
+       (Contract.branch [ ("a", Contract.nil); ("b", Contract.nil) ]));
+  (* but not lose them *)
+  Alcotest.(check bool) "narrower external choice" false
+    (Subcontract.refines
+       (Contract.branch [ ("a", Contract.nil); ("b", Contract.nil) ])
+       (recv "a"));
+  (* a server may choose among fewer outputs *)
+  Alcotest.(check bool) "narrower internal choice" true
+    (Subcontract.refines
+       (Contract.select [ ("a", Contract.nil); ("b", Contract.nil) ])
+       (send "a"));
+  (* but not add new ones *)
+  Alcotest.(check bool) "wider internal choice" false
+    (Subcontract.refines (send "a")
+       (Contract.select [ ("a", Contract.nil); ("b", Contract.nil) ]));
+  (* terminated refines everything *)
+  Alcotest.(check bool) "eps bottom" true (Subcontract.refines Contract.nil (recv "a"));
+  (* direction cannot flip *)
+  Alcotest.(check bool) "in vs out" false (Subcontract.refines (recv "a") (send "a"));
+  (* a live server cannot be replaced by a terminated one *)
+  Alcotest.(check bool) "not by eps" false (Subcontract.refines (send "a") Contract.nil)
+
+let test_deep () =
+  let s1 = Contract.branch [ ("a", Contract.select [ ("x", Contract.nil) ]) ] in
+  let s2 =
+    Contract.branch
+      [
+        ("a", Contract.select [ ("x", Contract.nil) ]);
+        ("b", Contract.nil);
+      ]
+  in
+  Alcotest.(check bool) "nested refinement" true (Subcontract.refines s1 s2);
+  let s3 =
+    Contract.branch
+      [ ("a", Contract.select [ ("x", Contract.nil); ("y", Contract.nil) ]) ]
+  in
+  (* continuation widens its internal choice: not a refinement *)
+  Alcotest.(check bool) "bad continuation" false (Subcontract.refines s1 s3);
+  (* but the converse is: s3's clients handle x and y, s1 only sends x *)
+  Alcotest.(check bool) "converse holds" true (Subcontract.refines s3 s1)
+
+let test_recursive () =
+  let loop = Contract.mu "h" (Contract.branch [ ("a", Contract.var "h") ]) in
+  let wider =
+    Contract.mu "h"
+      (Contract.branch [ ("a", Contract.var "h"); ("b", Contract.nil) ])
+  in
+  Alcotest.(check bool) "recursive reflexivity" true (Subcontract.refines loop loop);
+  Alcotest.(check bool) "recursive widening" true (Subcontract.refines loop wider);
+  Alcotest.(check bool) "recursive narrowing" false (Subcontract.refines wider loop)
+
+let test_hotel_substitution () =
+  (* s2 (with the extra Del) refines s3: anyone served by s2 is served by
+     s3 — the converse fails. So a repository may safely swap s2 out. *)
+  let s2 = Contract.project Scenarios.Hotel.s2 in
+  let s3 = Contract.project Scenarios.Hotel.s3 in
+  Alcotest.(check bool) "s2 ⊑ s3" true (Subcontract.refines s2 s3);
+  Alcotest.(check bool) "s3 ⋢ s2" false (Subcontract.refines s3 s2);
+  let widest =
+    Subcontract.widest_servers
+      (List.map (fun (l, h) -> (l, Contract.project h)) Scenarios.Hotel.hotels)
+      s2
+  in
+  Alcotest.(check (list string)) "substitutes for s2"
+    [ "s1"; "s2"; "s3"; "s4" ]
+    (List.sort compare (List.map fst widest))
+
+let test_equivalent () =
+  let s3 = Contract.project Scenarios.Hotel.s3 in
+  let s4 = Contract.project Scenarios.Hotel.s4 in
+  (* the hotels' contracts coincide after projection *)
+  Alcotest.(check bool) "s3 ≃ s4 as contracts" true (Subcontract.equivalent s3 s4)
+
+(* Soundness: refines s s' ∧ c ⊢ s ⇒ c ⊢ s'. *)
+let prop_soundness =
+  QCheck.Test.make ~name:"subcontract soundness (substitutability)" ~count:500
+    (QCheck.triple Testkit.Generators.contract_arb Testkit.Generators.contract_arb
+       Testkit.Generators.contract_arb)
+    (fun (client, s, s') ->
+      if Subcontract.refines s s' && Product.compliant client s then
+        Product.compliant client s'
+      else true)
+
+let prop_preorder =
+  QCheck.Test.make ~name:"subcontract is a preorder" ~count:200
+    (QCheck.triple Testkit.Generators.contract_arb Testkit.Generators.contract_arb
+       Testkit.Generators.contract_arb)
+    (fun (a, b, c) ->
+      let transitive =
+        if Subcontract.refines a b && Subcontract.refines b c then
+          Subcontract.refines a c
+        else true
+      in
+      Subcontract.refines a a && transitive)
+
+let prop_bisim_implies_equiv =
+  QCheck.Test.make ~name:"bisimilar contracts are subcontract-equivalent"
+    ~count:150
+    (QCheck.pair Testkit.Generators.contract_arb Testkit.Generators.contract_arb)
+    (fun (a, b) ->
+      QCheck.assume (Bisim.contract_strong a b);
+      Subcontract.equivalent a b)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "nested" `Quick test_deep;
+    Alcotest.test_case "recursive" `Quick test_recursive;
+    Alcotest.test_case "hotel substitution" `Quick test_hotel_substitution;
+    Alcotest.test_case "equivalence" `Quick test_equivalent;
+    QCheck_alcotest.to_alcotest prop_soundness;
+    QCheck_alcotest.to_alcotest prop_preorder;
+    QCheck_alcotest.to_alcotest prop_bisim_implies_equiv;
+  ]

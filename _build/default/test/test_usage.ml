@@ -1,0 +1,246 @@
+(* Usage automata: guards, instantiation, the paper's Fig. 1 policy (E1),
+   and the generic policy library. *)
+
+let ev = Usage.Event.make
+let i = Usage.Value.int
+let s = Usage.Value.str
+
+let sgn name = ev ~arg:(s name) "sgn"
+let price p = ev ~arg:(i p) "price"
+let rating t = ev ~arg:(i t) "rating"
+
+let hotel_trace name p t = [ sgn name; price p; rating t ]
+
+(* φ₁ = φ({s1},45,100) and φ₂ = φ({s1,s3},40,70), as in §2 *)
+let phi1 = Scenarios.Hotel.phi1
+let phi2 = Scenarios.Hotel.phi2
+
+let respects = Usage.Policy.respects
+
+let test_policy_ids () =
+  Alcotest.(check string) "phi1 id" "phi({s1},45,100)" (Usage.Policy.id phi1);
+  Alcotest.(check string) "phi2 id" "phi({s1,s3},40,70)" (Usage.Policy.id phi2)
+
+let test_fig1_phi1 () =
+  (* S1: black-listed *)
+  Alcotest.(check bool) "s1 violates phi1" false
+    (respects phi1 (hotel_trace "s1" 45 80));
+  (* S2: price 70 > 45 but rating 100 ≥ 100 *)
+  Alcotest.(check bool) "s2 respects phi1" true
+    (respects phi1 (hotel_trace "s2" 70 100));
+  (* S3: price 90 > 45 but rating 100 ≥ 100 *)
+  Alcotest.(check bool) "s3 respects phi1" true
+    (respects phi1 (hotel_trace "s3" 90 100));
+  (* S4: price 50 > 45 and rating 90 < 100 *)
+  Alcotest.(check bool) "s4 violates phi1" false
+    (respects phi1 (hotel_trace "s4" 50 90))
+
+let test_fig1_phi2 () =
+  Alcotest.(check bool) "s1 violates phi2" false
+    (respects phi2 (hotel_trace "s1" 45 80));
+  Alcotest.(check bool) "s2 respects phi2" true
+    (respects phi2 (hotel_trace "s2" 70 100));
+  Alcotest.(check bool) "s3 violates phi2 (black list)" false
+    (respects phi2 (hotel_trace "s3" 90 100));
+  Alcotest.(check bool) "s4 respects phi2" true
+    (respects phi2 (hotel_trace "s4" 50 90))
+
+let test_fig1_boundaries () =
+  (* price exactly at the threshold is fine regardless of rating *)
+  Alcotest.(check bool) "price = p ok" true
+    (respects phi1 (hotel_trace "s2" 45 0));
+  (* rating exactly at the threshold saves a high price *)
+  Alcotest.(check bool) "rating = t ok" true
+    (respects phi1 (hotel_trace "s2" 46 100));
+  Alcotest.(check bool) "rating just below" false
+    (respects phi1 (hotel_trace "s2" 46 99))
+
+let test_first_violation () =
+  Alcotest.(check (option int)) "violation at sgn" (Some 0)
+    (Usage.Policy.first_violation phi1 (hotel_trace "s1" 45 80));
+  Alcotest.(check (option int)) "violation at rating" (Some 2)
+    (Usage.Policy.first_violation phi1 (hotel_trace "s4" 50 90));
+  Alcotest.(check (option int)) "no violation" None
+    (Usage.Policy.first_violation phi1 (hotel_trace "s3" 90 100))
+
+let test_prefix_ok () =
+  (* a trace stopping before the rating is not (yet) a violation *)
+  Alcotest.(check bool) "prefix ok" true (respects phi1 [ sgn "s4"; price 50 ])
+
+let test_cursors () =
+  let c0 = Usage.Policy.start phi1 in
+  Alcotest.(check bool) "start not offending" false
+    (Usage.Policy.offending phi1 c0);
+  let c1 = Usage.Policy.advance phi1 c0 (sgn "s1") in
+  Alcotest.(check bool) "offending after blacklisted sgn" true
+    (Usage.Policy.offending phi1 c1);
+  let replayed = Usage.Policy.replay phi1 [ sgn "s4"; price 50; rating 90 ] in
+  Alcotest.(check bool) "replay offending" true
+    (Usage.Policy.offending phi1 replayed)
+
+let test_instantiate_arity () =
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Usage_automaton.instantiate: phi expects 3 parameters")
+    (fun () ->
+      ignore (Usage.Usage_automaton.instantiate Usage.Policy_lib.hotel [ i 1 ]))
+
+let test_make_validation () =
+  Alcotest.check_raises "duplicate parameter"
+    (Invalid_argument "Usage_automaton.make: duplicate parameter") (fun () ->
+      ignore
+        (Usage.Usage_automaton.make ~name:"bad" ~params:[ "p"; "p" ] ~init:0
+           ~offending:[] ~edges:[]));
+  (try
+     ignore
+       (Usage.Usage_automaton.make ~name:"bad" ~params:[] ~init:0 ~offending:[]
+          ~edges:
+            [ Usage.Usage_automaton.edge 0 "x" (Usage.Guard.Cmp (Le, Arg, Param "q")) 1 ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_never () =
+  let p = Usage.Policy_lib.instantiate0 (Usage.Policy_lib.never "pay") in
+  Alcotest.(check bool) "empty ok" true (respects p []);
+  Alcotest.(check bool) "other events ok" true (respects p [ ev "x"; ev "y" ]);
+  Alcotest.(check bool) "pay violates" false (respects p [ ev "x"; ev "pay" ])
+
+let test_never_after () =
+  let p =
+    Usage.Policy_lib.instantiate0
+      (Usage.Policy_lib.never_after ~first:"read" ~then_:"write")
+  in
+  Alcotest.(check bool) "write before read ok" true
+    (respects p [ ev "write"; ev "read" ]);
+  Alcotest.(check bool) "write after read bad" false
+    (respects p [ ev "read"; ev "write" ]);
+  Alcotest.(check bool) "read read write bad" false
+    (respects p [ ev "read"; ev "read"; ev "write" ])
+
+let test_at_most () =
+  let p = Usage.Policy_lib.instantiate0 (Usage.Policy_lib.at_most ~n:2 "x") in
+  Alcotest.(check bool) "two ok" true (respects p [ ev "x"; ev "x" ]);
+  Alcotest.(check bool) "three bad" false (respects p [ ev "x"; ev "x"; ev "x" ]);
+  let p0 = Usage.Policy_lib.instantiate0 (Usage.Policy_lib.at_most ~n:0 "x") in
+  Alcotest.(check bool) "zero: none ok" true (respects p0 []);
+  Alcotest.(check bool) "zero: one bad" false (respects p0 [ ev "x" ])
+
+let test_requires_before () =
+  let p =
+    Usage.Policy_lib.instantiate0
+      (Usage.Policy_lib.requires_before ~before:"auth" ~target:"pay")
+  in
+  Alcotest.(check bool) "auth then pay ok" true (respects p [ ev "auth"; ev "pay" ]);
+  Alcotest.(check bool) "bare pay bad" false (respects p [ ev "pay" ]);
+  Alcotest.(check bool) "no pay ok" true (respects p [ ev "auth"; ev "auth" ])
+
+let test_guard_eval () =
+  let env = [ ("p", i 10); ("bl", Usage.Value.set [ s "a"; s "b" ]) ] in
+  let eval g arg = Usage.Guard.eval env g (Some arg) in
+  Alcotest.(check bool) "le true" true (eval (Cmp (Le, Arg, Param "p")) (i 10));
+  Alcotest.(check bool) "le false" false (eval (Cmp (Le, Arg, Param "p")) (i 11));
+  Alcotest.(check bool) "member" true (eval (Member (Arg, Param "bl")) (s "a"));
+  Alcotest.(check bool) "not member" true
+    (eval (Not_member (Arg, Param "bl")) (s "c"));
+  Alcotest.(check bool) "and" true
+    (eval (And (Cmp (Ge, Arg, Const (i 5)), Cmp (Le, Arg, Param "p"))) (i 7));
+  Alcotest.(check bool) "or" true
+    (eval (Or (Cmp (Gt, Arg, Param "p"), Cmp (Eq, Arg, Const (i 3)))) (i 3));
+  Alcotest.(check bool) "not" true (eval (Not (Cmp (Eq, Arg, Const (i 3)))) (i 4));
+  (* conservative failures *)
+  Alcotest.(check bool) "missing param" false
+    (eval (Cmp (Le, Arg, Param "zzz")) (i 1));
+  Alcotest.(check bool) "order on strings" false
+    (eval (Cmp (Le, Arg, Const (s "x"))) (s "x"));
+  Alcotest.(check bool) "missing arg" false
+    (Usage.Guard.eval env (Cmp (Le, Arg, Param "p")) None)
+
+let test_value () =
+  Alcotest.(check bool) "set dedup" true
+    (Usage.Value.equal (Usage.Value.set [ i 1; i 1; i 2 ]) (Usage.Value.set [ i 2; i 1 ]));
+  Alcotest.(check bool) "mem set" true (Usage.Value.mem (i 1) (Usage.Value.set [ i 1 ]));
+  Alcotest.(check bool) "mem scalar" true (Usage.Value.mem (i 1) (i 1));
+  Alcotest.(check (option int)) "as_int" (Some 3) (Usage.Value.as_int (i 3));
+  Alcotest.(check (option int)) "as_int str" None (Usage.Value.as_int (s "x"))
+
+let prop_respects_iff_no_first_violation =
+  QCheck.Test.make ~name:"respects iff first_violation = None" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair Testkit.Generators.policy_gen (list_size (int_bound 12) Testkit.Generators.event_gen)))
+    (fun (p, tr) ->
+      Usage.Policy.respects p tr = (Usage.Policy.first_violation p tr = None))
+
+let prop_offending_absorbing =
+  QCheck.Test.make ~name:"violations are not forgotten (absorbing)" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         triple Testkit.Generators.policy_gen
+           (list_size (int_bound 8) Testkit.Generators.event_gen)
+           (list_size (int_bound 8) Testkit.Generators.event_gen)))
+    (fun (p, tr1, tr2) ->
+      QCheck.assume (not (Usage.Policy.respects p tr1));
+      not (Usage.Policy.respects p (tr1 @ tr2)))
+
+let suite =
+  [
+    Alcotest.test_case "policy ids" `Quick test_policy_ids;
+    Alcotest.test_case "Fig.1 against phi1 (E1)" `Quick test_fig1_phi1;
+    Alcotest.test_case "Fig.1 against phi2 (E1)" `Quick test_fig1_phi2;
+    Alcotest.test_case "Fig.1 threshold boundaries" `Quick test_fig1_boundaries;
+    Alcotest.test_case "first violation index" `Quick test_first_violation;
+    Alcotest.test_case "prefixes are not violations" `Quick test_prefix_ok;
+    Alcotest.test_case "cursors" `Quick test_cursors;
+    Alcotest.test_case "instantiation arity" `Quick test_instantiate_arity;
+    Alcotest.test_case "automaton validation" `Quick test_make_validation;
+    Alcotest.test_case "never" `Quick test_never;
+    Alcotest.test_case "never-after" `Quick test_never_after;
+    Alcotest.test_case "at-most" `Quick test_at_most;
+    Alcotest.test_case "requires-before" `Quick test_requires_before;
+    Alcotest.test_case "guard evaluation" `Quick test_guard_eval;
+    Alcotest.test_case "values" `Quick test_value;
+    QCheck_alcotest.to_alcotest prop_respects_iff_no_first_violation;
+    QCheck_alcotest.to_alcotest prop_offending_absorbing;
+  ]
+
+let test_alternate () =
+  let p =
+    Usage.Policy_lib.instantiate0
+      (Usage.Policy_lib.alternate ~first:"lock" ~second:"unlock")
+  in
+  let l = ev "lock" and u = ev "unlock" in
+  Alcotest.(check bool) "empty" true (respects p []);
+  Alcotest.(check bool) "lock unlock lock" true (respects p [ l; u; l ]);
+  Alcotest.(check bool) "double lock" false (respects p [ l; l ]);
+  Alcotest.(check bool) "unlock first" false (respects p [ u ]);
+  Alcotest.(check bool) "others ignored" true (respects p [ l; ev "x"; u ])
+
+let test_mutually_exclusive () =
+  let p =
+    Usage.Policy_lib.instantiate0 (Usage.Policy_lib.mutually_exclusive "dev" "prod")
+  in
+  let d = ev "dev" and pr = ev "prod" in
+  Alcotest.(check bool) "dev only" true (respects p [ d; d ]);
+  Alcotest.(check bool) "prod only" true (respects p [ pr; pr ]);
+  Alcotest.(check bool) "dev then prod" false (respects p [ d; pr ]);
+  Alcotest.(check bool) "prod then dev" false (respects p [ pr; d ])
+
+let test_arg_at_most () =
+  let p =
+    Usage.Usage_automaton.instantiate
+      (Usage.Policy_lib.arg_at_most "charge")
+      [ i 100 ]
+  in
+  let charge n = ev ~arg:(i n) "charge" in
+  Alcotest.(check bool) "at limit" true (respects p [ charge 100 ]);
+  Alcotest.(check bool) "over" false (respects p [ charge 101 ]);
+  (* an argument-less charge cannot be compared: guard conservatively
+     fails, so the event stays put (no violation) *)
+  Alcotest.(check bool) "no argument: no step" true (respects p [ ev "charge" ])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "alternate" `Quick test_alternate;
+      Alcotest.test_case "mutually exclusive" `Quick test_mutually_exclusive;
+      Alcotest.test_case "argument bound" `Quick test_arg_at_most;
+    ]
