@@ -215,22 +215,78 @@ let simulate_cmd =
   let compact_arg =
     Arg.(value & flag & info [ "compact" ] ~doc:"One line per transition.")
   in
-  let run file client plan_name seed max_steps compact =
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Inject faults and run under the supervised runtime. SPEC is a \
+             comma-separated list of KIND\\@TRIGGER items, e.g. \
+             $(b,crash:s3\\@4) (crash location s3 at step 4), \
+             $(b,crash:s3\\@p0.01) (per-step probability), $(b,drop:idc\\@7), \
+             $(b,delay:req:3\\@p0.05), $(b,violate:s1\\@2).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int Runtime.Supervisor.default.Runtime.Supervisor.max_retries
+      & info [ "retries" ] ~docv:"K"
+          ~doc:"Retry budget per request under $(b,--faults).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"With $(b,--faults), print the recovery report as JSON.")
+  in
+  let run file client plan_name seed max_steps compact faults retries json =
     let spec = load file in
     let repo = Syntax.Spec.repo spec in
     let cs = clients spec client in
     let plan =
       match plan_name with Some pn -> plan_of spec pn | None -> Core.Plan.empty
     in
-    let cfg = Core.Network.initial ~plan cs in
-    let t = Core.Simulate.run ~max_steps repo cfg (Core.Simulate.random ~seed) in
-    if compact then Core.Simulate.pp_trace_compact Fmt.stdout t
-    else Core.Simulate.pp_trace Fmt.stdout t;
-    exit (match t.Core.Simulate.outcome with Core.Simulate.Completed -> 0 | _ -> 1)
+    match faults with
+    | None ->
+        let cfg = Core.Network.initial ~plan cs in
+        let t =
+          Core.Simulate.run ~max_steps repo cfg (Core.Simulate.random ~seed)
+        in
+        if compact then Core.Simulate.pp_trace_compact Fmt.stdout t
+        else Core.Simulate.pp_trace Fmt.stdout t;
+        exit
+          (match t.Core.Simulate.outcome with
+          | Core.Simulate.Completed -> 0
+          | _ -> 1)
+    | Some spec_str -> (
+        match Runtime.Faults.parse spec_str with
+        | Error e ->
+            Fmt.epr "bad --faults spec: %s@." e;
+            exit 2
+        | Ok fspec ->
+            let supervisor =
+              { Runtime.Supervisor.default with max_retries = retries }
+            in
+            let r =
+              Runtime.Engine.run ~max_steps ~supervisor ~faults:fspec ~seed repo
+                (List.map (fun c -> (plan, c)) cs)
+                (Core.Simulate.random ~seed)
+            in
+            if json then
+              Fmt.pr "%a@." Reports.Json.pp (Reports.Encode.runtime_report r)
+            else begin
+              if compact then
+                Core.Simulate.pp_trace_compact Fmt.stdout r.Runtime.Engine.trace
+              else Core.Simulate.pp_trace Fmt.stdout r.Runtime.Engine.trace;
+              Runtime.Engine.pp_report Fmt.stdout r
+            end;
+            exit (if Runtime.Engine.completed r then 0 else 1))
   in
   let doc = "Run the network under a plan with a random scheduler." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ file_arg $ client_arg $ plan_arg $ seed_arg $ steps_arg $ compact_arg)
+    Term.(
+      const run $ file_arg $ client_arg $ plan_arg $ seed_arg $ steps_arg
+      $ compact_arg $ faults_arg $ retries_arg $ json_arg)
 
 (* --- dot --- *)
 

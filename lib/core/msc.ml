@@ -33,6 +33,12 @@ let of_trace (tr : Simulate.trace) =
         | Network.L_frame_close (l, p) ->
             remember l;
             Some (Note (l, Fmt.str "leave %s" (Usage.Policy.id p)))
+        | Network.L_crash l ->
+            remember l;
+            Some (Note (l, "CRASH"))
+        | Network.L_abort (r, lc, ls) ->
+            remember lc;
+            Some (Note (lc, Fmt.str "abort %d (lost %s)" r.Hexpr.rid ls))
         | Network.L_commit _ -> None)
       tr.Simulate.steps
   in

@@ -12,6 +12,8 @@ type glabel =
   | L_frame_open of string * Usage.Policy.t
   | L_frame_close of string * Usage.Policy.t
   | L_commit of string
+  | L_crash of string
+  | L_abort of Hexpr.req * string * string
 
 let initial_vector clients =
   List.map
@@ -25,6 +27,12 @@ let initial ?(plan = Plan.empty) clients =
 let rec locations = function
   | Leaf (l, _) -> [ l ]
   | Session (a, b) -> locations a @ locations b
+
+(* The leftmost leaf: sessions are built as [Session (client side,
+   joined service)], so the original top-level client stays leftmost. *)
+let rec client_location = function
+  | Leaf (l, _) -> l
+  | Session (a, _) -> client_location a
 
 let terminated = function
   | Leaf (_, h) -> Semantics.is_terminated h
@@ -211,8 +219,11 @@ let glabel_equal a b =
   | L_frame_close (l1, p1), L_frame_close (l2, p2) ->
       String.equal l1 l2 && Usage.Policy.equal p1 p2
   | L_commit l1, L_commit l2 -> String.equal l1 l2
+  | L_crash l1, L_crash l2 -> String.equal l1 l2
+  | L_abort (r1, c1, l1), L_abort (r2, c2, l2) ->
+      Hexpr.compare_req r1 r2 = 0 && String.equal c1 c2 && String.equal l1 l2
   | ( ( L_open _ | L_close _ | L_sync _ | L_event _ | L_frame_open _
-      | L_frame_close _ | L_commit _ ),
+      | L_frame_close _ | L_commit _ | L_crash _ | L_abort _ ),
       _ ) ->
       false
 
@@ -229,6 +240,9 @@ let pp_glabel ppf = function
   | L_frame_open (l, p) -> Fmt.pf ppf "[%s @@%s" (Usage.Policy.id p) l
   | L_frame_close (l, p) -> Fmt.pf ppf "%s] @@%s" (Usage.Policy.id p) l
   | L_commit l -> Fmt.pf ppf "commit @@%s" l
+  | L_crash l -> Fmt.pf ppf "crash @@%s" l
+  | L_abort (r, lc, ls) ->
+      Fmt.pf ppf "abort_%a %s-x->%s" Hexpr.pp_req r lc ls
 
 let pp_config ppf cfg =
   Fmt.pf ppf "@[<v>%a@]"

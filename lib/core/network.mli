@@ -35,6 +35,12 @@ type glabel =
   | L_frame_open of string * Usage.Policy.t
   | L_frame_close of string * Usage.Policy.t
   | L_commit of string  (** internal commit of an unguarded choice *)
+  | L_crash of string
+      (** the service at this location crashed (runtime fault injection;
+          never produced by {!steps}) *)
+  | L_abort of Hexpr.req * string * string
+      (** the supervisor aborted the session for this request: client
+          location, failed service location (never produced by {!steps}) *)
 
 val initial : ?plan:Plan.t -> (string * Hexpr.t) list -> config
 (** Clients with empty histories, all under the same [plan] (default
@@ -44,6 +50,10 @@ val initial_vector : (Plan.t * (string * Hexpr.t)) list -> config
 (** Clients with empty histories and per-client plans ([~π]). *)
 
 val locations : component -> string list
+
+val client_location : component -> string
+(** The leftmost leaf — the location of the top-level client that the
+    component grew from (sessions join services on the right). *)
 
 val terminated : component -> bool
 (** [ℓ : ε] — the component has successfully completed. *)

@@ -12,6 +12,7 @@ let add r l t =
   | _ -> IMap.add r l t
 
 let of_list l = List.fold_left (fun t (r, loc) -> add r loc t) empty l
+let rebind r l t = IMap.add r l t
 let bindings = IMap.bindings
 let find t r = IMap.find_opt r t
 let domain t = List.map fst (IMap.bindings t)

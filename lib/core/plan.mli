@@ -10,6 +10,12 @@ val of_list : (int * string) list -> t
 
 val bindings : t -> (int * string) list
 val add : int -> string -> t -> t
+(** Raises [Invalid_argument] if the request is already bound elsewhere. *)
+
+val rebind : int -> string -> t -> t
+(** Replace (or create) a binding unconditionally — the failover
+    primitive: [rebind r l π] is [π] with [r[l]] substituted. *)
+
 val find : t -> int -> string option
 val domain : t -> int list
 val union : t -> t -> t

@@ -28,7 +28,12 @@ let script preds ~step moves =
   | None -> None
   | Some p -> List.find_opt (fun (_, g, _) -> p g) moves
 
-type outcome = Completed | Stuck | Out_of_fuel | Stopped
+type outcome =
+  | Completed
+  | Stuck of string list
+  | Degraded of { completed : string list; abandoned : (string * string) list }
+  | Out_of_fuel
+  | Stopped
 
 type trace = {
   steps : (Network.glabel * Network.config) list;
@@ -36,14 +41,24 @@ type trace = {
   outcome : outcome;
 }
 
-let run ?(max_steps = 1000) ?(monitored = true) repo cfg0 (sched : scheduler) =
+let unfinished cfg =
+  List.filter_map
+    (fun c ->
+      if Network.terminated c.Network.comp then None
+      else Some (Network.client_location c.Network.comp))
+    cfg
+
+let run ?(max_steps = 1000) ?(monitored = true)
+    ?(interference = fun ~step:_ moves -> moves) repo cfg0 (sched : scheduler) =
   let rec go acc step cfg =
     if step >= max_steps then
       { steps = List.rev acc; final = cfg; outcome = Out_of_fuel }
     else
-      match Network.steps ~monitored repo cfg with
+      match interference ~step (Network.steps ~monitored repo cfg) with
       | [] ->
-          let outcome = if Network.config_done cfg then Completed else Stuck in
+          let outcome =
+            if Network.config_done cfg then Completed else Stuck (unfinished cfg)
+          in
           { steps = List.rev acc; final = cfg; outcome }
       | moves -> (
           match sched ~step moves with
@@ -58,7 +73,18 @@ let run ?(max_steps = 1000) ?(monitored = true) repo cfg0 (sched : scheduler) =
 
 let pp_outcome ppf = function
   | Completed -> Fmt.string ppf "completed"
-  | Stuck -> Fmt.string ppf "stuck"
+  | Stuck [] -> Fmt.string ppf "stuck"
+  | Stuck unfinished ->
+      Fmt.pf ppf "stuck (unfinished: %a)"
+        Fmt.(list ~sep:(any ", ") string)
+        unfinished
+  | Degraded { completed; abandoned } ->
+      Fmt.pf ppf "degraded (completed: %a; abandoned: %a)"
+        Fmt.(list ~sep:(any ", ") string)
+        completed
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (l, why) -> pf ppf "%s — %s" l why))
+        abandoned
   | Out_of_fuel -> Fmt.string ppf "out of fuel"
   | Stopped -> Fmt.string ppf "stopped by scheduler"
 
@@ -96,7 +122,7 @@ let batch ?(runs = 100) ?(max_steps = 1000) repo mk_config =
     let t = run ~max_steps repo (mk_config ()) (random ~seed) in
     (match t.outcome with
     | Completed -> incr completed
-    | Stuck -> incr stuck
+    | Stuck _ | Degraded _ -> incr stuck
     | Out_of_fuel -> incr fuel
     | Stopped -> ());
     steps := !steps + List.length t.steps;
@@ -141,7 +167,7 @@ let coverage ?(runs = 100) ?(max_steps = 1000) repo mk_config =
         | Network.L_event (_, e) -> bump ("event:" ^ e.Usage.Event.name)
         | Network.L_open (r, _, _) -> bump (Printf.sprintf "open:%d" r.Hexpr.rid)
         | Network.L_close _ | Network.L_frame_open _ | Network.L_frame_close _
-        | Network.L_commit _ ->
+        | Network.L_commit _ | Network.L_crash _ | Network.L_abort _ ->
             ())
       t.steps
   done;

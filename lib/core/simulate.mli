@@ -24,7 +24,12 @@ val script : (Network.glabel -> bool) list -> scheduler
 
 type outcome =
   | Completed  (** every client reached [ℓ : ε] *)
-  | Stuck  (** no enabled move, some client unfinished *)
+  | Stuck of string list
+      (** no enabled move; the locations of the unfinished clients *)
+  | Degraded of { completed : string list; abandoned : (string * string) list }
+      (** produced by the fault-tolerant {e runtime} layer, never by
+          {!run} itself: some clients completed, the others were
+          abandoned (location, reason) after recovery was exhausted *)
   | Out_of_fuel  (** [max_steps] reached *)
   | Stopped  (** the scheduler declined to pick a move *)
 
@@ -34,15 +39,25 @@ type trace = {
   outcome : outcome;
 }
 
+val unfinished : Network.config -> string list
+(** Locations of the top-level clients that have not terminated. *)
+
 val run :
   ?max_steps:int ->
   ?monitored:bool ->
+  ?interference:(step:int -> move list -> move list) ->
   Network.repo ->
   Network.config ->
   scheduler ->
   trace
 (** With [~monitored:false] the runtime security monitor is off (the
-    §5 deployment mode for statically validated plans). *)
+    §5 deployment mode for statically validated plans).
+
+    [interference] is applied to the enabled moves before the scheduler
+    sees them — the fault-injection hook: dropping a move models a lost
+    message or a dead partner; it can only {e restrict} behaviour, never
+    forge transitions the semantics does not offer. The default is the
+    identity. *)
 
 val pp_outcome : outcome Fmt.t
 

@@ -13,7 +13,7 @@ let glabel_weight model = function
   | Core.Network.L_event (_, e) -> Model.cost model e
   | Core.Network.L_open _ | Core.Network.L_close _ | Core.Network.L_sync _
   | Core.Network.L_frame_open _ | Core.Network.L_frame_close _
-  | Core.Network.L_commit _ ->
+  | Core.Network.L_commit _ | Core.Network.L_crash _ | Core.Network.L_abort _ ->
       0.
 
 let push_items abs items =

@@ -107,6 +107,98 @@ let priced (p : Quant.Plan_cost.priced) =
         | None -> Json.Null );
     ]
 
+let sim_outcome : Core.Simulate.outcome -> Json.t = function
+  | Core.Simulate.Completed -> Json.Obj [ ("kind", Json.String "completed") ]
+  | Core.Simulate.Stuck ls ->
+      Json.Obj
+        [
+          ("kind", Json.String "stuck");
+          ("unfinished", Json.List (List.map (fun l -> Json.String l) ls));
+        ]
+  | Core.Simulate.Degraded { completed; abandoned } ->
+      Json.Obj
+        [
+          ("kind", Json.String "degraded");
+          ("completed", Json.List (List.map (fun l -> Json.String l) completed));
+          ( "abandoned",
+            Json.List
+              (List.map
+                 (fun (l, why) ->
+                   Json.Obj
+                     [ ("client", Json.String l); ("reason", Json.String why) ])
+                 abandoned) );
+        ]
+  | Core.Simulate.Out_of_fuel -> Json.Obj [ ("kind", Json.String "out-of-fuel") ]
+  | Core.Simulate.Stopped -> Json.Obj [ ("kind", Json.String "stopped") ]
+
+let runtime_event : Runtime.Engine.event -> Json.t =
+  let obj kind fields = Json.Obj (("kind", Json.String kind) :: fields) in
+  function
+  | Runtime.Engine.Fault (Runtime.Engine.Crashed l) ->
+      obj "crash" [ ("loc", Json.String l) ]
+  | Runtime.Engine.Fault (Runtime.Engine.Dropped c) ->
+      obj "drop" [ ("channel", Json.String c) ]
+  | Runtime.Engine.Fault (Runtime.Engine.Delayed (c, d)) ->
+      obj "delay" [ ("channel", Json.String c); ("steps", Json.Int d) ]
+  | Runtime.Engine.Fault (Runtime.Engine.Violation_blocked (l, p)) ->
+      obj "violation-blocked"
+        [
+          ("loc", Json.String l);
+          ( "policy",
+            match p with Some p -> Json.String p | None -> Json.Null );
+        ]
+  | Runtime.Engine.Recovery (Runtime.Engine.Aborted { rid; client; loc; reason }) ->
+      obj "abort"
+        [
+          ("request", Json.Int rid);
+          ("client", Json.String client);
+          ("loc", Json.String loc);
+          ("reason", Json.String reason);
+        ]
+  | Runtime.Engine.Recovery (Runtime.Engine.Rebound { rid; client; from_; to_ }) ->
+      obj "rebind"
+        [
+          ("request", Json.Int rid);
+          ("client", Json.String client);
+          ("from", Json.String from_);
+          ("to", Json.String to_);
+        ]
+  | Runtime.Engine.Recovery
+      (Runtime.Engine.Retrying { rid; client; loc; attempt; resume_at }) ->
+      obj "retry"
+        [
+          ("request", Json.Int rid);
+          ("client", Json.String client);
+          ("loc", Json.String loc);
+          ("attempt", Json.Int attempt);
+          ("resume_at", Json.Int resume_at);
+        ]
+  | Runtime.Engine.Recovery (Runtime.Engine.Gave_up { rid; client; reason }) ->
+      obj "give-up"
+        [
+          ("request", Json.Int rid);
+          ("client", Json.String client);
+          ("reason", Json.String reason);
+        ]
+
+let runtime_report (r : Runtime.Engine.report) =
+  Json.Obj
+    [
+      ("outcome", sim_outcome r.Runtime.Engine.trace.Core.Simulate.outcome);
+      ("steps", Json.Int (List.length r.Runtime.Engine.trace.Core.Simulate.steps));
+      ("faults_injected", Json.Int r.Runtime.Engine.faults_injected);
+      ("retries", Json.Int r.Runtime.Engine.retries);
+      ("rebinds", Json.Int r.Runtime.Engine.rebinds);
+      ( "events",
+        Json.List
+          (List.map
+             (fun (step, ev) ->
+               match runtime_event ev with
+               | Json.Obj fields -> Json.Obj (("step", Json.Int step) :: fields)
+               | j -> j)
+             r.Runtime.Engine.events) );
+    ]
+
 let violation (v : Core.Validity.violation) =
   Json.Obj
     [

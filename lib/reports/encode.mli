@@ -9,5 +9,15 @@ val planner_report : Core.Planner.report -> Json.t
 
 val netcheck_verdict : Core.Netcheck.verdict -> Json.t
 val sim_stats : Core.Simulate.stats -> Json.t
+
+val sim_outcome : Core.Simulate.outcome -> Json.t
+(** [{"kind": "completed"|"stuck"|"degraded"|…, …}] *)
+
+val runtime_event : Runtime.Engine.event -> Json.t
+
+val runtime_report : Runtime.Engine.report -> Json.t
+(** The recovery report of a fault-injected run: outcome, step count,
+    faults injected, retries, rebinds, and the step-indexed journal. *)
+
 val priced : Quant.Plan_cost.priced -> Json.t
 val violation : Core.Validity.violation -> Json.t

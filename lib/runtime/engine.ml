@@ -1,0 +1,449 @@
+open Core
+
+type fault_event =
+  | Crashed of string
+  | Dropped of string
+  | Delayed of string * int
+  | Violation_blocked of string * string option
+
+type recovery_event =
+  | Aborted of { rid : int; client : string; loc : string; reason : string }
+  | Rebound of { rid : int; client : string; from_ : string; to_ : string }
+  | Retrying of {
+      rid : int;
+      client : string;
+      loc : string;
+      attempt : int;
+      resume_at : int;
+    }
+  | Gave_up of { rid : int; client : string; reason : string }
+
+type event = Fault of fault_event | Recovery of recovery_event
+
+type report = {
+  trace : Simulate.trace;
+  events : (int * event) list;
+  faults_injected : int;
+  retries : int;
+  rebinds : int;
+}
+
+(* A checkpoint taken at [open_r]: the whole client record (component,
+   monitor, plan) just before the session was joined — the safe point a
+   broken session rolls back to. *)
+type session = {
+  req : Hexpr.req;
+  bound : string;
+  saved : Network.client;
+  opened_at : int;
+}
+
+type status = Running | Waiting of int | Abandoned of string
+
+type cstate = {
+  index : int;
+  name : string;
+  original : Hexpr.t;
+  bodies : (int * (Hexpr.t * Usage.Policy.t option)) list;
+  mutable cl : Network.client;
+  mutable sessions : session list;  (* innermost first *)
+  mutable status : status;
+  mutable attempts : (int * int) list;  (* rid -> times (re)opened after failure *)
+}
+
+let label_locations : Network.glabel -> string list = function
+  | Network.L_open (_, li, lj) -> [ li; lj ]
+  | Network.L_close (_, l)
+  | Network.L_event (l, _)
+  | Network.L_frame_open (l, _)
+  | Network.L_frame_close (l, _)
+  | Network.L_commit l
+  | Network.L_crash l ->
+      [ l ]
+  | Network.L_sync (a, b, _) -> [ a; b ]
+  | Network.L_abort (_, lc, ls) -> [ lc; ls ]
+
+let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
+    ?(seed = 0) repo clients (sched : Simulate.scheduler) =
+  let rng = Random.State.make [| 0x5f5f; seed |] in
+  let breaker = Supervisor.breaker () in
+  let states =
+    List.mapi
+      (fun index (plan, (name, h)) ->
+        let bodies =
+          Planner.sites repo (name, h)
+          |> List.map (fun (s : Planner.site) ->
+                 (s.Planner.req.Hexpr.rid, (s.Planner.body, s.Planner.req.Hexpr.policy)))
+        in
+        {
+          index;
+          name;
+          original = h;
+          bodies;
+          cl =
+            {
+              Network.monitor = Validity.Monitor.empty;
+              plan;
+              comp = Network.Leaf (name, h);
+            };
+          sessions = [];
+          status = Running;
+          attempts = [];
+        })
+      clients
+  in
+  let cfg () = List.map (fun cs -> cs.cl) states in
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 7 in
+  let is_dead l = Hashtbl.mem dead l in
+  (* channel -> first step at which synchronisation is possible again *)
+  let delays : (string, int) Hashtbl.t = Hashtbl.create 7 in
+  let now = ref 0 in
+  let sched_steps = ref 0 in
+  let trace = ref [] and journal = ref [] in
+  let faults_injected = ref 0 and retries = ref 0 and rebinds = ref 0 in
+  let record ev = journal := (!now, ev) :: !journal in
+  let mark g = trace := (g, cfg ()) :: !trace in
+
+  let attempts_of cs rid =
+    Option.value (List.assoc_opt rid cs.attempts) ~default:0
+  in
+  let bump_attempts cs rid =
+    cs.attempts <- (rid, attempts_of cs rid + 1) :: List.remove_assoc rid cs.attempts
+  in
+  let give_up cs rid reason =
+    record (Recovery (Gave_up { rid; client = cs.name; reason }));
+    cs.status <- Abandoned reason
+  in
+
+  (* Failover: the first substitute of [failed] (Subcontract refinement)
+     that Discovery.usable accepts for the request body, is alive with a
+     closed circuit, and whose re-bound plan Planner.analyze proves
+     compliant and secure.  With [retry_same], the failed location
+     itself is tried first (timeouts may be transient). *)
+  let candidate cs rid failed ~retry_same =
+    let alive l =
+      (not (is_dead l))
+      && not (Supervisor.tripped breaker supervisor ~client:cs.name ~loc:l)
+    in
+    let usable_locs =
+      Option.map
+        (fun (body, policy) -> Discovery.usable ?policy repo ~body)
+        (List.assoc_opt rid cs.bodies)
+    in
+    let usable l =
+      match usable_locs with None -> true | Some ls -> List.mem l ls
+    in
+    let pool =
+      (if retry_same then [ failed ] else [])
+      @ (Discovery.substitutes repo failed |> List.map fst |> List.filter usable)
+    in
+    pool |> List.filter alive
+    |> List.find_opt (fun l ->
+           String.equal l failed
+           ||
+           let plan' = Plan.rebind rid l cs.cl.Network.plan in
+           match
+             (Planner.analyze repo ~client:(cs.name, cs.original) plan')
+               .Planner.verdict
+           with
+           | Ok _ -> true
+           | Error _ -> false)
+  in
+
+  let recover cs ~rid ~failed ~retry_same ~reason =
+    bump_attempts cs rid;
+    Supervisor.record_failure breaker ~client:cs.name ~loc:failed;
+    let attempt = attempts_of cs rid in
+    if attempt > supervisor.Supervisor.max_retries then
+      give_up cs rid
+        (Printf.sprintf "request %d: retry budget exhausted (%s)" rid reason)
+    else
+      match candidate cs rid failed ~retry_same with
+      | None ->
+          give_up cs rid
+            (Printf.sprintf "request %d: no compliant substitute (%s)" rid
+               reason)
+      | Some loc' ->
+          if not (String.equal loc' failed) then begin
+            incr rebinds;
+            cs.cl <-
+              {
+                cs.cl with
+                Network.plan = Plan.rebind rid loc' cs.cl.Network.plan;
+              };
+            record
+              (Recovery (Rebound { rid; client = cs.name; from_ = failed; to_ = loc' }))
+          end;
+          incr retries;
+          let resume_at =
+            !now + (supervisor.Supervisor.backoff_base * (1 lsl (attempt - 1)))
+          in
+          record
+            (Recovery
+               (Retrying { rid; client = cs.name; loc = loc'; attempt; resume_at }));
+          cs.status <- Waiting resume_at
+  in
+
+  let abort cs (s : session) ~reason =
+    let rec keep_outer = function
+      | [] -> []
+      | x :: rest -> if x == s then rest else keep_outer rest
+    in
+    cs.sessions <- keep_outer cs.sessions;
+    cs.cl <- s.saved;
+    mark (Network.L_abort (s.req, cs.name, s.bound));
+    record
+      (Recovery
+         (Aborted { rid = s.req.Hexpr.rid; client = cs.name; loc = s.bound; reason }));
+    recover cs ~rid:s.req.Hexpr.rid ~failed:s.bound
+      ~retry_same:(not (is_dead s.bound))
+      ~reason
+  in
+
+  let apply_fault (f : Faults.fault) =
+    match f.Faults.kind with
+    | Faults.Crash loc ->
+        if not (is_dead loc) then begin
+          Hashtbl.replace dead loc ();
+          incr faults_injected;
+          record (Fault (Crashed loc));
+          mark (Network.L_crash loc);
+          List.iter
+            (fun cs ->
+              match cs.status with
+              | Abandoned _ -> ()
+              | Running | Waiting _ ->
+                  if
+                    String.equal cs.name loc
+                    && not (Network.terminated cs.cl.Network.comp)
+                  then give_up cs 0 "client crashed"
+                  else ())
+            states
+        end
+    | Faults.Drop chan ->
+        incr faults_injected;
+        record (Fault (Dropped chan));
+        let until =
+          max (!now + 1) (Option.value (Hashtbl.find_opt delays chan) ~default:0)
+        in
+        Hashtbl.replace delays chan until
+    | Faults.Delay (chan, d) ->
+        incr faults_injected;
+        record (Fault (Delayed (chan, d)));
+        let until =
+          max (!now + d) (Option.value (Hashtbl.find_opt delays chan) ~default:0)
+        in
+        Hashtbl.replace delays chan until
+    | Faults.Violate loc -> (
+        incr faults_injected;
+        match
+          List.find_opt
+            (fun (_, g, _) -> List.mem loc (label_locations g))
+            (Network.blocked repo (cfg ()))
+        with
+        | Some (i, _, v) ->
+            record
+              (Fault
+                 (Violation_blocked (loc, Some (Usage.Policy.id v.Validity.policy))));
+            let cs = List.nth states i in
+            Supervisor.record_failure breaker ~client:cs.name ~loc
+        | None -> record (Fault (Violation_blocked (loc, None))))
+  in
+
+  (* Detect broken (dead partner) and hung (over budget) sessions. *)
+  let supervise () =
+    List.iter
+      (fun cs ->
+        match cs.status with
+        | Running -> (
+            match List.find_opt (fun s -> is_dead s.bound) cs.sessions with
+            | Some s -> abort cs s ~reason:(s.bound ^ " crashed")
+            | None -> (
+                match
+                  List.find_opt
+                    (fun s ->
+                      !now - s.opened_at > supervisor.Supervisor.session_budget)
+                    cs.sessions
+                with
+                | Some s -> abort cs s ~reason:"session budget exceeded"
+                | None -> ()))
+        | Waiting _ | Abandoned _ -> ())
+      states
+  in
+
+  let finish outcome =
+    {
+      trace = { Simulate.steps = List.rev !trace; final = cfg (); outcome };
+      events = List.rev !journal;
+      faults_injected = !faults_injected;
+      retries = !retries;
+      rebinds = !rebinds;
+    }
+  in
+  let outcome_now () =
+    let abandoned =
+      List.filter_map
+        (fun cs ->
+          match cs.status with Abandoned r -> Some (cs.name, r) | _ -> None)
+        states
+    in
+    let completed =
+      List.filter_map
+        (fun cs ->
+          if Network.terminated cs.cl.Network.comp then Some cs.name else None)
+        states
+    in
+    if abandoned <> [] then Simulate.Degraded { completed; abandoned }
+    else if List.length completed = List.length states then Simulate.Completed
+    else Simulate.Stuck (Simulate.unfinished (cfg ()))
+  in
+
+  let rec loop () =
+    if !now >= max_steps then finish Simulate.Out_of_fuel
+    else begin
+      List.iter
+        (fun cs ->
+          match cs.status with
+          | Waiting t when t <= !now -> cs.status <- Running
+          | _ -> ())
+        states;
+      List.iter (fun f -> if Faults.fires rng ~step:!now f then apply_fault f) faults;
+      supervise ();
+      let done_or_abandoned cs =
+        Network.terminated cs.cl.Network.comp
+        || match cs.status with Abandoned _ -> true | _ -> false
+      in
+      if List.for_all done_or_abandoned states then finish (outcome_now ())
+      else begin
+        let all = Network.steps repo (cfg ()) in
+        let active i =
+          match (List.nth states i).status with Running -> true | _ -> false
+        in
+        let chan_blocked ch =
+          match Hashtbl.find_opt delays ch with
+          | Some until -> !now < until
+          | None -> false
+        in
+        let undead (_, g, _) =
+          not (List.exists is_dead (label_locations g))
+        in
+        let undelayed (_, g, _) =
+          match g with
+          | Network.L_sync (_, _, ch) -> not (chan_blocked ch)
+          | _ -> true
+        in
+        let filtered =
+          List.filter (fun ((i, _, _) as m) -> active i && undead m && undelayed m) all
+        in
+        (* A client whose only possible steps open sessions with dead
+           services fails over at the request itself (no session to
+           roll back). *)
+        let moves_of i ms = List.filter (fun (j, _, _) -> i = j) ms in
+        let failed_open =
+          List.exists
+            (fun cs ->
+              match cs.status with
+              | Running -> (
+                  let mine = moves_of cs.index all in
+                  if mine = [] || moves_of cs.index filtered <> [] then false
+                  else
+                    let dead_open (_, g, _) =
+                      match g with
+                      | Network.L_open (_, _, lj) -> is_dead lj
+                      | _ -> false
+                    in
+                    if not (List.for_all dead_open mine) then false
+                    else
+                      match mine with
+                      | (_, Network.L_open (r, _, lj), _) :: _ ->
+                          recover cs ~rid:r.Hexpr.rid ~failed:lj
+                            ~retry_same:false
+                            ~reason:(lj ^ " unavailable at open");
+                          true
+                      | _ -> false)
+              | Waiting _ | Abandoned _ -> false)
+            states
+        in
+        if failed_open then begin
+          incr now;
+          loop ()
+        end
+        else if filtered = [] then begin
+          let waiting_or_delayed =
+            List.exists
+              (fun cs ->
+                match cs.status with Waiting _ -> true | _ -> false)
+              states
+            || List.exists
+                 (fun ((i, _, _) as m) -> active i && undead m && not (undelayed m))
+                 all
+          in
+          if waiting_or_delayed then begin
+            incr now;
+            loop ()
+          end
+          else finish (outcome_now ())
+        end
+        else
+          match sched ~step:!sched_steps filtered with
+          | None ->
+              finish
+                (if Network.config_done (cfg ()) then Simulate.Completed
+                 else Simulate.Stopped)
+          | Some (i, g, cfg') ->
+              let before = (List.nth states i).cl in
+              List.iteri (fun j cs -> cs.cl <- List.nth cfg' j) states;
+              trace := (g, cfg') :: !trace;
+              let cs = List.nth states i in
+              (match g with
+              | Network.L_open (r, _, lj) ->
+                  cs.sessions <-
+                    { req = r; bound = lj; saved = before; opened_at = !now }
+                    :: cs.sessions
+              | Network.L_close (r, _) ->
+                  let rec drop = function
+                    | [] -> []
+                    | s :: rest ->
+                        if s.req.Hexpr.rid = r.Hexpr.rid then rest
+                        else s :: drop rest
+                  in
+                  cs.sessions <- drop cs.sessions
+              | _ -> ());
+              incr sched_steps;
+              incr now;
+              loop ()
+      end
+    end
+  in
+  loop ()
+
+let completed r =
+  match r.trace.Simulate.outcome with Simulate.Completed -> true | _ -> false
+
+let pp_event ppf = function
+  | Fault (Crashed l) -> Fmt.pf ppf "fault: %s crashed" l
+  | Fault (Dropped c) -> Fmt.pf ppf "fault: message on %s dropped" c
+  | Fault (Delayed (c, d)) -> Fmt.pf ppf "fault: %s delayed %d steps" c d
+  | Fault (Violation_blocked (l, Some p)) ->
+      Fmt.pf ppf "fault: %s attempted to violate %s (blocked by the monitor)" l p
+  | Fault (Violation_blocked (l, None)) ->
+      Fmt.pf ppf "fault: %s attempted a violation (nothing active to violate)" l
+  | Recovery (Aborted { rid; client; loc; reason }) ->
+      Fmt.pf ppf "recovery: %s aborted session %d with %s (%s)" client rid loc
+        reason
+  | Recovery (Rebound { rid; client; from_; to_ }) ->
+      Fmt.pf ppf "recovery: %s re-bound request %d: %s -> %s" client rid from_
+        to_
+  | Recovery (Retrying { rid; client; loc; attempt; resume_at }) ->
+      Fmt.pf ppf "recovery: %s retries request %d on %s (attempt %d, at step %d)"
+        client rid loc attempt resume_at
+  | Recovery (Gave_up { rid; client; reason }) ->
+      Fmt.pf ppf "recovery: %s gave up on request %d: %s" client rid reason
+
+let pp_report ppf r =
+  List.iter (fun (step, ev) -> Fmt.pf ppf "%4d. %a@." step pp_event ev) r.events;
+  Fmt.pf ppf
+    "%d faults injected, %d retries, %d rebinds; %d steps; outcome: %a@."
+    r.faults_injected r.retries r.rebinds
+    (List.length r.trace.Simulate.steps)
+    Simulate.pp_outcome r.trace.Simulate.outcome

@@ -1,0 +1,79 @@
+(** The fault-tolerant execution layer over {!Core.Network} /
+    {!Core.Simulate}.
+
+    The engine drives the concrete network semantics under a scheduler,
+    exactly like {!Core.Simulate.run}, but additionally:
+
+    - injects the faults of a {!Faults.spec} (seeded, reproducible);
+    - checkpoints each client at every [open] — the reversible-session
+      idea: a broken session is rolled back to the state just before
+      its [open], monitor included, so the logged history stays a
+      history the semantics could have produced;
+    - supervises open sessions with a step budget, bounded retries with
+      deterministic exponential backoff, and a per-client circuit
+      breaker ({!Supervisor});
+    - on the death of a bound service, {e replans}: it searches
+      {!Core.Discovery.substitutes} of the failed location for a
+      candidate that {!Core.Discovery.usable} accepts for the failed
+      request and whose re-bound plan {!Core.Planner.analyze} proves
+      compliant and secure, re-binds the plan at the failed request id
+      and resumes from the client's residual;
+    - when recovery is exhausted it degrades gracefully: the outcome is
+      {!Core.Simulate.Degraded} — other clients complete, the abandoned
+      ones are reported with a reason — never a bare [Stuck].
+
+    With an empty fault specification and default supervision, [run] is
+    observationally identical to {!Core.Simulate.run} (property-tested
+    in [test_runtime.ml]). *)
+
+open Core
+
+type fault_event =
+  | Crashed of string
+  | Dropped of string  (** a synchronisation on this channel was lost *)
+  | Delayed of string * int
+  | Violation_blocked of string * string option
+      (** location, violated policy id (if one was active) *)
+
+type recovery_event =
+  | Aborted of { rid : int; client : string; loc : string; reason : string }
+  | Rebound of { rid : int; client : string; from_ : string; to_ : string }
+  | Retrying of {
+      rid : int;
+      client : string;
+      loc : string;
+      attempt : int;
+      resume_at : int;  (** backoff: first step the re-open may run *)
+    }
+  | Gave_up of { rid : int; client : string; reason : string }
+
+type event = Fault of fault_event | Recovery of recovery_event
+
+type report = {
+  trace : Simulate.trace;
+      (** effective steps, including [L_crash] / [L_abort] marks; the
+          outcome may be [Degraded] *)
+  events : (int * event) list;  (** step-indexed journal, oldest first *)
+  faults_injected : int;
+  retries : int;  (** sessions re-opened (same service or substitute) *)
+  rebinds : int;  (** failovers to a substitute service *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?supervisor:Supervisor.config ->
+  ?faults:Faults.spec ->
+  ?seed:int ->
+  Network.repo ->
+  (Plan.t * (string * Hexpr.t)) list ->
+  Simulate.scheduler ->
+  report
+(** [run repo clients sched]: supervised execution of the clients (each
+    under its own plan, as in {!Core.Netcheck.check}) against the
+    repository. [seed] (default 0) drives the fault triggers only — use
+    the scheduler's own seed for scheduling noise. The monitor is always
+    on: recovery can never bypass it. *)
+
+val completed : report -> bool
+val pp_event : event Fmt.t
+val pp_report : report Fmt.t

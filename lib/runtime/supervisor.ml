@@ -1,0 +1,27 @@
+type config = {
+  session_budget : int;
+  max_retries : int;
+  backoff_base : int;
+  breaker_threshold : int;
+}
+
+let default =
+  {
+    session_budget = max_int;
+    max_retries = 3;
+    backoff_base = 2;
+    breaker_threshold = 3;
+  }
+
+type breaker = (string * string, int) Hashtbl.t
+
+let breaker () : breaker = Hashtbl.create 7
+
+let failures (b : breaker) ~client ~loc =
+  Option.value (Hashtbl.find_opt b (client, loc)) ~default:0
+
+let record_failure (b : breaker) ~client ~loc =
+  Hashtbl.replace b (client, loc) (1 + failures b ~client ~loc)
+
+let tripped b config ~client ~loc =
+  failures b ~client ~loc >= config.breaker_threshold

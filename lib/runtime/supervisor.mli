@@ -1,0 +1,38 @@
+(** Supervision knobs and the per-client circuit breaker.
+
+    Everything is counted in {e simulation steps} — there is no wall
+    clock anywhere, so supervised runs are deterministic functions of
+    the seed and the fault specification. *)
+
+type config = {
+  session_budget : int;
+      (** steps an open session may stay open before the supervisor
+          considers it hung and aborts it ([max_int] = never) *)
+  max_retries : int;
+      (** how many times one request may be re-opened after a failure *)
+  backoff_base : int;
+      (** after the [n]-th failure of a request the client waits
+          [backoff_base * 2^(n-1)] steps before re-opening *)
+  breaker_threshold : int;
+      (** failures of one location (per client) before its circuit
+          opens and the client stops re-binding to it *)
+}
+
+val default : config
+(** [{session_budget = max_int; max_retries = 3; backoff_base = 2;
+     breaker_threshold = 3}] — with no faults injected, these defaults
+    make the supervised runtime observationally identical to the plain
+    simulator. *)
+
+(** {1 Circuit breaker} *)
+
+type breaker
+
+val breaker : unit -> breaker
+val record_failure : breaker -> client:string -> loc:string -> unit
+
+val tripped : breaker -> config -> client:string -> loc:string -> bool
+(** The location has failed [client] at least [breaker_threshold]
+    times: stop re-opening against it. *)
+
+val failures : breaker -> client:string -> loc:string -> int

@@ -1,0 +1,7 @@
+let backup = Hotel.hotel "s3b" ~price:60 ~rating:100 ~extra:[]
+
+let repo = Hotel.repo @ [ ("s3b", backup) ]
+let repo_no_backup = Hotel.repo
+
+let client = ("c1", Hotel.client1)
+let plan = Hotel.plan1

@@ -1,0 +1,32 @@
+(** The hotel scenario with a standby: failover fodder for the runtime.
+
+    [s3b] is a clone of the paper's S3 at a friendlier price
+    (price 60, rating 100).  Its contract is identical to S3's, so it
+    is a substitute in the {!Core.Subcontract} sense, and under
+    client 1's policy [φ({s1},45,100)] it is the {e only} acceptable
+    one:
+
+    - [s1] is black-listed;
+    - [s4] is cheap enough to matter (50 > 45) but rated 90 < 100;
+    - [s2] offers an extra [Del] output, so it does not refine S3.
+
+    Killing [s3] mid-session under plan [{1[br], 3[s3]}] therefore
+    forces exactly one compliant re-binding, [3[s3b]] — and on
+    {!repo_no_backup} none at all, which must surface as a
+    [Degraded] outcome. *)
+
+val backup : Core.Hexpr.t
+(** [s3b = sgn(s3b).price(60).rating(100). IdC.(Bok ⊕ UnA)] *)
+
+val repo : Core.Network.repo
+(** The paper's repository plus [s3b]. *)
+
+val repo_no_backup : Core.Network.repo
+(** The paper's repository as-is: no compliant substitute for [s3]
+    under client 1's policy. *)
+
+val client : string * Core.Hexpr.t
+(** Client 1 at location ["c1"]. *)
+
+val plan : Core.Plan.t
+(** [{1[br], 3[s3]}] — binds the doomed hotel. *)

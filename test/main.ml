@@ -28,5 +28,6 @@ let () =
       ("audit", Test_audit.suite);
       ("misc", Test_misc.suite);
       ("laws", Test_laws.suite);
+      ("runtime", Test_runtime.suite);
       ("cli", Test_cli.suite);
     ]

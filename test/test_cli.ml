@@ -5,6 +5,7 @@
 
 let susf = "../bin/susf.exe"
 let hotel = "../examples/data/hotel.susf"
+let faulty_mesh = "corpus/faulty_mesh.susf"
 
 let run args =
   let null = " > /dev/null 2> /dev/null" in
@@ -61,6 +62,22 @@ let suite =
     Alcotest.test_case "validity" `Quick (check_exit 0 [ "validity"; hotel ]);
     Alcotest.test_case "simulate" `Quick
       (check_exit 0 [ "simulate"; hotel; "-c"; "c1"; "-p"; "pi1"; "--compact" ]);
+    (* fault injection: no substitute for s3 in the hotel repo, so the
+       run degrades (exit 1); the faulty mesh recovers through payC *)
+    Alcotest.test_case "simulate faults degrade" `Quick
+      (check_exit 1
+         [ "simulate"; hotel; "-c"; "c1"; "-p"; "pi1";
+           "--faults"; "crash:s3@4"; "--seed"; "1" ]);
+    Alcotest.test_case "simulate faults json" `Quick
+      (check_exit 1
+         [ "simulate"; hotel; "-c"; "c1"; "-p"; "pi1";
+           "--faults"; "crash:s3@4"; "--seed"; "1"; "--json" ]);
+    Alcotest.test_case "simulate faults failover" `Quick
+      (check_exit 0
+         [ "simulate"; faulty_mesh; "-c"; "buyer"; "-p"; "primary";
+           "--faults"; "crash:payA@3"; "--seed"; "1" ]);
+    Alcotest.test_case "simulate bad fault spec" `Quick
+      (check_exit 2 [ "simulate"; hotel; "--faults"; "boom:s3@4" ]);
     Alcotest.test_case "batch" `Quick
       (check_exit 0 [ "batch"; hotel; "-c"; "c1"; "-p"; "pi1"; "--runs"; "10" ]);
     Alcotest.test_case "coverage" `Quick

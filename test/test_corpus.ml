@@ -8,7 +8,11 @@
      checks stand-alone static validity (both engines must agree);
    - [// EXPECT-EFFECT <program> <client>]
      the program's inferred, normalised effect must be exactly the named
-     client's history expression. *)
+     client's history expression;
+   - [// EXPECT-FAILOVER <client> <plan> <crashloc> <newloc|degraded>]
+     crashes <crashloc> right after the client binds it and checks that
+     the fault-tolerant runtime re-binds to <newloc> and completes (or
+     reports a Degraded outcome when no compliant substitute exists). *)
 
 open Core
 
@@ -32,6 +36,9 @@ let expectations src =
              Some (`Validity (name, verdict))
          | "//" :: "EXPECT-EFFECT" :: program :: client :: [] ->
              Some (`Effect (program, client))
+         | "//" :: "EXPECT-FAILOVER" :: client :: plan :: crashloc :: target
+           :: [] ->
+             Some (`Failover (client, plan, crashloc, target))
          | _ -> None)
 
 let verdict_string (r : Planner.report) =
@@ -80,6 +87,67 @@ let run_file path () =
             (Printf.sprintf "%s: validity of %s" path name)
             verdict
             (if direct then "valid" else "invalid")
+      | `Failover (client, plan, crashloc, target) -> (
+          let h = lookup_expr spec client in
+          let p =
+            match Syntax.Spec.find_plan spec plan with
+            | Some p -> p
+            | None -> Alcotest.failf "unknown plan %s" plan
+          in
+          let repo = Syntax.Spec.repo spec in
+          (* find the step that binds the doomed service, then crash it
+             one step later: mid-session *)
+          let plain =
+            Simulate.run repo
+              (Network.initial ~plan:p [ (client, h) ])
+              Simulate.first
+          in
+          let crash_at =
+            match
+              List.mapi (fun i (g, _) -> (i, g)) plain.Simulate.steps
+              |> List.find_map (fun (i, g) ->
+                     match g with
+                     | Network.L_open (_, _, l) when String.equal l crashloc ->
+                         Some (i + 1)
+                     | _ -> None)
+            with
+            | Some k -> k
+            | None ->
+                Alcotest.failf "%s: %s never binds %s under %s" path client
+                  crashloc plan
+          in
+          let r =
+            Runtime.Engine.run
+              ~faults:[ Runtime.Faults.at crash_at (Runtime.Faults.Crash crashloc) ]
+              repo
+              [ (p, (client, h)) ]
+              Simulate.first
+          in
+          let rebound_to =
+            List.filter_map
+              (fun (_, ev) ->
+                match ev with
+                | Runtime.Engine.Recovery (Runtime.Engine.Rebound { to_; _ }) ->
+                    Some to_
+                | _ -> None)
+              r.Runtime.Engine.events
+          in
+          match (target, r.Runtime.Engine.trace.Simulate.outcome) with
+          | "degraded", Simulate.Degraded _ ->
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s: no rebind for %s" path client)
+                [] rebound_to
+          | "degraded", o ->
+              Alcotest.failf "%s: expected a degraded outcome, got %a" path
+                Simulate.pp_outcome o
+          | newloc, Simulate.Completed ->
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s: %s fails over %s -> %s" path client
+                   crashloc newloc)
+                [ newloc ] rebound_to
+          | newloc, o ->
+              Alcotest.failf "%s: expected completion via %s, got %a" path
+                newloc Simulate.pp_outcome o)
       | `Effect (program, client) -> (
           let t =
             match Syntax.Spec.find_program spec program with

@@ -165,7 +165,7 @@ let test_stuck_run () =
      stuckness we check the state space instead in test_netcheck. *)
   Alcotest.(check bool) "run ends" true
     (match t.Simulate.outcome with
-    | Simulate.Completed | Simulate.Stuck -> true
+    | Simulate.Completed | Simulate.Stuck _ -> true
     | _ -> false)
 
 let test_random_reproducible () =

@@ -177,7 +177,7 @@ let simulate_clean plan client seed =
           let h = Validity.Monitor.history c.Network.monitor in
           History.is_balanced h && Validity.valid h)
         t.Simulate.final
-  | Simulate.Stuck | Simulate.Out_of_fuel | Simulate.Stopped -> false
+  | Simulate.Stuck _ | Simulate.Degraded _ | Simulate.Out_of_fuel | Simulate.Stopped -> false
 
 let test_valid_plans_drive_clean_runs () =
   List.iter

@@ -1,0 +1,230 @@
+(* The fault-tolerant runtime (lib/runtime): zero-fault identity with
+   the plain simulator, monitored recovery, compliant failover. *)
+
+open Core
+module Faults = Runtime.Faults
+
+let repo = Scenarios.Redundant.repo
+let client = Scenarios.Redundant.client
+let plan = Scenarios.Redundant.plan
+
+let outcome = Alcotest.testable Simulate.pp_outcome ( = )
+
+let histories_valid cfg =
+  List.for_all
+    (fun c -> Validity.valid (Validity.Monitor.history c.Network.monitor))
+    cfg
+
+(* -- zero faults: observationally identical to Simulate.run -------- *)
+
+let same_trace (a : Simulate.trace) (b : Simulate.trace) =
+  a.outcome = b.outcome
+  && List.length a.steps = List.length b.steps
+  && List.for_all2
+       (fun (g1, _) (g2, _) -> Network.glabel_equal g1 g2)
+       a.steps b.steps
+
+let test_zero_fault_identity_hotel () =
+  let clients =
+    [ (plan, client); (Scenarios.Hotel.plan2_s4, ("c2", Scenarios.Hotel.client2)) ]
+  in
+  for seed = 1 to 25 do
+    let plain =
+      Simulate.run repo (Network.initial_vector clients) (Simulate.random ~seed)
+    in
+    let r = Runtime.Engine.run repo clients (Simulate.random ~seed) in
+    Alcotest.(check bool)
+      (Printf.sprintf "identical trace, seed %d" seed)
+      true
+      (same_trace plain r.Runtime.Engine.trace);
+    Alcotest.(check int) "no faults injected" 0 r.Runtime.Engine.faults_injected
+  done
+
+let prop_zero_fault_identity =
+  QCheck.Test.make ~count:50 ~name:"zero faults: engine == plain simulator"
+    (QCheck.pair Testkit.Generators.hexpr_arb Testkit.Generators.hexpr_arb)
+    (fun (h1, h2) ->
+      let clients = [ (Plan.empty, ("l1", h1)); (Plan.empty, ("l2", h2)) ] in
+      List.for_all
+        (fun seed ->
+          let plain =
+            Simulate.run ~max_steps:200 []
+              (Network.initial_vector clients)
+              (Simulate.random ~seed)
+          in
+          let r =
+            Runtime.Engine.run ~max_steps:200 [] clients (Simulate.random ~seed)
+          in
+          same_trace plain r.Runtime.Engine.trace)
+        [ 1; 2; 3 ])
+
+(* -- recovery never bypasses the monitor --------------------------- *)
+
+let chaos_spec =
+  [
+    Faults.rate 0.04 (Faults.Crash "s3");
+    Faults.rate 0.02 (Faults.Crash "s3b");
+    Faults.rate 0.05 (Faults.Drop "idc");
+    Faults.rate 0.03 (Faults.Delay ("req", 3));
+    Faults.rate 0.05 (Faults.Violate "s1");
+  ]
+
+let test_faulty_histories_valid () =
+  for seed = 1 to 40 do
+    let r =
+      Runtime.Engine.run ~faults:chaos_spec ~seed repo [ (plan, client) ]
+        (Simulate.random ~seed)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "final histories valid, seed %d" seed)
+      true
+      (histories_valid r.Runtime.Engine.trace.Simulate.final);
+    List.iter
+      (fun (_, cfg) ->
+        Alcotest.(check bool) "intermediate histories valid" true
+          (histories_valid cfg))
+      r.Runtime.Engine.trace.Simulate.steps
+  done
+
+(* -- failover only re-binds to Discovery-usable locations ---------- *)
+
+let rebounds r =
+  List.filter_map
+    (fun (_, ev) ->
+      match ev with
+      | Runtime.Engine.Recovery (Runtime.Engine.Rebound { rid; to_; _ }) ->
+          Some (rid, to_)
+      | _ -> None)
+    r.Runtime.Engine.events
+
+let test_rebinds_are_usable () =
+  let usable = Discovery.usable repo ~body:Scenarios.Hotel.broker_request_body in
+  for k = 0 to 12 do
+    let r =
+      Runtime.Engine.run
+        ~faults:[ Faults.at k (Faults.Crash "s3") ]
+        repo [ (plan, client) ] Simulate.first
+    in
+    List.iter
+      (fun (rid, to_) ->
+        Alcotest.(check int) "request 3 re-bound" 3 rid;
+        Alcotest.(check bool)
+          (Printf.sprintf "rebind target %s usable (crash at %d)" to_ k)
+          true (List.mem to_ usable))
+      (rebounds r)
+  done
+
+(* -- the acceptance scenario: crash the bound hotel ---------------- *)
+
+let test_failover_completes () =
+  let r =
+    Runtime.Engine.run
+      ~faults:[ Faults.at 4 (Faults.Crash "s3") ]
+      repo [ (plan, client) ] Simulate.first
+  in
+  Alcotest.check outcome "completed despite the crash" Simulate.Completed
+    r.Runtime.Engine.trace.Simulate.outcome;
+  Alcotest.(check (list (pair int string)))
+    "re-bound request 3 to the standby" [ (3, "s3b") ] (rebounds r);
+  Alcotest.(check bool) "history still valid" true
+    (histories_valid r.Runtime.Engine.trace.Simulate.final);
+  Alcotest.(check bool) "at least one retry" true (r.Runtime.Engine.retries >= 1)
+
+let test_no_substitute_degrades () =
+  let r =
+    Runtime.Engine.run
+      ~faults:[ Faults.at 4 (Faults.Crash "s3") ]
+      Scenarios.Redundant.repo_no_backup
+      [ (plan, client) ] Simulate.first
+  in
+  (match r.Runtime.Engine.trace.Simulate.outcome with
+  | Simulate.Degraded { abandoned = [ ("c1", _) ]; _ } -> ()
+  | o ->
+      Alcotest.failf "expected c1 abandoned in a Degraded outcome, got %a"
+        Simulate.pp_outcome o);
+  Alcotest.(check bool) "history still valid" true
+    (histories_valid r.Runtime.Engine.trace.Simulate.final)
+
+let test_retry_budget_zero_degrades () =
+  let supervisor = { Runtime.Supervisor.default with max_retries = 0 } in
+  let r =
+    Runtime.Engine.run ~supervisor
+      ~faults:[ Faults.at 4 (Faults.Crash "s3") ]
+      repo [ (plan, client) ] Simulate.first
+  in
+  match r.Runtime.Engine.trace.Simulate.outcome with
+  | Simulate.Degraded _ -> ()
+  | o -> Alcotest.failf "expected Degraded with 0 retries, got %a" Simulate.pp_outcome o
+
+(* -- fault spec parsing -------------------------------------------- *)
+
+let test_parse_spec () =
+  (match Faults.parse "crash:s3@4, drop:idc@p0.5, delay:req:3@2, violate:s1@p0.1" with
+  | Ok fs -> Alcotest.(check int) "four faults" 4 (List.length fs)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Faults.parse bad with
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" bad
+      | Error _ -> ())
+    [ "crash:s3"; "boom:s3@4"; "crash:@1"; "crash:s3@p1.5"; "delay:req:0@1" ]
+
+let test_parse_roundtrip () =
+  let spec =
+    [
+      Faults.at 4 (Faults.Crash "s3");
+      Faults.rate 0.25 (Faults.Drop "idc");
+      Faults.at 0 (Faults.Delay ("req", 3));
+    ]
+  in
+  let printed = Fmt.str "%a" Fmt.(list ~sep:(any ",") Faults.pp_fault) spec in
+  match Faults.parse printed with
+  | Ok spec' ->
+      Alcotest.(check string) "round-trips" printed
+        (Fmt.str "%a" Fmt.(list ~sep:(any ",") Faults.pp_fault) spec')
+  | Error e -> Alcotest.fail e
+
+(* -- supervisor plumbing ------------------------------------------- *)
+
+let test_breaker () =
+  let b = Runtime.Supervisor.breaker () in
+  let config = { Runtime.Supervisor.default with breaker_threshold = 2 } in
+  Alcotest.(check bool) "closed" false
+    (Runtime.Supervisor.tripped b config ~client:"c1" ~loc:"s3");
+  Runtime.Supervisor.record_failure b ~client:"c1" ~loc:"s3";
+  Runtime.Supervisor.record_failure b ~client:"c1" ~loc:"s3";
+  Alcotest.(check bool) "tripped at threshold" true
+    (Runtime.Supervisor.tripped b config ~client:"c1" ~loc:"s3");
+  Alcotest.(check bool) "per-client" false
+    (Runtime.Supervisor.tripped b config ~client:"c2" ~loc:"s3")
+
+let test_determinism () =
+  let run () =
+    Runtime.Engine.run ~faults:chaos_spec ~seed:7 repo [ (plan, client) ]
+      (Simulate.random ~seed:7)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same trace" true
+    (same_trace a.Runtime.Engine.trace b.Runtime.Engine.trace);
+  Alcotest.(check int) "same fault count" a.Runtime.Engine.faults_injected
+    b.Runtime.Engine.faults_injected
+
+let suite =
+  [
+    Alcotest.test_case "zero faults: hotel identity" `Quick
+      test_zero_fault_identity_hotel;
+    QCheck_alcotest.to_alcotest prop_zero_fault_identity;
+    Alcotest.test_case "faulty runs stay valid" `Quick
+      test_faulty_histories_valid;
+    Alcotest.test_case "rebinds are usable" `Quick test_rebinds_are_usable;
+    Alcotest.test_case "crashed hotel fails over to s3b" `Quick
+      test_failover_completes;
+    Alcotest.test_case "no substitute: degraded, not stuck" `Quick
+      test_no_substitute_degrades;
+    Alcotest.test_case "retry budget 0 degrades" `Quick
+      test_retry_budget_zero_degrades;
+    Alcotest.test_case "fault spec parsing" `Quick test_parse_spec;
+    Alcotest.test_case "fault spec round-trip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "circuit breaker" `Quick test_breaker;
+    Alcotest.test_case "seeded runs are reproducible" `Quick test_determinism;
+  ]
