@@ -686,15 +686,23 @@ let all : (string * (unit -> unit)) list =
   ]
 
 let () =
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let obs = List.mem "--obs" args in
   let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all
+    match List.filter (fun a -> a <> "--obs") args with
+    | _ :: _ as names -> names
+    | [] -> List.map fst all
   in
   List.iter
     (fun name ->
       match List.assoc_opt name all with
-      | Some f -> f ()
+      | Some f ->
+          (* re-install per experiment: install clears the registry *)
+          if obs then Obs.Metrics.install ();
+          f ();
+          if obs then
+            pf "--- %s metrics ---@.%a@." name Obs.Metrics.pp_snapshot
+              (Obs.Metrics.snapshot ())
       | None ->
           pf "unknown experiment %s (available: %s)@." name
             (String.concat " " (List.map fst all)))

@@ -59,12 +59,53 @@ let clients spec = function
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the analysis and write it to $(docv) in \
+           Chrome trace_event JSON (loadable in Perfetto or \
+           chrome://tracing). Timestamps are deterministic logical ticks, \
+           not wall time. See docs/OBSERVABILITY.md.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect metrics (counters, gauges, histograms) during the run and \
+           write a JSON snapshot to $(docv). See docs/OBSERVABILITY.md.")
+
+(* Install the requested observability sinks, run the command body (which
+   returns the exit code instead of calling [exit]), flush the JSON
+   files, and only then exit. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Obs.Trace.install ();
+  if metrics <> None then Obs.Metrics.install ();
+  let code = f () in
+  let dump file json =
+    Out_channel.with_open_text file (fun oc ->
+        Out_channel.output_string oc (Reports.Json.to_string json);
+        Out_channel.output_char oc '\n')
+  in
+  Option.iter
+    (fun file -> dump file (Reports.Obs_encode.trace_events (Obs.Trace.spans ())))
+    trace;
+  Option.iter
+    (fun file -> dump file (Reports.Obs_encode.metrics (Obs.Metrics.snapshot ())))
+    metrics;
+  exit code
+
 (* --- check --- *)
 
 let report_exit ok = if ok then exit 0 else exit 1
 
 let check_cmd =
-  let run file client plan_name json =
+  let run file client plan_name json trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let spec = load file in
     let repo = Syntax.Spec.repo spec in
     let ok = ref true in
@@ -90,11 +131,13 @@ let check_cmd =
             reports)
       (clients spec client);
     if json then Fmt.pr "%a@." Reports.Json.pp (Reports.Json.Obj (List.rev !results));
-    report_exit !ok
+    if !ok then 0 else 1
   in
   let doc = "Verify clients: secure (validity) and unfailing (compliance)." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ file_arg $ client_arg $ plan_arg $ json_arg)
+    Term.(
+      const run $ file_arg $ client_arg $ plan_arg $ json_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- check-network --- *)
 
@@ -239,7 +282,9 @@ let simulate_cmd =
       & info [ "json" ]
           ~doc:"With $(b,--faults), print the recovery report as JSON.")
   in
-  let run file client plan_name seed max_steps compact faults retries json =
+  let run file client plan_name seed max_steps compact faults retries json
+      trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let spec = load file in
     let repo = Syntax.Spec.repo spec in
     let cs = clients spec client in
@@ -254,10 +299,9 @@ let simulate_cmd =
         in
         if compact then Core.Simulate.pp_trace_compact Fmt.stdout t
         else Core.Simulate.pp_trace Fmt.stdout t;
-        exit
-          (match t.Core.Simulate.outcome with
-          | Core.Simulate.Completed -> 0
-          | _ -> 1)
+        (match t.Core.Simulate.outcome with
+        | Core.Simulate.Completed -> 0
+        | _ -> 1)
     | Some spec_str -> (
         match Runtime.Faults.parse spec_str with
         | Error e ->
@@ -280,13 +324,14 @@ let simulate_cmd =
               else Core.Simulate.pp_trace Fmt.stdout r.Runtime.Engine.trace;
               Runtime.Engine.pp_report Fmt.stdout r
             end;
-            exit (if Runtime.Engine.completed r then 0 else 1))
+            if Runtime.Engine.completed r then 0 else 1)
   in
   let doc = "Run the network under a plan with a random scheduler." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ file_arg $ client_arg $ plan_arg $ seed_arg $ steps_arg
-      $ compact_arg $ faults_arg $ retries_arg $ json_arg)
+      $ compact_arg $ faults_arg $ retries_arg $ json_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- dot --- *)
 

@@ -34,9 +34,11 @@ end
 module PSet = Set.Make (Pair)
 
 let compliant client server =
+  Obs.Trace.with_span "compliance.compliant" @@ fun () ->
   let rec explore seen = function
     | [] -> true
     | (c1, c2) :: rest ->
+        Obs.Metrics.incr "compliance.pairs_explored";
         locally_ok c1 c2
         &&
         let succs =

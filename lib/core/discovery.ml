@@ -9,6 +9,7 @@ type candidate = {
 }
 
 let probe ?policy repo body loc =
+  Obs.Metrics.incr "discovery.probes";
   let service =
     match List.assoc_opt loc repo with
     | Some h -> h
@@ -27,6 +28,7 @@ let probe ?policy repo body loc =
       | Netcheck.Invalid stuck -> Error (Insecure stuck))
 
 let query ?policy repo ~body =
+  Obs.Trace.with_span "discovery.query" @@ fun () ->
   let ranked =
     List.map (fun (loc, _) -> { loc; verdict = probe ?policy repo body loc }) repo
   in
@@ -39,6 +41,7 @@ let usable ?policy repo ~body =
          if Result.is_ok c.verdict then Some c.loc else None)
 
 let substitutes repo loc =
+  Obs.Metrics.incr "discovery.substitute_queries";
   match List.assoc_opt loc repo with
   | None -> []
   | Some h ->

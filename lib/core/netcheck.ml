@@ -111,6 +111,10 @@ end
 module SMap = Map.Make (State)
 
 let check_client ?universe repo plan (loc, h0) =
+  Obs.Trace.with_span ~attrs:[ ("client", Obs.Trace.Str loc) ]
+    "netcheck.check_client"
+  @@ fun () ->
+  Obs.Metrics.incr "netcheck.checks";
   let universe =
     match universe with
     | Some u -> u
@@ -126,21 +130,37 @@ let check_client ?universe repo plan (loc, h0) =
     | None -> acc
     | Some (g, pred) -> trace_of pred (g :: acc)
   in
+  let record verdict =
+    if Obs.Metrics.active () then begin
+      let states = SMap.cardinal !parent in
+      Obs.Metrics.add "netcheck.states.explored" states;
+      Obs.Metrics.add "netcheck.transitions.explored" !transitions;
+      Obs.Metrics.observe "netcheck.states.per_check" states
+    end;
+    if Obs.Trace.active () then begin
+      Obs.Trace.add_attr "states" (Obs.Trace.Int (SMap.cardinal !parent));
+      Obs.Trace.add_attr "valid"
+        (Obs.Trace.Bool (match verdict with Valid _ -> true | Invalid _ -> false))
+    end;
+    verdict
+  in
   let rec bfs () =
-    if Queue.is_empty q then Valid { states = SMap.cardinal !parent; transitions = !transitions }
+    if Queue.is_empty q then
+      record (Valid { states = SMap.cardinal !parent; transitions = !transitions })
     else
       let ((comp, abs) as st) = Queue.pop q in
       if Network.terminated comp then bfs ()
       else
         match session_mismatch comp with
         | Some stuck_comp ->
-            Invalid
-              {
-                client = loc;
-                component = stuck_comp;
-                kind = Communication;
-                trace = trace_of st [];
-              }
+            record
+              (Invalid
+                 {
+                   client = loc;
+                   component = stuck_comp;
+                   kind = Communication;
+                   trace = trace_of st [];
+                 })
         | None ->
       begin
         let candidates = Network.component_moves repo plan comp in
@@ -161,7 +181,8 @@ let check_client ?universe repo plan (loc, h0) =
                 | Some p -> Security p
                 | None -> Communication)
           in
-          Invalid { client = loc; component = comp; kind; trace = trace_of st [] }
+          record
+            (Invalid { client = loc; component = comp; kind; trace = trace_of st [] })
         else begin
           List.iter
             (fun (g, succ) ->

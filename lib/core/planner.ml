@@ -67,7 +67,15 @@ let reachable_sites repo plan (cloc, ch) =
   go [] [] (open_sites cloc ch)
 
 let analyze ?cache repo ~client plan =
+  Obs.Trace.with_span "planner.analyze" @@ fun () ->
+  if Obs.Trace.active () then begin
+    Obs.Trace.add_attr "client" (Obs.Trace.Str (fst client));
+    Obs.Trace.add_attr "plan" (Obs.Trace.Str (Fmt.str "%a" Plan.pp plan))
+  end;
+  Obs.Metrics.incr "planner.analyze.calls";
   let sites = reachable_sites repo plan client in
+  if Obs.Metrics.active () then
+    Obs.Metrics.observe "planner.sites.per_analyze" (List.length sites);
   let counterexample rid loc body hs =
     let compute () =
       Product.counterexample (Contract.project body) (Contract.project hs)
@@ -76,8 +84,11 @@ let analyze ?cache repo ~client plan =
     | None -> compute ()
     | Some tbl -> (
         match Hashtbl.find_opt tbl (rid, loc) with
-        | Some r -> r
+        | Some r ->
+            Obs.Metrics.incr "planner.compliance_cache.hits";
+            r
         | None ->
+            Obs.Metrics.incr "planner.compliance_cache.misses";
             let r = compute () in
             Hashtbl.replace tbl (rid, loc) r;
             r)
@@ -134,10 +145,13 @@ let enumerate repo ~client:(cloc, ch) =
   go Plan.empty (List.map (fun s -> s.req.Hexpr.rid) (open_sites cloc ch))
 
 let valid_plans ?(all = true) repo ~client =
+  Obs.Trace.with_span "planner.valid_plans" @@ fun () ->
   (* compliance of a (request, service) pair does not depend on the rest
      of the plan, so it is shared across the enumeration *)
   let cache = Hashtbl.create 17 in
-  enumerate repo ~client
+  let plans = enumerate repo ~client in
+  Obs.Metrics.add "planner.plans.explored" (List.length plans);
+  plans
   |> List.map (fun plan -> analyze ~cache repo ~client plan)
   |> List.filter (fun r -> all || Result.is_ok r.verdict)
 

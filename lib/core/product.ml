@@ -50,6 +50,7 @@ let successors (h1, h2) =
   Compliance.sync_successors h1 h2
 
 let build c1 c2 =
+  Obs.Trace.with_span "product.build" @@ fun () ->
   let initial = (c1, c2) in
   let rec explore (seen, delta, finals) = function
     | [] -> (seen, delta, finals)
@@ -78,6 +79,15 @@ let build c1 c2 =
   let seen, delta, finals =
     explore (PMap.singleton initial (), [], []) [ initial ]
   in
+  if Obs.Metrics.active () then begin
+    let states = PMap.cardinal seen and transitions = List.length delta in
+    Obs.Metrics.incr "product.builds";
+    Obs.Metrics.add "product.states.built" states;
+    Obs.Metrics.add "product.transitions.built" transitions;
+    Obs.Metrics.observe "product.states.per_build" states;
+    Obs.Trace.add_attr "states" (Obs.Trace.Int states);
+    Obs.Trace.add_attr "transitions" (Obs.Trace.Int transitions)
+  end;
   {
     initial;
     states = List.map fst (PMap.bindings seen);
@@ -97,6 +107,8 @@ type counterexample = {
 let counterexample c1 c2 =
   (* BFS over the product, recording parents, stopping at the first
      (hence shortest) stuck state. *)
+  Obs.Trace.with_span "product.counterexample" @@ fun () ->
+  Obs.Metrics.incr "product.counterexample_searches";
   let initial = (c1, c2) in
   let parent = ref (PMap.singleton initial None) in
   let q = Queue.create () in

@@ -16,7 +16,7 @@ end
 
 module Set = Set.Make (Comm)
 
-let rec ready_sets (c : Contract.t) : Set.t list =
+let rec compute (c : Contract.t) : Set.t list =
   let dedup sets = List.sort_uniq Set.compare sets in
   match c with
   | Contract.Nil | Contract.Var _ -> [ Set.empty ]
@@ -24,12 +24,16 @@ let rec ready_sets (c : Contract.t) : Set.t list =
       dedup (List.map (fun (a, _) -> Set.singleton (Contract.O, a)) bs)
   | Contract.Ext bs ->
       [ Set.of_list (List.map (fun (a, _) -> (Contract.I, a)) bs) ]
-  | Contract.Mu (_, b) -> ready_sets b
+  | Contract.Mu (_, b) -> compute b
   | Contract.Seq (c1, c2) ->
-      let r1 = ready_sets c1 in
+      let r1 = compute c1 in
       let nonempty = List.filter (fun s -> not (Set.is_empty s)) r1 in
-      let continues = if List.length nonempty < List.length r1 then ready_sets c2 else [] in
+      let continues = if List.length nonempty < List.length r1 then compute c2 else [] in
       dedup (nonempty @ continues)
+
+let ready_sets c =
+  Obs.Metrics.incr "ready.computations";
+  compute c
 
 let may_terminate c = List.exists Set.is_empty (ready_sets c)
 

@@ -48,26 +48,44 @@ let unfinished cfg =
       else Some (Network.client_location c.Network.comp))
     cfg
 
+let outcome_tag = function
+  | Completed -> "completed"
+  | Stuck _ -> "stuck"
+  | Degraded _ -> "degraded"
+  | Out_of_fuel -> "out-of-fuel"
+  | Stopped -> "stopped"
+
 let run ?(max_steps = 1000) ?(monitored = true)
     ?(interference = fun ~step:_ moves -> moves) repo cfg0 (sched : scheduler) =
+  Obs.Trace.with_span "simulate.run" @@ fun () ->
+  Obs.Metrics.incr "simulate.runs";
+  let finish acc cfg outcome =
+    let steps = List.rev acc in
+    if Obs.Metrics.active () then begin
+      Obs.Metrics.observe "simulate.steps.per_run" (List.length steps);
+      Obs.Metrics.incr ("simulate.outcome." ^ outcome_tag outcome)
+    end;
+    if Obs.Trace.active () then begin
+      Obs.Trace.add_attr "steps" (Obs.Trace.Int (List.length steps));
+      Obs.Trace.add_attr "outcome" (Obs.Trace.Str (outcome_tag outcome))
+    end;
+    { steps; final = cfg; outcome }
+  in
   let rec go acc step cfg =
-    if step >= max_steps then
-      { steps = List.rev acc; final = cfg; outcome = Out_of_fuel }
+    if step >= max_steps then finish acc cfg Out_of_fuel
     else
       match interference ~step (Network.steps ~monitored repo cfg) with
       | [] ->
-          let outcome =
-            if Network.config_done cfg then Completed else Stuck (unfinished cfg)
-          in
-          { steps = List.rev acc; final = cfg; outcome }
+          finish acc cfg
+            (if Network.config_done cfg then Completed else Stuck (unfinished cfg))
       | moves -> (
           match sched ~step moves with
           | None ->
-              let outcome =
-                if Network.config_done cfg then Completed else Stopped
-              in
-              { steps = List.rev acc; final = cfg; outcome }
-          | Some (_, g, cfg') -> go ((g, cfg') :: acc) (step + 1) cfg')
+              finish acc cfg
+                (if Network.config_done cfg then Completed else Stopped)
+          | Some (_, g, cfg') ->
+              Obs.Metrics.incr "simulate.transitions";
+              go ((g, cfg') :: acc) (step + 1) cfg')
   in
   go [] 0 cfg0
 

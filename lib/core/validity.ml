@@ -27,6 +27,7 @@ module Monitor = struct
     { policy = p; prefix = List.rev m.rev_history }
 
   let push m item =
+    Obs.Metrics.incr "validity.monitor.pushes";
     let m = { m with rev_history = item :: m.rev_history } in
     match item with
     | History.Ev e ->
@@ -116,6 +117,7 @@ module Abstract = struct
     List.exists (fun s -> Usage.Policy.A.States.mem s finals) states
 
   let step_states p states e =
+    Obs.Metrics.incr "validity.policy_steps";
     let a = Usage.Policy.automaton p in
     Usage.Policy.A.step a (Usage.Policy.A.States.of_list states) e
     |> Usage.Policy.A.States.elements
@@ -188,6 +190,7 @@ module Abstract = struct
 end
 
 let check_expr ?universe h0 =
+  Obs.Trace.with_span "validity.check_expr" @@ fun () ->
   let universe =
     match universe with Some u -> u | None -> Hexpr.policies h0
   in

@@ -1,0 +1,114 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start : int;
+  stop : int;
+  attrs : (string * value) list;
+}
+
+(* An open span: attrs accumulate in reverse while it is on the stack. *)
+type frame = {
+  f_id : int;
+  f_parent : int option;
+  f_name : string;
+  f_start : int;
+  mutable f_attrs : (string * value) list;
+}
+
+let enabled = ref false
+let ticks = ref 0
+let next_id = ref 0
+let completed : span list ref = ref []
+let stack : frame list ref = ref []
+
+let reset () =
+  ticks := 0;
+  next_id := 0;
+  completed := [];
+  stack := []
+
+let install () =
+  enabled := true;
+  reset ()
+
+let uninstall () =
+  enabled := false;
+  stack := []
+
+let active () = !enabled
+let clock () = !ticks
+
+let tick () =
+  incr ticks;
+  !ticks
+
+let add_attr k v =
+  if !enabled then
+    match !stack with
+    | [] -> ()
+    | f :: _ -> f.f_attrs <- (k, v) :: f.f_attrs
+
+let with_span ?(attrs = []) name f =
+  if not !enabled then f ()
+  else begin
+    let id = !next_id in
+    incr next_id;
+    let parent = match !stack with [] -> None | p :: _ -> Some p.f_id in
+    let frame =
+      {
+        f_id = id;
+        f_parent = parent;
+        f_name = name;
+        f_start = tick ();
+        f_attrs = List.rev attrs;
+      }
+    in
+    stack := frame :: !stack;
+    let close () =
+      (* Pop down to (and including) our frame: if [f] leaked open
+         children (it raised past them), they are closed here too, at
+         the same tick, so the trace stays well nested. *)
+      let stop = tick () in
+      let rec pop = function
+        | [] -> []
+        | f :: rest ->
+            completed :=
+              {
+                id = f.f_id;
+                parent = f.f_parent;
+                name = f.f_name;
+                start = f.f_start;
+                stop;
+                attrs = List.rev f.f_attrs;
+              }
+              :: !completed;
+            if f.f_id = id then rest else pop rest
+      in
+      stack := pop !stack
+    in
+    match f () with
+    | v ->
+        close ();
+        v
+    | exception e ->
+        close ();
+        raise e
+  end
+
+let spans () = List.rev !completed
+
+let pp_value ppf = function
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Float f -> Fmt.pf ppf "%g" f
+  | Str s -> Fmt.string ppf s
+
+let pp_span ppf s =
+  Fmt.pf ppf "[%d,%d] %s#%d%a%a" s.start s.stop s.name s.id
+    Fmt.(option (fmt " <#%d")) s.parent
+    Fmt.(
+      list ~sep:nop (fun ppf (k, v) -> pf ppf " %s=%a" k pp_value v))
+    s.attrs

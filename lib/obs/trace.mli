@@ -1,0 +1,60 @@
+(** Hierarchical span tracing over a {e logical} clock.
+
+    Ticks are step counters, not wall time: every span entry and exit
+    advances a global counter by one, so two runs of the same
+    deterministic computation produce byte-identical traces — traces are
+    reproducible, diffable in tests, and meaningful under a seeded
+    scheduler. Durations measure {e how much instrumented work happened
+    inside} a span (entries/exits of its descendants), not seconds.
+
+    The default sink is a no-op: until {!install} is called,
+    {!with_span} runs its thunk with a single flag test of overhead and
+    records nothing. Instrumentation must never change an observable
+    result — the only effects here are on the internal buffers.
+
+    Span and metric {e names} follow the contract documented in
+    [docs/OBSERVABILITY.md]: dot-separated, [<subsystem>.<operation>],
+    e.g. ["planner.analyze"] or ["runtime.recover"]. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+(** Attribute values attached to spans. *)
+
+type span = {
+  id : int;  (** unique per trace, in order of span {e entry} *)
+  parent : int option;  (** enclosing span, if any *)
+  name : string;
+  start : int;  (** logical tick at entry *)
+  stop : int;  (** logical tick at exit; [stop > start] always *)
+  attrs : (string * value) list;  (** in the order they were added *)
+}
+
+val install : unit -> unit
+(** Switch the recording sink on and clear any previous trace. The
+    logical clock, span ids and buffers restart from zero. *)
+
+val uninstall : unit -> unit
+(** Back to the no-op sink. The recorded spans remain readable via
+    {!spans} until the next {!install}. *)
+
+val active : unit -> bool
+(** Is a recording sink installed? *)
+
+val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span. When no sink is
+    installed this {e is} [f ()] (one flag test). The span is recorded
+    on exit, even if [f] raises (the exception is re-raised). Nesting
+    is tracked via a span stack: spans opened inside [f] get this span
+    as their parent. *)
+
+val add_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span; no-op when no sink
+    is installed or no span is open. *)
+
+val spans : unit -> span list
+(** Completed spans, in order of completion (innermost first, like a
+    post-order walk). Empty until a sink was installed. *)
+
+val clock : unit -> int
+(** Current logical tick. *)
+
+val pp_span : span Fmt.t

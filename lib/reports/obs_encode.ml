@@ -1,0 +1,49 @@
+let value : Obs.Trace.value -> Json.t = function
+  | Obs.Trace.Bool b -> Json.Bool b
+  | Obs.Trace.Int i -> Json.Int i
+  | Obs.Trace.Float f -> Json.Float f
+  | Obs.Trace.Str s -> Json.String s
+
+(* Chrome trace_event "complete" events. Ticks stand in for
+   microseconds: the logical clock is deterministic, so two runs of the
+   same analysis produce byte-identical traces. *)
+let trace_event (s : Obs.Trace.span) =
+  let args =
+    (match s.parent with
+    | None -> []
+    | Some p -> [ ("parent", Json.Int p) ])
+    @ List.map (fun (k, v) -> (k, value v)) s.attrs
+  in
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("cat", Json.String "susf");
+      ("ph", Json.String "X");
+      ("ts", Json.Int s.start);
+      ("dur", Json.Int (s.stop - s.start));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("id", Json.Int s.id);
+      ("args", Json.Obj args);
+    ]
+
+let trace_events spans = Json.List (List.map trace_event spans)
+
+let histogram (h : Obs.Metrics.histogram) =
+  Json.Obj
+    [
+      ("bounds", Json.List (List.map (fun b -> Json.Int b) h.bounds));
+      ("counts", Json.List (List.map (fun c -> Json.Int c) h.counts));
+      ("count", Json.Int h.count);
+      ("sum", Json.Int h.sum);
+      ("max", Json.Int h.max_value);
+    ]
+
+let metrics (s : Obs.Metrics.snapshot) =
+  let obj f xs = Json.Obj (List.map (fun (k, v) -> (k, f v)) xs) in
+  Json.Obj
+    [
+      ("counters", obj (fun c -> Json.Int c) s.counters);
+      ("gauges", obj (fun g -> Json.Int g) s.gauges);
+      ("histograms", obj histogram s.histograms);
+    ]

@@ -1,0 +1,19 @@
+(** JSON encodings of observability data collected by [Obs]: traces in
+    the Chrome [trace_event] format (loadable in Perfetto or
+    [chrome://tracing]) and metrics snapshots for the CLI's
+    [--metrics] output. *)
+
+val value : Obs.Trace.value -> Json.t
+
+val trace_event : Obs.Trace.span -> Json.t
+(** One complete event ([ph:"X"]): [ts] is the span's start tick, [dur]
+    its tick extent, and span attributes land in [args]. *)
+
+val trace_events : Obs.Trace.span list -> Json.t
+(** The whole trace as a JSON array of {!trace_event}s — the Chrome
+    "JSON array format", directly loadable by trace viewers. *)
+
+val histogram : Obs.Metrics.histogram -> Json.t
+val metrics : Obs.Metrics.snapshot -> Json.t
+(** [{"counters": {…}, "gauges": {…}, "histograms": {…}}] with keys in
+    name order. *)

@@ -65,6 +65,8 @@ let label_locations : Network.glabel -> string list = function
 
 let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
     ?(seed = 0) repo clients (sched : Simulate.scheduler) =
+  Obs.Trace.with_span "runtime.run" @@ fun () ->
+  Obs.Metrics.incr "runtime.runs";
   let rng = Random.State.make [| 0x5f5f; seed |] in
   let breaker = Supervisor.breaker () in
   let states =
@@ -111,6 +113,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
     cs.attempts <- (rid, attempts_of cs rid + 1) :: List.remove_assoc rid cs.attempts
   in
   let give_up cs rid reason =
+    Obs.Metrics.incr "runtime.gave_up";
     record (Recovery (Gave_up { rid; client = cs.name; reason }));
     cs.status <- Abandoned reason
   in
@@ -151,6 +154,12 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
   in
 
   let recover cs ~rid ~failed ~retry_same ~reason =
+    Obs.Trace.with_span "runtime.recover" @@ fun () ->
+    if Obs.Trace.active () then begin
+      Obs.Trace.add_attr "client" (Obs.Trace.Str cs.name);
+      Obs.Trace.add_attr "rid" (Obs.Trace.Int rid);
+      Obs.Trace.add_attr "failed" (Obs.Trace.Str failed)
+    end;
     bump_attempts cs rid;
     Supervisor.record_failure breaker ~client:cs.name ~loc:failed;
     let attempt = attempts_of cs rid in
@@ -166,6 +175,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
       | Some loc' ->
           if not (String.equal loc' failed) then begin
             incr rebinds;
+            Obs.Metrics.incr "runtime.rebinds";
             cs.cl <-
               {
                 cs.cl with
@@ -175,6 +185,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
               (Recovery (Rebound { rid; client = cs.name; from_ = failed; to_ = loc' }))
           end;
           incr retries;
+          Obs.Metrics.incr "runtime.retries";
           let resume_at =
             !now + (supervisor.Supervisor.backoff_base * (1 lsl (attempt - 1)))
           in
@@ -191,6 +202,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
     in
     cs.sessions <- keep_outer cs.sessions;
     cs.cl <- s.saved;
+    Obs.Metrics.incr "runtime.aborts";
     mark (Network.L_abort (s.req, cs.name, s.bound));
     record
       (Recovery
@@ -206,6 +218,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
         if not (is_dead loc) then begin
           Hashtbl.replace dead loc ();
           incr faults_injected;
+          Obs.Metrics.incr "runtime.faults.injected";
           record (Fault (Crashed loc));
           mark (Network.L_crash loc);
           List.iter
@@ -222,6 +235,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
         end
     | Faults.Drop chan ->
         incr faults_injected;
+        Obs.Metrics.incr "runtime.faults.injected";
         record (Fault (Dropped chan));
         let until =
           max (!now + 1) (Option.value (Hashtbl.find_opt delays chan) ~default:0)
@@ -229,6 +243,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
         Hashtbl.replace delays chan until
     | Faults.Delay (chan, d) ->
         incr faults_injected;
+        Obs.Metrics.incr "runtime.faults.injected";
         record (Fault (Delayed (chan, d)));
         let until =
           max (!now + d) (Option.value (Hashtbl.find_opt delays chan) ~default:0)
@@ -236,6 +251,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
         Hashtbl.replace delays chan until
     | Faults.Violate loc -> (
         incr faults_injected;
+        Obs.Metrics.incr "runtime.faults.injected";
         match
           List.find_opt
             (fun (_, g, _) -> List.mem loc (label_locations g))
@@ -397,6 +413,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
               let cs = List.nth states i in
               (match g with
               | Network.L_open (r, _, lj) ->
+                  Obs.Metrics.incr "runtime.checkpoints";
                   cs.sessions <-
                     { req = r; bound = lj; saved = before; opened_at = !now }
                     :: cs.sessions

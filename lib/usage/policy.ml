@@ -22,13 +22,23 @@ let make ~id ~init ~offending ~trans =
 
 let id p = p.id
 let automaton p = p.automaton
-let respects p tr = not (A.violates p.automaton tr)
+
+let respects p tr =
+  if Obs.Metrics.active () then begin
+    Obs.Metrics.incr "usage.policy.respects";
+    Obs.Metrics.add "usage.policy.automaton_steps" (List.length tr)
+  end;
+  not (A.violates p.automaton tr)
+
 let first_violation p tr = A.first_violation p.automaton tr
 
 type cursor = A.States.t
 
 let start p = A.States.singleton (A.initial p.automaton)
-let advance p c e = A.step p.automaton c e
+
+let advance p c e =
+  Obs.Metrics.incr "usage.policy.automaton_steps";
+  A.step p.automaton c e
 let offending p c = not (A.States.disjoint c (A.finals p.automaton))
 let replay p tr = List.fold_left (advance p) (start p) tr
 let cursor_states c = A.States.elements c

@@ -29,5 +29,6 @@ let () =
       ("misc", Test_misc.suite);
       ("laws", Test_laws.suite);
       ("runtime", Test_runtime.suite);
+      ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
     ]

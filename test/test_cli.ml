@@ -28,6 +28,24 @@ let test_audit_codes () =
   Alcotest.(check int) "dirty audit" 1
     (run [ "audit"; hotel; dirty; "--policy"; "phi({s1},45,100)" ])
 
+let test_obs_outputs () =
+  let read f = In_channel.with_open_text f In_channel.input_all in
+  Alcotest.(check int) "faulty simulate with obs outputs" 1
+    (run
+       [ "simulate"; hotel; "-c"; "c1"; "-p"; "pi1"; "--faults"; "crash:s3@4";
+         "--trace"; "t.json"; "--metrics"; "m.json" ]);
+  let t = read "t.json" and m = read "m.json" in
+  Alcotest.(check bool) "trace is a JSON array" true
+    (String.length t > 0 && t.[0] = '[');
+  Alcotest.(check bool) "metrics is a JSON object" true
+    (String.length m > 0 && m.[0] = '{');
+  Alcotest.(check int) "check with obs outputs" 0
+    (run
+       [ "check"; hotel; "-c"; "c1"; "-p"; "pi1"; "--trace"; "ct.json";
+         "--metrics"; "cm.json" ]);
+  Alcotest.(check bool) "check trace non-trivial" true
+    (String.length (read "ct.json") > 2)
+
 let test_fmt_reparses () =
   (* susf fmt output must be accepted by susf check *)
   let code =
@@ -103,5 +121,6 @@ let suite =
     Alcotest.test_case "unknown file" `Quick
       (check_exit 124 [ "check"; "no-such-file.susf" ]);
     Alcotest.test_case "audit exit codes" `Quick test_audit_codes;
+    Alcotest.test_case "trace and metrics outputs" `Quick test_obs_outputs;
     Alcotest.test_case "fmt round trip" `Quick test_fmt_reparses;
   ]
