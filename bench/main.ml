@@ -9,11 +9,18 @@
      workloads of growing size (the shape — linear/quadratic growth,
      who dominates — is the reproducible part).
 
-   Usage: [main.exe] runs everything; [main.exe e3 b1 …] selects. *)
+   Usage: [main.exe] runs everything; [main.exe e3 b1 …] selects.
+   [--quick] shrinks iteration counts for CI smoke runs; [--json FILE]
+   writes a machine-readable timing/metrics snapshot per experiment. *)
 
 open Core
 
 let pf = Format.printf
+
+(* CI smoke mode: same experiments, reduced iteration counts. *)
+let quick = ref false
+
+let scaled n = if !quick then max 1 (n / 10) else n
 
 let section name = pf "@.==== %s ====@." name
 
@@ -195,7 +202,7 @@ let e5 () =
 let e6_e7 () =
   section "E6/E7 (Theorems 1, 2): agreement of the decision procedures";
   let st = Random.State.make [| 2013 |] in
-  let n = 2000 in
+  let n = scaled 2000 in
   let agree = ref 0 and compliant_count = ref 0 in
   for _ = 1 to n do
     let c = QCheck.Gen.generate1 ~rand:st Testkit.Generators.contract_gen in
@@ -215,7 +222,7 @@ let e6_e7 () =
 let e8 () =
   section "E8 (§3.1): BPA validity vs direct exploration";
   let st = Random.State.make [| 42 |] in
-  let n = 1000 in
+  let n = scaled 1000 in
   let agree = ref 0 and valid_count = ref 0 in
   for _ = 1 to n do
     let h = QCheck.Gen.generate1 ~rand:st Testkit.Generators.hexpr_gen in
@@ -240,6 +247,7 @@ let e8 () =
 
 let e9 () =
   section "E9 (§5): no run-time monitor needed for valid plans";
+  let runs = scaled 100 in
   let all_valid ~monitored plan client =
     List.for_all
       (fun seed ->
@@ -248,18 +256,18 @@ let e9 () =
         List.for_all
           (fun c -> Validity.valid (Validity.Monitor.history c.Network.monitor))
           t.Simulate.final)
-      (List.init 100 (fun i -> i + 1))
+      (List.init runs (fun i -> i + 1))
   in
   check_line ~expected:"true"
     ~got:(string_of_bool
             (all_valid ~monitored:false Scenarios.Hotel.plan1
                ("c1", Scenarios.Hotel.client1)))
-    "100 unmonitored runs of pi1: all histories valid";
+    (Printf.sprintf "%d unmonitored runs of pi1: all histories valid" runs);
   check_line ~expected:"true"
     ~got:(string_of_bool
             (all_valid ~monitored:false Scenarios.Hotel.plan2_s4
                ("c2", Scenarios.Hotel.client2)))
-    "100 unmonitored runs of {2[br],3[s4]}: all histories valid";
+    (Printf.sprintf "%d unmonitored runs of {2[br],3[s4]}: all histories valid" runs);
   check_line ~expected:"false"
     ~got:(string_of_bool
             (all_valid ~monitored:false
@@ -359,7 +367,7 @@ let b4_shape () =
       in
       let s = Netcheck.explore_interleaved Scenarios.Hotel.repo clients in
       pf "  %8d %10d %12d@." k s.Netcheck.states s.Netcheck.transitions)
-    [ 1; 2; 3 ]
+    (if !quick then [ 1; 2 ] else [ 1; 2; 3 ])
 
 (* B5 — recovery overhead and success rate of the fault-tolerant
    runtime: the redundant-hotels scenario under a per-step crash
@@ -367,7 +375,7 @@ let b4_shape () =
 let b5_recovery () =
   section "B5: runtime recovery vs fault rate (redundant hotels)";
   let clients = [ (Scenarios.Redundant.plan, Scenarios.Redundant.client) ] in
-  let runs = 100 in
+  let runs = scaled 100 in
   let measure repo rate =
     let faults =
       if rate = 0.0 then []
@@ -466,7 +474,10 @@ let pp_ns ppf v =
 
 let run_timings name tests =
   let open Bechamel in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg =
+    if !quick then Benchmark.cfg ~limit:200 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ()
+  in
   let raw =
     Benchmark.all cfg
       Toolkit.Instance.[ monotonic_clock ]
@@ -669,7 +680,7 @@ let timing_b4 () =
            ~name:(Printf.sprintf "explore clients=%d" k)
            (stage (fun () ->
                 Netcheck.explore_interleaved Scenarios.Hotel.repo clients)))
-       [ 1; 2; 3 ])
+       (if !quick then [ 1; 2 ] else [ 1; 2; 3 ]))
 
 (* ------------------------------------------------------------------ *)
 
@@ -687,23 +698,69 @@ let all : (string * (unit -> unit)) list =
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
-  let obs = List.mem "--obs" args in
-  let selected =
-    match List.filter (fun a -> a <> "--obs") args with
-    | _ :: _ as names -> names
-    | [] -> List.map fst all
+  let obs = ref false and json = ref None in
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--obs" :: tl ->
+        obs := true;
+        parse names tl
+    | "--quick" :: tl ->
+        quick := true;
+        parse names tl
+    | "--json" :: file :: tl ->
+        json := Some file;
+        parse names tl
+    | [ "--json" ] ->
+        prerr_endline "bench: --json requires a file argument";
+        exit 2
+    | a :: tl -> parse (a :: names) tl
   in
+  let selected =
+    match parse [] args with _ :: _ as names -> names | [] -> List.map fst all
+  in
+  let snapshots = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name all with
       | Some f ->
           (* re-install per experiment: install clears the registry *)
-          if obs then Obs.Metrics.install ();
+          if !obs || !json <> None then Obs.Metrics.install ();
+          let t0 = Unix.gettimeofday () in
           f ();
-          if obs then
+          let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          if !json <> None then
+            snapshots := (name, wall_ms, Obs.Metrics.snapshot ()) :: !snapshots;
+          if !obs then
             pf "--- %s metrics ---@.%a@." name Obs.Metrics.pp_snapshot
               (Obs.Metrics.snapshot ())
       | None ->
           pf "unknown experiment %s (available: %s)@." name
             (String.concat " " (List.map fst all)))
-    selected
+    selected;
+  match !json with
+  | None -> ()
+  | Some file ->
+      let open Reports.Json in
+      let doc =
+        Obj
+          [
+            ("schema", String "susf-bench/1");
+            ("mode", String (if !quick then "quick" else "full"));
+            ( "experiments",
+              List
+                (List.rev_map
+                   (fun (name, wall_ms, snap) ->
+                     Obj
+                       [
+                         ("name", String name);
+                         ("wall_ms", Float wall_ms);
+                         ("metrics", Reports.Obs_encode.metrics snap);
+                       ])
+                   !snapshots) );
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      pf "wrote %s (%d experiments)@." file (List.length !snapshots)

@@ -11,31 +11,27 @@ let sync_successors c1 c2 =
     t1
 
 let locally_ok c1 c2 =
-  let r1 = Ready.ready_sets c1 and r2 = Ready.ready_sets c2 in
+  (* one ready-set query per party ([Ready.ready_sets] is memoized), and
+     the server sets' co-images are taken once, not once per client set *)
+  let r1 = Ready.ready_sets c1 in
+  let co_r2 =
+    List.map (Ready.Set.map Ready.Comm.co) (Ready.ready_sets c2)
+  in
   List.for_all
     (fun cset ->
       Ready.Set.is_empty cset
       || List.for_all
-           (fun sset ->
-             let co_s = Ready.Set.map Ready.Comm.co sset in
-             not (Ready.Set.is_empty (Ready.Set.inter cset co_s)))
-           r2)
+           (fun co_s -> not (Ready.Set.is_empty (Ready.Set.inter cset co_s)))
+           co_r2)
     r1
-
-module Pair = struct
-  type t = Contract.t * Contract.t
-
-  let compare (a1, b1) (a2, b2) =
-    match Contract.compare a1 a2 with
-    | 0 -> Contract.compare b1 b2
-    | c -> c
-end
-
-module PSet = Set.Make (Pair)
 
 let compliant client server =
   Obs.Trace.with_span "compliance.compliant" @@ fun () ->
-  let rec explore seen = function
+  (* visited set keyed on hash-consing ids: O(1) probes instead of
+     structural compares *)
+  let seen = Repr.Key.Pair_set.create () in
+  let key (c1, c2) = (Contract.id c1, Contract.id c2) in
+  let rec explore = function
     | [] -> true
     | (c1, c2) :: rest ->
         Obs.Metrics.incr "compliance.pairs_explored";
@@ -43,11 +39,10 @@ let compliant client server =
         &&
         let succs =
           sync_successors c1 c2 |> List.map snd
-          |> List.filter (fun p -> not (PSet.mem p seen))
-          |> List.sort_uniq Pair.compare
+          |> List.filter (fun p -> Repr.Key.Pair_set.add seen (key p))
         in
-        let seen = List.fold_left (fun s p -> PSet.add p s) seen succs in
-        explore seen (succs @ rest)
+        explore (succs @ rest)
   in
   let start = (client, server) in
-  explore (PSet.singleton start) [ start ]
+  ignore (Repr.Key.Pair_set.add seen (key start) : bool);
+  explore [ start ]

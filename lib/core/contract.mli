@@ -4,15 +4,39 @@
     Gesbert, Padovani 2009] contracts where internal choice is
     output-guarded, external choice is input-guarded and recursion is
     guarded and tail — hence contract transition systems are finite
-    state. *)
+    state.
 
-type t = private
+    Contracts are {e hash-consed} ([Repr.Hashcons]): every structurally
+    distinct contract exists exactly once, carries a unique [id], and
+
+    - [equal] is physical equality,
+    - [compare] is [Int.compare] on ids (a total order consistent with
+      [equal], though {e not} the structural order — use it for
+      containers, not for anything order-meaningful),
+    - analyses key their caches and visited sets on [id] (or id pairs)
+      instead of re-walking terms.
+
+    Pattern-match through {!node} (or the [.node] field); the record is
+    [private], so values can only be built by the smart constructors,
+    which intern maximally-shared representatives. *)
+
+type t = private { id : int;  (** unique while the value is alive *)
+                   hkey : int;  (** cached shallow hash *)
+                   node : node }
+
+and node = private
   | Nil
   | Var of string
   | Mu of string * t
   | Ext of (string * t) list  (** input-guarded external choice *)
   | Int of (string * t) list  (** output-guarded internal choice *)
   | Seq of t * t
+
+val node : t -> node
+(** Head constructor, for pattern matching: [match Contract.node c with …]. *)
+
+val id : t -> int
+(** The hash-consing id: [equal a b ⟺ id a = id b] (for live values). *)
 
 exception Unprojectable of string
 (** Raised by {!project} on an extension [Choice] whose branches do not
@@ -43,10 +67,11 @@ val co : dir -> dir
 
 val transitions : t -> (dir * string * t) list
 (** The contract LTS (I-Choice, E-Choice, Conc, Rec restricted to
-    communications). *)
+    communications). Memoized by id ([contract.transitions] cache). *)
 
 val reachable : ?limit:int -> t -> t list
-(** Finite for well-formed (guarded, tail-recursive) contracts. *)
+(** Finite for well-formed (guarded, tail-recursive) contracts.
+    Returned in ascending id order. *)
 
 val dual : t -> t
 (** Swap inputs and outputs (session-type duality). Every contract is
@@ -56,7 +81,11 @@ val dual : t -> t
 val is_terminated : t -> bool
 
 val equal : t -> t -> bool
+(** Physical equality — O(1) thanks to maximal sharing. *)
+
 val compare : t -> t -> int
+(** [Int.compare] on ids: total, consistent with [equal], O(1). *)
+
 val size : t -> int
 val pp : t Fmt.t
 val to_string : t -> string

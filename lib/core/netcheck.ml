@@ -108,7 +108,55 @@ module State = struct
     | c -> c
 end
 
-module SMap = Map.Make (State)
+(* Hash for exploration frontiers. Only the component is hashed:
+   [Validity.Abstract.t] values that compare equal can sit in
+   differently-shaped balanced trees, so hashing their representation
+   would break the "compare-equal implies hash-equal" invariant.
+   Policies are hashed by their identifier for the same reason
+   ([Usage.Policy.compare] is on ids, not automata); everything else in
+   the component is a plain structurally-compared ADT. Equality of
+   table keys stays the full [State.compare]. *)
+let hash_comb a b = ((a * 19) + b) land max_int
+
+let hash_policy p = Hashtbl.hash (Usage.Policy.id p)
+
+let hash_req (r : Hexpr.req) =
+  hash_comb r.Hexpr.rid
+    (match r.Hexpr.policy with None -> 0 | Some p -> hash_policy p)
+
+let rec hash_hexpr (h : Hexpr.t) =
+  match h with
+  | Hexpr.Nil -> 1
+  | Hexpr.Var x -> hash_comb 2 (Hashtbl.hash x)
+  | Hexpr.Mu (x, b) -> hash_comb (hash_comb 3 (Hashtbl.hash x)) (hash_hexpr b)
+  | Hexpr.Ext bs -> hash_branches 4 bs
+  | Hexpr.Int bs -> hash_branches 5 bs
+  | Hexpr.Ev e -> hash_comb 6 (Hashtbl.hash e)
+  | Hexpr.Seq (a, b) -> hash_comb (hash_comb 7 (hash_hexpr a)) (hash_hexpr b)
+  | Hexpr.Choice (a, b) ->
+      hash_comb (hash_comb 8 (hash_hexpr a)) (hash_hexpr b)
+  | Hexpr.Open (r, b) -> hash_comb (hash_comb 9 (hash_req r)) (hash_hexpr b)
+  | Hexpr.Close r -> hash_comb 10 (hash_req r)
+  | Hexpr.Frame (p, b) -> hash_comb (hash_comb 11 (hash_policy p)) (hash_hexpr b)
+  | Hexpr.Frame_close p -> hash_comb 12 (hash_policy p)
+
+and hash_branches seed bs =
+  List.fold_left
+    (fun acc (a, k) -> hash_comb (hash_comb acc (Hashtbl.hash a)) (hash_hexpr k))
+    seed bs
+
+let rec hash_component (c : Network.component) =
+  match c with
+  | Network.Leaf (l, h) -> hash_comb (Hashtbl.hash l) (hash_hexpr h)
+  | Network.Session (a, b) ->
+      hash_comb (hash_comb 13 (hash_component a)) (hash_component b)
+
+module STbl = Hashtbl.Make (struct
+  type t = State.t
+
+  let equal a b = State.compare a b = 0
+  let hash (comp, _) = hash_component comp
+end)
 
 let check_client ?universe repo plan (loc, h0) =
   Obs.Trace.with_span ~attrs:[ ("client", Obs.Trace.Str loc) ]
@@ -121,24 +169,25 @@ let check_client ?universe repo plan (loc, h0) =
     | None -> default_universe repo [ (loc, h0) ]
   in
   let start = (Network.Leaf (loc, h0), Validity.Abstract.init universe) in
-  let parent = ref (SMap.singleton start None) in
+  let parent = STbl.create 64 in
+  STbl.replace parent start None;
   let q = Queue.create () in
   Queue.add start q;
   let transitions = ref 0 in
   let rec trace_of st acc =
-    match SMap.find st !parent with
+    match STbl.find parent st with
     | None -> acc
     | Some (g, pred) -> trace_of pred (g :: acc)
   in
   let record verdict =
     if Obs.Metrics.active () then begin
-      let states = SMap.cardinal !parent in
+      let states = STbl.length parent in
       Obs.Metrics.add "netcheck.states.explored" states;
       Obs.Metrics.add "netcheck.transitions.explored" !transitions;
       Obs.Metrics.observe "netcheck.states.per_check" states
     end;
     if Obs.Trace.active () then begin
-      Obs.Trace.add_attr "states" (Obs.Trace.Int (SMap.cardinal !parent));
+      Obs.Trace.add_attr "states" (Obs.Trace.Int (STbl.length parent));
       Obs.Trace.add_attr "valid"
         (Obs.Trace.Bool (match verdict with Valid _ -> true | Invalid _ -> false))
     end;
@@ -146,7 +195,7 @@ let check_client ?universe repo plan (loc, h0) =
   in
   let rec bfs () =
     if Queue.is_empty q then
-      record (Valid { states = SMap.cardinal !parent; transitions = !transitions })
+      record (Valid { states = STbl.length parent; transitions = !transitions })
     else
       let ((comp, abs) as st) = Queue.pop q in
       if Network.terminated comp then bfs ()
@@ -187,8 +236,8 @@ let check_client ?universe repo plan (loc, h0) =
           List.iter
             (fun (g, succ) ->
               incr transitions;
-              if not (SMap.mem succ !parent) then begin
-                parent := SMap.add succ (Some (g, st)) !parent;
+              if not (STbl.mem parent succ) then begin
+                STbl.replace parent succ (Some (g, st));
                 Queue.add succ q
               end)
             enabled;
@@ -205,12 +254,13 @@ let failures ?universe ?(limit = 10) repo plan (loc, h0) =
     | None -> default_universe repo [ (loc, h0) ]
   in
   let start = (Network.Leaf (loc, h0), Validity.Abstract.init universe) in
-  let parent = ref (SMap.singleton start None) in
+  let parent = STbl.create 64 in
+  STbl.replace parent start None;
   let q = Queue.create () in
   Queue.add start q;
   let found = ref [] in
   let rec trace_of st acc =
-    match SMap.find st !parent with
+    match STbl.find parent st with
     | None -> acc
     | Some (g, pred) -> trace_of pred (g :: acc)
   in
@@ -252,8 +302,8 @@ let failures ?universe ?(limit = 10) repo plan (loc, h0) =
           else
             List.iter
               (fun (g, succ) ->
-                if not (SMap.mem succ !parent) then begin
-                  parent := SMap.add succ (Some (g, st)) !parent;
+                if not (STbl.mem parent succ) then begin
+                  STbl.replace parent succ (Some (g, st));
                   Queue.add succ q
                 end)
               enabled
@@ -282,7 +332,18 @@ module Config = struct
         match Plan.compare p1 p2 with 0 -> State.compare s1 s2 | c -> c)
 end
 
-module CMap = Map.Make (Config)
+(* Plans never change during an interleaved exploration, so hashing the
+   components alone spreads configurations just as well. *)
+module CTbl = Hashtbl.Make (struct
+  type t = Config.t
+
+  let equal a b = Config.compare a b = 0
+
+  let hash cfg =
+    List.fold_left
+      (fun acc (_, (comp, _)) -> hash_comb acc (hash_component comp))
+      0 cfg
+end)
 
 let explore_interleaved ?(limit = 1_000_000) repo clients =
   let universe = default_universe repo (List.map snd clients) in
@@ -292,12 +353,13 @@ let explore_interleaved ?(limit = 1_000_000) repo clients =
         (plan, (Network.Leaf (loc, h), Validity.Abstract.init universe)))
       clients
   in
-  let seen = ref (CMap.singleton start ()) in
+  let seen = CTbl.create 256 in
+  CTbl.replace seen start ();
   let q = Queue.create () in
   Queue.add start q;
   let transitions = ref 0 in
   while not (Queue.is_empty q) do
-    if CMap.cardinal !seen > limit then
+    if CTbl.length seen > limit then
       failwith "Netcheck.explore_interleaved: state limit exceeded";
     let cfg = Queue.pop q in
     List.iteri
@@ -314,13 +376,13 @@ let explore_interleaved ?(limit = 1_000_000) repo clients =
                          if i = j then (pj, (comp', abs')) else st)
                        cfg
                    in
-                   if not (CMap.mem cfg' !seen) then begin
-                     seen := CMap.add cfg' () !seen;
+                   if not (CTbl.mem seen cfg') then begin
+                     CTbl.replace seen cfg' ();
                      Queue.add cfg' q
                    end))
       cfg
   done;
-  { states = CMap.cardinal !seen; transitions = !transitions }
+  { states = CTbl.length seen; transitions = !transitions }
 
 let pp_stuck_kind ppf = function
   | Security p -> Fmt.pf ppf "security (policy %s)" (Usage.Policy.id p)

@@ -76,21 +76,22 @@ let analyze ?cache repo ~client plan =
   let sites = reachable_sites repo plan client in
   if Obs.Metrics.active () then
     Obs.Metrics.observe "planner.sites.per_analyze" (List.length sites);
-  let counterexample rid loc body hs =
-    let compute () =
-      Product.counterexample (Contract.project body) (Contract.project hs)
-    in
+  let counterexample body hs =
+    (* project first: [Unprojectable] must escape per-site, so it is
+       never cached *)
+    let cb = Contract.project body and cs = Contract.project hs in
     match cache with
-    | None -> compute ()
+    | None -> Product.counterexample cb cs
     | Some tbl -> (
-        match Hashtbl.find_opt tbl (rid, loc) with
+        let k = (Contract.id cb, Contract.id cs) in
+        match Repr.Key.Pair_tbl.find_opt tbl k with
         | Some r ->
             Obs.Metrics.incr "planner.compliance_cache.hits";
             r
         | None ->
             Obs.Metrics.incr "planner.compliance_cache.misses";
-            let r = compute () in
-            Hashtbl.replace tbl (rid, loc) r;
+            let r = Product.counterexample cb cs in
+            Repr.Key.Pair_tbl.replace tbl k r;
             r)
   in
   let rec check_compliance = function
@@ -103,7 +104,7 @@ let analyze ?cache repo ~client plan =
             match List.assoc_opt loc repo with
             | None -> Some (Unserved rid)
             | Some hs -> (
-                match counterexample rid loc s.body hs with
+                match counterexample s.body hs with
                 | Some ce ->
                     Some (Not_compliant { rid; loc; counterexample = ce })
                 | None -> check_compliance rest
@@ -148,7 +149,7 @@ let valid_plans ?(all = true) repo ~client =
   Obs.Trace.with_span "planner.valid_plans" @@ fun () ->
   (* compliance of a (request, service) pair does not depend on the rest
      of the plan, so it is shared across the enumeration *)
-  let cache = Hashtbl.create 17 in
+  let cache = Repr.Key.Pair_tbl.create 17 in
   let plans = enumerate repo ~client in
   Obs.Metrics.add "planner.plans.explored" (List.length plans);
   plans

@@ -34,15 +34,17 @@ type reason =
 type report = { plan : Plan.t; verdict : (Netcheck.stats, reason) result }
 
 val analyze :
-  ?cache:(int * string, Product.counterexample option) Hashtbl.t ->
+  ?cache:Product.counterexample option Repr.Key.Pair_tbl.t ->
   Network.repo ->
   client:string * Hexpr.t ->
   Plan.t ->
   report
 (** Validate one plan: per-request compliance first (cheap, local), then
     the global security/progress exploration. [cache] memoises the
-    per-(request, service) compliance verdicts across calls —
-    {!valid_plans} shares one over the whole enumeration. *)
+    compliance verdicts across calls, keyed on the hash-consing ids of
+    the projected (client-body, service) contract pair — {!valid_plans}
+    shares one over the whole enumeration, and requests whose bodies
+    project to the same contracts share a single verdict. *)
 
 val enumerate : Network.repo -> client:string * Hexpr.t -> Plan.t list
 (** All complete plans for the client: every reachable request bound to

@@ -35,16 +35,10 @@ let final_reason (h1, h2) =
       in
       Option.map (fun a -> Unmatched_output a) unmatched
 
-module Pair = struct
-  type nonrec t = state
+(* exploration structures key on hash-consing id pairs: O(1) probes *)
+let key ((a, b) : state) = (Contract.id a, Contract.id b)
 
-  let compare (a1, b1) (a2, b2) =
-    match Contract.compare a1 a2 with
-    | 0 -> Contract.compare b1 b2
-    | c -> c
-end
-
-module PMap = Map.Make (Pair)
+let equal_state p q = Repr.Key.Int_pair.equal (key p) (key q)
 
 let successors (h1, h2) =
   Compliance.sync_successors h1 h2
@@ -52,13 +46,16 @@ let successors (h1, h2) =
 let build c1 c2 =
   Obs.Trace.with_span "product.build" @@ fun () ->
   let initial = (c1, c2) in
-  let rec explore (seen, delta, finals) = function
-    | [] -> (seen, delta, finals)
+  let seen = Repr.Key.Pair_set.create () in
+  let states = ref [ initial ] in
+  (* states accumulate in discovery order (reversed here) *)
+  let rec explore (delta, finals) = function
+    | [] -> (delta, finals)
     | p :: rest -> (
         match final_reason p with
         | Some r ->
             (* final states have no outgoing transitions *)
-            explore (seen, delta, (p, r) :: finals) rest
+            explore (delta, (p, r) :: finals) rest
         | None ->
             let succs = successors p in
             let delta =
@@ -68,19 +65,16 @@ let build c1 c2 =
             in
             let fresh =
               succs |> List.map snd
-              |> List.filter (fun q -> not (PMap.mem q seen))
-              |> List.sort_uniq Pair.compare
+              |> List.filter (fun q -> Repr.Key.Pair_set.add seen (key q))
             in
-            let seen =
-              List.fold_left (fun s q -> PMap.add q () s) seen fresh
-            in
-            explore (seen, delta, finals) (fresh @ rest))
+            List.iter (fun q -> states := q :: !states) fresh;
+            explore (delta, finals) (fresh @ rest))
   in
-  let seen, delta, finals =
-    explore (PMap.singleton initial (), [], []) [ initial ]
-  in
+  ignore (Repr.Key.Pair_set.add seen (key initial) : bool);
+  let delta, finals = explore ([], []) [ initial ] in
   if Obs.Metrics.active () then begin
-    let states = PMap.cardinal seen and transitions = List.length delta in
+    let states = Repr.Key.Pair_set.cardinal seen
+    and transitions = List.length delta in
     Obs.Metrics.incr "product.builds";
     Obs.Metrics.add "product.states.built" states;
     Obs.Metrics.add "product.transitions.built" transitions;
@@ -90,7 +84,7 @@ let build c1 c2 =
   end;
   {
     initial;
-    states = List.map fst (PMap.bindings seen);
+    states = List.rev !states;
     delta = List.rev delta;
     finals = List.rev finals;
   }
@@ -110,11 +104,12 @@ let counterexample c1 c2 =
   Obs.Trace.with_span "product.counterexample" @@ fun () ->
   Obs.Metrics.incr "product.counterexample_searches";
   let initial = (c1, c2) in
-  let parent = ref (PMap.singleton initial None) in
+  let parent = Repr.Key.Pair_tbl.create 64 in
+  Repr.Key.Pair_tbl.replace parent (key initial) None;
   let q = Queue.create () in
   Queue.add initial q;
   let rec path_of p acc =
-    match PMap.find p !parent with
+    match Repr.Key.Pair_tbl.find parent (key p) with
     | None -> acc
     | Some (a, pred) -> path_of pred (a :: acc)
   in
@@ -128,8 +123,8 @@ let counterexample c1 c2 =
       | None ->
           List.iter
             (fun (a, succ) ->
-              if not (PMap.mem succ !parent) then begin
-                parent := PMap.add succ (Some (a, p)) !parent;
+              if not (Repr.Key.Pair_tbl.mem parent (key succ)) then begin
+                Repr.Key.Pair_tbl.replace parent (key succ) (Some (a, p));
                 Queue.add succ q
               end)
             (successors p);
@@ -153,22 +148,22 @@ let pp_counterexample ppf ce =
 
 let pp_dot ppf t =
   let id =
-    let tbl = Hashtbl.create 17 in
+    let tbl = Repr.Key.Pair_tbl.create 17 in
     let next = ref 0 in
     fun p ->
-      match Hashtbl.find_opt tbl p with
+      match Repr.Key.Pair_tbl.find_opt tbl (key p) with
       | Some i -> i
       | None ->
           let i = !next in
           incr next;
-          Hashtbl.replace tbl p i;
+          Repr.Key.Pair_tbl.replace tbl (key p) i;
           i
   in
   Fmt.pf ppf "digraph product {@.  rankdir=LR;@.";
   List.iter
     (fun ((c1, c2) as p) ->
       let shape =
-        if List.exists (fun (q, _) -> Pair.compare p q = 0) t.finals then
+        if List.exists (fun (q, _) -> equal_state p q) t.finals then
           "doublecircle"
         else "circle"
       in

@@ -16,24 +16,45 @@ end
 
 module Set = Set.Make (Comm)
 
-let rec compute (c : Contract.t) : Set.t list =
+let memo : (Contract.t, Set.t list) Repr.Memo.t =
+  Repr.Memo.create ~name:"ready.sets" ~key:Contract.id ()
+
+(* Definition 3 audit (w.r.t. the paper's ⇓ rules):
+
+   - [Var x ⇓ ∅] has no counterpart in Definition 3, which is stated
+     on closed contracts. It is only reachable for open terms: in the
+     guarded tail-recursive fragment a recursion variable can never be
+     the head of a closed contract ([mu] drops unused binders and
+     every occurrence is action-guarded), so for every closed contract
+     [may_terminate c ⟺ is_terminated c]. The case is kept as the
+     neutral element so ready sets of open subterms (e.g. during
+     generation or debugging) are still defined.
+   - [Mu (_, b) ⇓ S ⟺ b ⇓ S]: sound in the same fragment — guarded
+     bodies reach their first action without unfolding the binder, so
+     ready sets need no substitution and the recursion terminates even
+     for loops like [μh.a!.h] that never reach [Nil]. In particular
+     [may_terminate (μh.a!.h) = false]: the body's only ready set is
+     [{a!}], not [∅]. Regression tests pin both properties. *)
+let rec ready_sets c =
+  Repr.Memo.find memo c ~compute
+
+and compute (c : Contract.t) : Set.t list =
+  Obs.Metrics.incr "ready.computations";
   let dedup sets = List.sort_uniq Set.compare sets in
-  match c with
+  match Contract.node c with
   | Contract.Nil | Contract.Var _ -> [ Set.empty ]
   | Contract.Int bs ->
       dedup (List.map (fun (a, _) -> Set.singleton (Contract.O, a)) bs)
   | Contract.Ext bs ->
       [ Set.of_list (List.map (fun (a, _) -> (Contract.I, a)) bs) ]
-  | Contract.Mu (_, b) -> compute b
+  | Contract.Mu (_, b) -> ready_sets b
   | Contract.Seq (c1, c2) ->
-      let r1 = compute c1 in
+      let r1 = ready_sets c1 in
       let nonempty = List.filter (fun s -> not (Set.is_empty s)) r1 in
-      let continues = if List.length nonempty < List.length r1 then compute c2 else [] in
+      let continues =
+        if List.length nonempty < List.length r1 then ready_sets c2 else []
+      in
       dedup (nonempty @ continues)
-
-let ready_sets c =
-  Obs.Metrics.incr "ready.computations";
-  compute c
 
 let may_terminate c = List.exists Set.is_empty (ready_sets c)
 

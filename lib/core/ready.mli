@@ -17,7 +17,12 @@ module Set : Set.S with type elt = Comm.t
 val ready_sets : Contract.t -> Set.t list
 (** All [S] with [H ⇓ S], duplicate-free. Every contract has at least
     one ready set; terminated contracts (and bare variables) have
-    exactly [∅]. *)
+    exactly [∅].
+
+    Memoized on the contract's hash-consing id ([ready.sets] cache):
+    repeated queries on the same contract are O(1). The
+    [ready.computations] counter counts {e actual} computations
+    (cache misses), not calls. *)
 
 val may_terminate : Contract.t -> bool
 (** [H ⇓ ∅]. *)

@@ -1,14 +1,3 @@
-module Pair = struct
-  type t = Contract.t * Contract.t
-
-  let compare (a1, b1) (a2, b2) =
-    match Contract.compare a1 a2 with
-    | 0 -> Contract.compare b1 b2
-    | c -> c
-end
-
-module PSet = Set.Make (Pair)
-
 let split_frontier c =
   let ts = Contract.transitions c in
   let ins =
@@ -23,45 +12,43 @@ let split_frontier c =
   in
   (ins, outs)
 
-(* Greatest fixed point: assume pairs already under scrutiny hold. *)
+(* Greatest fixed point: assume pairs already under scrutiny hold.
+   The assumption set is keyed on hash-consing ids and kept as one
+   mutable set: it only ever grows, because any failure aborts the
+   whole query immediately (moves are matched by channel name, so
+   there is no alternative-candidate backtracking that would need to
+   roll assumptions back). *)
 let refines s s' =
-  let rec go assumed (s, s') =
-    if PSet.mem (s, s') assumed then (true, assumed)
-    else if Contract.is_terminated s then (true, assumed)
-    else begin
-      let assumed = PSet.add (s, s') assumed in
-      let ins1, outs1 = split_frontier s in
-      let ins2, outs2 = split_frontier s' in
-      if outs1 = [] then
-        (* input frontier: s' must offer at least the same inputs *)
-        if outs2 <> [] then (false, assumed)
-        else
-          List.fold_left
-            (fun (ok, assumed) (a, k1) ->
-              if not ok then (false, assumed)
-              else
-                match List.assoc_opt a ins2 with
-                | None -> (false, assumed)
-                | Some k2 -> go assumed (k1, k2))
-            (true, assumed) ins1
-      else if ins1 = [] then
-        (* output frontier: s' must choose among at most the same outputs *)
-        if ins2 <> [] || outs2 = [] then (false, assumed)
-        else
-          List.fold_left
-            (fun (ok, assumed) (a, k2) ->
-              if not ok then (false, assumed)
-              else
-                match List.assoc_opt a outs1 with
-                | None -> (false, assumed)
-                | Some k1 -> go assumed (k1, k2))
-            (true, assumed) outs2
-      else
-        (* mixed frontiers cannot arise in the fragment; be conservative *)
-        (false, assumed)
-    end
+  let assumed = Repr.Key.Pair_set.create () in
+  let rec go s s' =
+    Contract.is_terminated s
+    || (not (Repr.Key.Pair_set.add assumed (Contract.id s, Contract.id s')))
+    ||
+    let ins1, outs1 = split_frontier s in
+    let ins2, outs2 = split_frontier s' in
+    if outs1 = [] then
+      (* input frontier: s' must offer at least the same inputs *)
+      outs2 = []
+      && List.for_all
+           (fun (a, k1) ->
+             match List.assoc_opt a ins2 with
+             | None -> false
+             | Some k2 -> go k1 k2)
+           ins1
+    else if ins1 = [] then
+      (* output frontier: s' must choose among at most the same outputs *)
+      ins2 = [] && outs2 <> []
+      && List.for_all
+           (fun (a, k2) ->
+             match List.assoc_opt a outs1 with
+             | None -> false
+             | Some k1 -> go k1 k2)
+           outs2
+    else
+      (* mixed frontiers cannot arise in the fragment; be conservative *)
+      false
   in
-  fst (go PSet.empty (s, s'))
+  go s s'
 
 let equivalent a b = refines a b && refines b a
 

@@ -1,0 +1,26 @@
+type stats = { hits : int; misses : int; entries : int }
+
+type entry = {
+  name : string;
+  clear : (unit -> unit) option;
+  stats : unit -> stats;
+  reset_counters : unit -> unit;
+}
+
+let registry : entry list ref = ref []
+
+let register ~name ?clear ~stats ~reset_counters () =
+  registry := { name; clear; stats; reset_counters } :: !registry
+
+let clear_all () =
+  Obs.Metrics.incr "repr.cache.clears";
+  List.iter
+    (fun e ->
+      Option.iter (fun f -> f ()) e.clear;
+      e.reset_counters ())
+    !registry
+
+let stats () =
+  !registry
+  |> List.map (fun e -> (e.name, e.stats ()))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

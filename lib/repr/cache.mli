@@ -1,0 +1,46 @@
+(** A process-wide registry of the representation layer's caches and
+    intern tables, so long-running hosts have one switch to flip
+    between work epochs.
+
+    Two kinds of entries register here:
+
+    - {e memo tables} ({!Memo}): cleared by {!clear_all}. Their entries
+      are pure functions of their keys, so dropping them is always
+      sound — the next query recomputes.
+    - {e intern tables} ({!Hashcons}): {b never cleared}. Interned
+      values alive across a {!clear_all} must keep their identity
+      (clearing would let a later structurally-equal value intern to a
+      fresh id, breaking [equal = (==)]); memory is reclaimed by the GC
+      through the weak table instead. Only their hit/miss counters
+      reset.
+
+    {!clear_all} also resets every entry's local hit/miss counters (the
+    ones read back by {!stats}). The mirrored [Obs.Metrics] counters
+    are {e not} reset — they stay monotone within a metrics epoch, as
+    the observability contract requires. *)
+
+type stats = {
+  hits : int;  (** lookups answered from the cache since the last reset *)
+  misses : int;  (** lookups that had to compute (or intern fresh) *)
+  entries : int;  (** values currently held *)
+}
+
+val register :
+  name:string ->
+  ?clear:(unit -> unit) ->
+  stats:(unit -> stats) ->
+  reset_counters:(unit -> unit) ->
+  unit ->
+  unit
+(** Called once per cache at creation ({!Memo.create},
+    {!Hashcons.Make.create}); omit [clear] for entries whose contents
+    must survive (intern tables). *)
+
+val clear_all : unit -> unit
+(** Drop every registered memo table's contents and reset every
+    registered entry's hit/miss counters. [Runtime.Engine.run] calls
+    this at the start of each supervised run, making runs cache
+    epochs. *)
+
+val stats : unit -> (string * stats) list
+(** Name-sorted snapshot of every registered entry. *)

@@ -1,0 +1,27 @@
+module Int_pair = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+
+  (* Golden-ratio mixing keeps (a, b) and (b, a) apart and spreads the
+     dense, small ids hash-consing produces. *)
+  let hash (a, b) = ((a * 0x9e3779b1) + b) land max_int
+end
+
+module Pair_tbl = Hashtbl.Make (Int_pair)
+
+module Pair_set = struct
+  type t = unit Pair_tbl.t
+
+  let create ?(initial_size = 256) () = Pair_tbl.create initial_size
+  let mem s p = Pair_tbl.mem s p
+
+  let add s p =
+    if Pair_tbl.mem s p then false
+    else begin
+      Pair_tbl.replace s p ();
+      true
+    end
+
+  let cardinal = Pair_tbl.length
+end

@@ -1,0 +1,30 @@
+(** Integer-pair keys for relation-shaped caches and visited sets.
+
+    Analyses over pairs of hash-consed values (compliance, simulation,
+    product construction) key their worklists and visited sets on the
+    two ids. These helpers give them a shared, collision-mixed hash and
+    ready-made hashed containers. *)
+
+module Int_pair : sig
+  type t = int * int
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+(** Imperative hashtable keyed on id pairs. *)
+module Pair_tbl : Hashtbl.S with type key = Int_pair.t
+
+(** Mutable visited-set over id pairs, with a membership-reporting
+    [add] so explorers can test-and-insert in one probe. *)
+module Pair_set : sig
+  type t
+
+  val create : ?initial_size:int -> unit -> t
+  val mem : t -> int * int -> bool
+
+  val add : t -> int * int -> bool
+  (** [add s p] inserts [p]; [true] iff [p] was not already present. *)
+
+  val cardinal : t -> int
+end

@@ -1,0 +1,76 @@
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Fun.id
+end)
+
+module Pair_tbl = Hashtbl.Make (Key.Int_pair)
+
+type counters = {
+  hits_name : string;
+  misses_name : string;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make_counters name =
+  { hits_name = name ^ ".hits"; misses_name = name ^ ".misses"; hits = 0; misses = 0 }
+
+let register_counters name c ~entries ~clear =
+  Cache.register ~name ~clear
+    ~stats:(fun () ->
+      { Cache.hits = c.hits; misses = c.misses; entries = entries () })
+    ~reset_counters:(fun () ->
+      c.hits <- 0;
+      c.misses <- 0)
+    ()
+
+let hit c = c.hits <- c.hits + 1; Obs.Metrics.incr c.hits_name
+let miss c = c.misses <- c.misses + 1; Obs.Metrics.incr c.misses_name
+
+type ('a, 'b) t = { tbl : 'b Int_tbl.t; key : 'a -> int; c : counters }
+
+let create ?(initial_size = 256) ~name ~key () =
+  let tbl = Int_tbl.create initial_size in
+  let c = make_counters name in
+  register_counters name c
+    ~entries:(fun () -> Int_tbl.length tbl)
+    ~clear:(fun () -> Int_tbl.reset tbl);
+  { tbl; key; c }
+
+let find t a ~compute =
+  let k = t.key a in
+  match Int_tbl.find_opt t.tbl k with
+  | Some v -> hit t.c; v
+  | None ->
+      miss t.c;
+      let v = compute a in
+      Int_tbl.replace t.tbl k v;
+      v
+
+let clear t = Int_tbl.reset t.tbl
+
+module Pair = struct
+  type ('a, 'b) t = { tbl : 'b Pair_tbl.t; key : 'a -> int; c : counters }
+
+  let create ?(initial_size = 256) ~name ~key () =
+    let tbl = Pair_tbl.create initial_size in
+    let c = make_counters name in
+    register_counters name c
+      ~entries:(fun () -> Pair_tbl.length tbl)
+      ~clear:(fun () -> Pair_tbl.reset tbl);
+    { tbl; key; c }
+
+  let find t a b ~compute =
+    let k = (t.key a, t.key b) in
+    match Pair_tbl.find_opt t.tbl k with
+    | Some v -> hit t.c; v
+    | None ->
+        miss t.c;
+        let v = compute a b in
+        Pair_tbl.replace t.tbl k v;
+        v
+
+  let clear t = Pair_tbl.reset t.tbl
+end

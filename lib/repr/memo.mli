@@ -1,0 +1,38 @@
+(** Id-keyed memo tables for analysis results.
+
+    A memo table caches a pure function of hash-consed values, keyed by
+    their integer ids — so lookups hash a machine word (or a pair of
+    them), never a term. Because ids are unique for the lifetime of the
+    interned value and never reused while it is reachable, an id-keyed
+    entry can never be observed stale; at worst {!Cache.clear_all}
+    drops it and the next query recomputes.
+
+    Every table registers itself in {!Cache} {e with} a clear hook and
+    mirrors its hit/miss counts to [Obs.Metrics] as [<name>.hits] /
+    [<name>.misses]. *)
+
+type ('a, 'b) t
+
+val create :
+  ?initial_size:int -> name:string -> key:('a -> int) -> unit -> ('a, 'b) t
+(** [create ~name ~key ()] makes a table memoizing a function of values
+    projected to an int key by [key] (typically the hash-cons id). *)
+
+val find : ('a, 'b) t -> 'a -> compute:('a -> 'b) -> 'b
+(** Cached result for [a], running [compute a] on a miss and storing
+    the result. [compute] must be pure in [key a]. *)
+
+val clear : ('a, 'b) t -> unit
+(** Drop all entries (counters are untouched). *)
+
+(** Tables keyed by an ordered pair of consed values — for relations
+    such as the planner's compliance cache. *)
+module Pair : sig
+  type ('a, 'b) t
+
+  val create :
+    ?initial_size:int -> name:string -> key:('a -> int) -> unit -> ('a, 'b) t
+
+  val find : ('a, 'b) t -> 'a -> 'a -> compute:('a -> 'a -> 'b) -> 'b
+  val clear : ('a, 'b) t -> unit
+end

@@ -353,7 +353,7 @@ let hexpr_arb =
 
 let rec contract_shrink (c : Contract.t) : Contract.t QCheck.Iter.t =
   let open QCheck.Iter in
-  match c with
+  match Contract.node c with
   | Contract.Nil | Contract.Var _ -> empty
   | Contract.Mu (x, b) ->
       return b <+> (contract_shrink b >|= fun b' -> Contract.mu x b')

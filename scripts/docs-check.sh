@@ -16,9 +16,15 @@ set -u
 
 ROOT=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
 SUSF="$ROOT/_build/default/bin/susf.exe"
+BENCH="$ROOT/_build/default/bench/main.exe"
 
 if [ ! -x "$SUSF" ]; then
   echo "docs-check: $SUSF not found — run 'dune build' first" >&2
+  exit 2
+fi
+
+if [ ! -x "$BENCH" ]; then
+  echo "docs-check: $BENCH not found — run 'dune build' first" >&2
   exit 2
 fi
 
@@ -51,6 +57,7 @@ while IFS="$(printf '\t')" read -r file cmd; do
   case "$cmd" in
     susf\ *) run="\"$SUSF\" ${cmd#susf }" ;;
     dune\ exec\ bin/susf.exe\ --\ *) run="\"$SUSF\" ${cmd#dune exec bin/susf.exe -- }" ;;
+    dune\ exec\ bench/main.exe\ --\ *) run="\"$BENCH\" ${cmd#dune exec bench/main.exe -- }" ;;
     printf\ *|echo\ *) run="$cmd" ;;
     *) continue ;;
   esac

@@ -27,6 +27,7 @@ let () =
       ("regex", Test_regex.suite);
       ("audit", Test_audit.suite);
       ("misc", Test_misc.suite);
+      ("repr", Test_repr.suite);
       ("laws", Test_laws.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);

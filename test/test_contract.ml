@@ -148,6 +148,37 @@ let test_may_terminate () =
   Alcotest.(check bool) "nil" true (Ready.may_terminate Contract.nil);
   Alcotest.(check bool) "prefix" false (Ready.may_terminate (Contract.recv "a"))
 
+(* --- Definition 3 audit: Mu and Var cases (see the note in ready.ml) ---
+
+   [compute] reads a recursion body's ready sets without unfolding the
+   binder, so it must terminate — and stay correct — on loops that
+   never reach [Nil], like μh.ā·h. And the [Var ⇓ ∅] case must never
+   make a non-terminating loop look terminable. *)
+
+let test_ready_nonterminating_loop () =
+  (* μh.ā·h in prefix form: the loop body is the single-branch internal
+     choice a!.h *)
+  let prefix_loop = Contract.mu "h" (Contract.select [ ("a", Contract.var "h") ]) in
+  (* the same loop in sequencing form: μh.(ā)·h *)
+  let seq_loop =
+    Contract.mu "h" (Contract.seq (Contract.send "a") (Contract.var "h"))
+  in
+  List.iter
+    (fun (name, loop) ->
+      check_ready (name ^ " ready") [ set [ (Contract.O, "a") ] ] loop;
+      Alcotest.(check bool)
+        (name ^ " cannot terminate")
+        false (Ready.may_terminate loop))
+    [ ("prefix loop", prefix_loop); ("seq loop", seq_loop) ]
+
+let prop_may_terminate_is_termination =
+  (* closed guarded tail-recursive contracts never have a recursion
+     variable in head position, so the [Var ⇓ ∅] case is unreachable
+     and ∅ is a ready set exactly for the terminated contract *)
+  QCheck.Test.make ~name:"may_terminate iff terminated (closed contracts)"
+    ~count:300 Testkit.Generators.contract_arb (fun c ->
+      Ready.may_terminate c = Contract.is_terminated c)
+
 let prop_ready_nonempty =
   QCheck.Test.make ~name:"every contract has a ready set" ~count:300
     Testkit.Generators.contract_arb (fun c -> rs c <> [])
@@ -183,6 +214,9 @@ let suite =
     Alcotest.test_case "ready: eps and var" `Quick test_ready_nil_var;
     Alcotest.test_case "ready: nullable head" `Quick test_ready_seq_nullable;
     Alcotest.test_case "may terminate" `Quick test_may_terminate;
+    Alcotest.test_case "ready: non-terminating loops (Def.3 audit)" `Quick
+      test_ready_nonterminating_loop;
+    QCheck_alcotest.to_alcotest prop_may_terminate_is_termination;
     QCheck_alcotest.to_alcotest prop_ready_nonempty;
     QCheck_alcotest.to_alcotest prop_ready_matches_transitions;
   ]

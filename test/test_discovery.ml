@@ -62,7 +62,7 @@ let test_substitutes () =
    service behaving as its dual is always usable (no policy), so the
    planner can never answer "not-compliant" against it. *)
 let rec hexpr_of_contract (c : Contract.t) : Hexpr.t =
-  match c with
+  match Contract.node c with
   | Contract.Nil -> Hexpr.nil
   | Contract.Var x -> Hexpr.var x
   | Contract.Mu (x, b) -> Hexpr.mu x (hexpr_of_contract b)
