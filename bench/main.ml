@@ -11,7 +11,10 @@
 
    Usage: [main.exe] runs everything; [main.exe e3 b1 …] selects.
    [--quick] shrinks iteration counts for CI smoke runs; [--json FILE]
-   writes a machine-readable timing/metrics snapshot per experiment. *)
+   writes a machine-readable timing/metrics snapshot per experiment
+   (refusing to overwrite an existing baseline unless [--force]);
+   [--seed N] shifts every seeded random stream (the default keeps the
+   historical per-experiment streams, so runs are byte-reproducible). *)
 
 open Core
 
@@ -21,6 +24,13 @@ let pf = Format.printf
 let quick = ref false
 
 let scaled n = if !quick then max 1 (n / 10) else n
+
+(* Every randomised experiment draws from Testkit.Rng, offset so the
+   default [--seed] reproduces each experiment's historical stream. *)
+let seed = ref Testkit.Rng.default_seed
+
+let rng_at offset =
+  Testkit.Rng.make ~seed:(!seed - Testkit.Rng.default_seed + offset) ()
 
 let section name = pf "@.==== %s ====@." name
 
@@ -201,7 +211,7 @@ let e5 () =
 
 let e6_e7 () =
   section "E6/E7 (Theorems 1, 2): agreement of the decision procedures";
-  let st = Random.State.make [| 2013 |] in
+  let st = rng_at 2013 in
   let n = scaled 2000 in
   let agree = ref 0 and compliant_count = ref 0 in
   for _ = 1 to n do
@@ -221,7 +231,7 @@ let e6_e7 () =
 
 let e8 () =
   section "E8 (§3.1): BPA validity vs direct exploration";
-  let st = Random.State.make [| 42 |] in
+  let st = rng_at 42 in
   let n = scaled 1000 in
   let agree = ref 0 and valid_count = ref 0 in
   for _ = 1 to n do
@@ -464,6 +474,130 @@ let b7_ablation () =
   pf "  conjoined automaton has %d transitions (timings t-b7)@."
     (List.length (Usage.Policy.A.transitions (Usage.Policy.automaton conj)))
 
+(* B8 — the incremental broker under a churn workload: every served
+   verdict must be byte-identical to a cold recomputation on the
+   repository as it stood when the request was processed, while the
+   dependency-tracked index analyzes far fewer plans than the cold
+   planner would. *)
+let b8_broker () =
+  section "B8: broker churn workload vs cold recomputation";
+  let profile =
+    {
+      (Testkit.Workload.default ~clients:Scenarios.Churn.clients
+         ~spares:Scenarios.Churn.spares ~noise:Scenarios.Churn.noise)
+      with
+      Testkit.Workload.seed = !seed;
+    }
+  in
+  let items, counts = Testkit.Workload.generate profile in
+  let submissions =
+    List.length
+      (List.filter
+         (function Broker.Script.Submit _ -> true | _ -> false)
+         items)
+  in
+  let churned = counts.Testkit.Workload.publishes + counts.retracts in
+  check_line ~expected:"true"
+    ~got:(string_of_bool (submissions >= 200 && churned >= 20))
+    (Printf.sprintf "workload floors: %d requests, %d publish/retract"
+       submissions churned);
+  let broker = Broker.create Scenarios.Churn.repo in
+  (* The cold oracle, counting its Planner.analyze calls: what a
+     from-scratch planner answers on the broker's current repository. *)
+  let oracle_analyzed = ref 0 in
+  let oracle_serve repo ~client =
+    let rec go = function
+      | [] -> Broker.Index.No_plan
+      | p :: rest ->
+          incr oracle_analyzed;
+          let r = Planner.analyze repo ~client p in
+          if Result.is_ok r.Planner.verdict then Broker.Index.Valid r
+          else go rest
+    in
+    go (Planner.enumerate repo ~client)
+  in
+  let compared = ref 0 and mismatches = ref 0 in
+  (* Check each serve response right after it is processed, while the
+     repository still is the one the broker answered on — mutations
+     queued behind the serve have not been applied yet. *)
+  let handle (r : Broker.response) =
+    match (r.Broker.request, r.Broker.outcome) with
+    | ( Broker.Serve { client },
+        (Broker.Served _ | Broker.Rejected Broker.No_plan) ) -> (
+        match List.assoc_opt client (Broker.clients broker) with
+        | None -> ()
+        | Some body ->
+            incr compared;
+            let got =
+              match r.Broker.outcome with
+              | Broker.Served { report; _ } -> Broker.Index.Valid report
+              | _ -> Broker.Index.No_plan
+            in
+            let expect =
+              oracle_serve (Broker.repo broker) ~client:(client, body)
+            in
+            if not (Broker.verdict_equal got expect) then incr mismatches)
+    | _ -> ()
+  in
+  List.iter
+    (function
+      | Broker.Script.Submit r -> Option.iter handle (Broker.submit broker r)
+      | Broker.Script.Tick -> Option.iter handle (Broker.step broker)
+      | Broker.Script.Drain ->
+          let rec drain () =
+            match Broker.step broker with
+            | Some r ->
+                handle r;
+                drain ()
+            | None -> ()
+          in
+          drain ())
+    items;
+  let st = Broker.stats broker in
+  check_line ~expected:"0" ~got:(string_of_int !mismatches)
+    (Printf.sprintf "verdict mismatches vs cold oracle (%d serves compared)"
+       !compared);
+  let ratio =
+    float_of_int !oracle_analyzed /. float_of_int (max 1 st.Broker.analyzed)
+  in
+  check_line ~expected:"true"
+    ~got:(string_of_bool (ratio >= 5.0))
+    (Printf.sprintf "broker analyzed %d plans, cold %d (%.1fx fewer)"
+       st.Broker.analyzed !oracle_analyzed ratio);
+  let pct num den = if den = 0 then 0 else 100 * num / den in
+  let hit_pct = pct st.Broker.hits (st.Broker.hits + st.Broker.misses) in
+  pf "  hit rate %d%% (%d hits / %d misses), invalidations %d, degraded %d@."
+    hit_pct st.Broker.hits st.Broker.misses st.Broker.invalidations
+    st.Broker.degraded;
+  (* Admission under a burst: shrink the queue and submit without
+     draining; everything past the capacity must be shed. *)
+  let burst =
+    Broker.create
+      ~admission:{ Broker.queue_capacity = 4; plan_budget = 64 }
+      Scenarios.Churn.repo
+  in
+  List.iter
+    (fun (client, body) ->
+      ignore (Broker.process burst (Broker.Open { client; body })))
+    Scenarios.Churn.clients;
+  let shed = ref 0 in
+  for _ = 1 to 12 do
+    match Broker.submit burst (Broker.Serve { client = "c1" }) with
+    | Some { Broker.outcome = Broker.Rejected Broker.Shed; _ } -> incr shed
+    | _ -> ()
+  done;
+  ignore (Broker.drain burst);
+  check_line ~expected:"8" ~got:(string_of_int !shed)
+    "burst of 12 serves past queue capacity 4: shed";
+  let burst_st = Broker.stats burst in
+  let shed_pct = pct burst_st.Broker.shed burst_st.Broker.requests in
+  pf "  burst shed rate %d%% (%d of %d requests)@." shed_pct
+    burst_st.Broker.shed burst_st.Broker.requests;
+  (* Summary gauges for the --json baseline (rates are percentages;
+     the raw counters sit next to them in the same snapshot). *)
+  Obs.Metrics.set "broker.hit_rate.pct" hit_pct;
+  Obs.Metrics.set "broker.shed_rate.pct" shed_pct
+
 (* ------------------------------------------------------------------ *)
 (* Timing with bechamel *)
 
@@ -690,7 +824,7 @@ let all : (string * (unit -> unit)) list =
     ("e6", e6_e7); ("e8", e8); ("e9", e9);
     ("b1", b1_shape); ("b2", b2_shape); ("b3", b3_shape); ("b4", b4_shape);
     ("b5", b5_recovery); ("b5-def4", b5_ablation); ("b6", b6_ablation);
-    ("b7", b7_ablation);
+    ("b7", b7_ablation); ("b8", b8_broker);
     ("t-paper", timing_e); ("t-b1", timing_b1); ("t-b2", timing_b2);
     ("t-b3", timing_b3); ("t-b4", timing_b4); ("t-b5", timing_b5);
     ("t-b6", timing_b6); ("t-b7", timing_b7); ("t-quant", timing_quant);
@@ -698,7 +832,7 @@ let all : (string * (unit -> unit)) list =
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
-  let obs = ref false and json = ref None in
+  let obs = ref false and json = ref None and force = ref false in
   let rec parse names = function
     | [] -> List.rev names
     | "--obs" :: tl ->
@@ -707,17 +841,39 @@ let () =
     | "--quick" :: tl ->
         quick := true;
         parse names tl
+    | "--force" :: tl ->
+        force := true;
+        parse names tl
     | "--json" :: file :: tl ->
         json := Some file;
         parse names tl
     | [ "--json" ] ->
         prerr_endline "bench: --json requires a file argument";
         exit 2
+    | "--seed" :: n :: tl -> (
+        match int_of_string_opt n with
+        | Some s ->
+            seed := s;
+            parse names tl
+        | None ->
+            prerr_endline "bench: --seed requires an integer argument";
+            exit 2)
+    | [ "--seed" ] ->
+        prerr_endline "bench: --seed requires an integer argument";
+        exit 2
     | a :: tl -> parse (a :: names) tl
   in
   let selected =
     match parse [] args with _ :: _ as names -> names | [] -> List.map fst all
   in
+  (* Refuse to clobber a landed baseline before burning any cycles. *)
+  (match !json with
+  | Some file when Sys.file_exists file && not !force ->
+      Printf.eprintf
+        "bench: %s already exists; pass --force to overwrite the baseline\n"
+        file;
+      exit 2
+  | _ -> ());
   let snapshots = ref [] in
   List.iter
     (fun name ->

@@ -732,6 +732,85 @@ let lint_cmd =
   let doc = "Static hygiene checks on a specification." in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ file_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let script_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "script" ] ~docv:"SCRIPT"
+          ~doc:
+            "Workload script to replay: one request per line ($(b,open c = \
+             HEXPR), $(b,serve c), $(b,publish l = HEXPR), $(b,retract l), \
+             $(b,update l = HEXPR), $(b,close c), $(b,run c seed N), \
+             $(b,policy queue N budget N)) plus $(b,tick)/$(b,drain) \
+             processing boundaries. See docs/BROKER.md.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Broker.default_admission.Broker.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue capacity (submissions beyond it are shed).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int Broker.default_admission.Broker.plan_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Plan budget: fresh analyses allowed per cache-missing serve \
+             before it degrades.")
+  in
+  let run file script queue budget json trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    let spec = load file in
+    let text =
+      try In_channel.with_open_text script In_channel.input_all
+      with Sys_error msg ->
+        Fmt.epr "%s@." msg;
+        exit 2
+    in
+    let hexpr_of_string =
+      Syntax.Parser.hexpr_of_string ~automata:spec.Syntax.Spec.automata
+    in
+    match Broker.Script.parse ~hexpr_of_string text with
+    | Error msg ->
+        Fmt.epr "%s: %s@." script msg;
+        exit 2
+    | Ok items ->
+        let admission =
+          { Broker.queue_capacity = queue; plan_budget = budget }
+        in
+        let broker = Broker.create ~admission (Syntax.Spec.repo spec) in
+        let responses = Broker.Script.replay broker items in
+        let stats = Broker.stats broker in
+        if json then
+          Fmt.pr "%a@." Reports.Json.pp
+            (Reports.Json.Obj
+               [
+                 ( "responses",
+                   Reports.Json.List
+                     (List.map Reports.Encode.broker_response responses) );
+                 ("stats", Reports.Encode.broker_stats stats);
+               ])
+        else begin
+          List.iter (fun r -> Fmt.pr "%a@." Broker.pp_response r) responses;
+          Fmt.pr "-- %a@." Broker.pp_stats stats
+        end;
+        0
+  in
+  let doc =
+    "Run the orchestration broker over a workload script: a long-lived \
+     serving loop with dependency-tracked cache invalidation and admission \
+     control."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ file_arg $ script_arg $ queue_arg $ budget_arg $ json_arg
+      $ trace_arg $ metrics_arg)
+
 (* --- show --- *)
 
 let show_cmd =
@@ -751,4 +830,4 @@ let () =
       dot_cmd; subcontract_cmd; dot_policy_cmd; cost_cmd; effects_cmd;
       graph_cmd; batch_cmd; coverage_cmd; msc_cmd; diagnose_cmd; lint_cmd;
       fmt_cmd;
-      discover_cmd; audit_cmd; show_cmd ]))
+      discover_cmd; audit_cmd; serve_cmd; show_cmd ]))

@@ -1,0 +1,11 @@
+(** The incremental orchestration broker (see {!Engine} for the event
+    loop and invalidation contract, {!Index} for the reverse-dependency
+    verdict cache, {!Script} for the deterministic workload format).
+
+    The engine is included here, so [Broker.create] / [Broker.submit] /
+    [Broker.drain] is the whole serving API; [Broker.Script.replay]
+    feeds a parsed script through it. *)
+
+module Index = Index
+module Script = Script
+include Engine

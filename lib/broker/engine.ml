@@ -1,0 +1,523 @@
+open Core
+
+type admission = { queue_capacity : int; plan_budget : int }
+
+let default_admission = { queue_capacity = 16; plan_budget = 64 }
+
+type policy_delta = { queue : int option; budget : int option }
+
+type request =
+  | Open of { client : string; body : Hexpr.t }
+  | Close of { client : string }
+  | Serve of { client : string }
+  | Run of { client : string; seed : int }
+  | Publish of { loc : string; service : Hexpr.t }
+  | Retract of { loc : string }
+  | Update of { loc : string; service : Hexpr.t }
+  | Set_policy of policy_delta
+
+type reject =
+  | Shed
+  | No_plan
+  | Not_served of string
+  | Unknown_client of string
+  | Unknown_location of string
+  | Duplicate_location of string
+
+type outcome =
+  | Served of { report : Planner.report; cached : bool }
+  | Degraded of { analyzed : int; enumerated : int }
+  | Rejected of reject
+  | Ran of { completed : bool; steps : int }
+  | Ack
+
+type response = { seq : int; request : request; outcome : outcome }
+
+type stats = {
+  mutable requests : int;
+  mutable served : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable shed : int;
+  mutable degraded : int;
+  mutable rejected : int;
+  mutable invalidations : int;
+  mutable analyzed : int;
+  mutable queue_peak : int;
+}
+
+type session = { body : Hexpr.t; own_policies : string list }
+
+type t = {
+  mutable repo : Network.repo;
+  mutable repo_policies : string list;  (* sorted policy ids *)
+  mutable sessions : (string * session) list;  (* registration order *)
+  index : Index.t;
+  compliance : Product.counterexample option Repr.Key.Pair_tbl.t;
+      (* the long-lived compliance cache shared across every analysis
+         this broker runs, keyed on contract-id pairs as in
+         [Planner.analyze] *)
+  mutable adm : admission;
+  queue : request Queue.t;
+  mutable seq : int;
+  st : stats;
+}
+
+let policy_ids h =
+  Hexpr.policies h |> List.map Usage.Policy.id |> List.sort_uniq String.compare
+
+let repo_policy_ids repo =
+  List.concat_map (fun (_, h) -> policy_ids h) repo
+  |> List.sort_uniq String.compare
+
+let create ?(admission = default_admission) repo =
+  let locs = List.map fst repo in
+  if List.length (List.sort_uniq String.compare locs) <> List.length locs then
+    invalid_arg "Broker.create: duplicate repository locations";
+  {
+    repo;
+    repo_policies = repo_policy_ids repo;
+    sessions = [];
+    index = Index.create ();
+    compliance = Repr.Key.Pair_tbl.create 64;
+    adm = admission;
+    queue = Queue.create ();
+    seq = 0;
+    st =
+      {
+        requests = 0;
+        served = 0;
+        hits = 0;
+        misses = 0;
+        shed = 0;
+        degraded = 0;
+        rejected = 0;
+        invalidations = 0;
+        analyzed = 0;
+        queue_peak = 0;
+      };
+  }
+
+let repo t = t.repo
+let admission t = t.adm
+let stats t = t.st
+let index_size t = Index.size t.index
+let clients t = List.map (fun (name, s) -> (name, s.body)) t.sessions
+
+(* ---- universe bookkeeping -------------------------------------------- *)
+
+(* The netcheck universe of a cached verdict is every policy of the
+   repository plus the client's own ([Netcheck.default_universe]); a
+   mutation that changes it can change abstract validity, so entries are
+   keyed on it and compared against the would-be universe after each
+   mutation. *)
+let universe_of t (s : session) =
+  List.sort_uniq String.compare (t.repo_policies @ s.own_policies)
+
+(* ---- compliance (shared cache, Planner.analyze keying) --------------- *)
+
+let compliant t cb cs =
+  let k = (Contract.id cb, Contract.id cs) in
+  match Repr.Key.Pair_tbl.find_opt t.compliance k with
+  | Some r -> r = None
+  | None ->
+      let r = Product.counterexample cb cs in
+      Repr.Key.Pair_tbl.replace t.compliance k r;
+      r = None
+
+(* ---- invalidation ---------------------------------------------------- *)
+
+let invalidate_client t name =
+  if Index.drop t.index name then begin
+    t.st.invalidations <- t.st.invalidations + 1;
+    Obs.Metrics.incr "broker.invalidations"
+  end
+
+(* Is the service [h] published at a fresh location *relevant* to this
+   client — i.e. could any plan binding it be valid? A valid plan must
+   bind it compliantly at some request site, so "no site's body is
+   compliant with its projection" proves the cached first-valid plan (or
+   No_plan) survives the publish. Sites are taken against [repo] (the
+   repository *without* the new service: its own sites only become
+   reachable once it is bound at a pre-existing one). *)
+let publish_relevant t repo h (name, (s : session)) =
+  match Contract.project h with
+  | exception Contract.Unprojectable _ -> true
+  | cs ->
+      Planner.sites repo (name, s.body)
+      |> List.exists (fun (site : Planner.site) ->
+             match Contract.project site.Planner.body with
+             | exception Contract.Unprojectable _ -> true
+             | cb -> compliant t cb cs)
+
+(* Apply the invalidation contract for a mutation: entries bound to a
+   touched location, entries whose policy universe changed, and — when a
+   service appears ([Publish]/[Update]) — entries it is relevant to.
+   [old_repo] is the repository the relevance sites are computed
+   against; callers must not have swapped [t.repo] yet. *)
+let invalidate_for_mutation t ~old_repo ~new_repo_policies ~touched_locs
+    ~published =
+  List.iter
+    (fun loc ->
+      List.iter (invalidate_client t) (Index.clients_of_loc t.index loc))
+    touched_locs;
+  let survivors = Index.fold t.index (fun acc e -> e.Index.client :: acc) [] in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name t.sessions with
+      | None -> invalidate_client t name
+      | Some s ->
+          let universe =
+            List.sort_uniq String.compare (new_repo_policies @ s.own_policies)
+          in
+          let entry = Index.find t.index name in
+          let stale =
+            match entry with
+            | None -> false
+            | Some e ->
+                universe <> e.Index.policies
+                ||
+                match published with
+                | None -> false
+                | Some h -> publish_relevant t old_repo h (name, s)
+          in
+          if stale then invalidate_client t name)
+    survivors
+
+(* Retire the interned footprint of a withdrawn service: its projection
+   (if any) leaves the repository, so drop the memo entries keyed on it
+   — the global ones via [Repr.Cache.invalidate], the broker's own
+   compliance pairs by hand. Sound regardless of sharing (memo tables
+   cache pure functions); at worst a structurally identical service
+   elsewhere recomputes. *)
+let retire_contract t h =
+  match Contract.project h with
+  | exception Contract.Unprojectable _ -> ()
+  | c ->
+      let id = Contract.id c in
+      Repr.Cache.invalidate id;
+      let doomed =
+        Repr.Key.Pair_tbl.fold
+          (fun ((a, b) as k) _ acc ->
+            if a = id || b = id then k :: acc else acc)
+          t.compliance []
+      in
+      List.iter (Repr.Key.Pair_tbl.remove t.compliance) doomed
+
+(* ---- serving --------------------------------------------------------- *)
+
+let entry_of_verdict t name (s : session) verdict =
+  let locs, contracts =
+    match verdict with
+    | Index.No_plan -> ([], [])
+    | Index.Valid (r : Planner.report) ->
+        let locs =
+          Plan.bindings r.Planner.plan
+          |> List.map snd
+          |> List.sort_uniq String.compare
+        in
+        let contracts =
+          List.filter_map
+            (fun l ->
+              match List.assoc_opt l t.repo with
+              | None -> None
+              | Some h -> (
+                  match Contract.project h with
+                  | exception Contract.Unprojectable _ -> None
+                  | c -> Some c))
+            locs
+        in
+        (locs, contracts)
+  in
+  let contracts =
+    match Contract.project s.body with
+    | exception Contract.Unprojectable _ -> contracts
+    | c -> c :: contracts
+  in
+  {
+    Index.client = name;
+    verdict;
+    locs;
+    contracts;
+    policies = universe_of t s;
+  }
+
+let fresh_serve t name (s : session) =
+  let client = (name, s.body) in
+  let plans = Planner.enumerate t.repo ~client in
+  let enumerated = List.length plans in
+  let budget = t.adm.plan_budget in
+  let rec go analyzed = function
+    | [] -> `Done (Index.No_plan, analyzed)
+    | p :: rest ->
+        if analyzed >= budget then `Budget analyzed
+        else begin
+          t.st.analyzed <- t.st.analyzed + 1;
+          let r = Planner.analyze ~cache:t.compliance t.repo ~client p in
+          if Result.is_ok r.Planner.verdict then
+            `Done (Index.Valid r, analyzed + 1)
+          else go (analyzed + 1) rest
+        end
+  in
+  match go 0 plans with
+  | `Budget analyzed ->
+      t.st.degraded <- t.st.degraded + 1;
+      Obs.Metrics.incr "broker.degraded";
+      Degraded { analyzed; enumerated }
+  | `Done (verdict, _) -> (
+      Index.store t.index (entry_of_verdict t name s verdict);
+      match verdict with
+      | Index.Valid r -> Served { report = r; cached = false }
+      | Index.No_plan -> Rejected No_plan)
+
+let serve t name =
+  match List.assoc_opt name t.sessions with
+  | None -> Rejected (Unknown_client name)
+  | Some s -> (
+      match Index.find t.index name with
+      | Some e -> (
+          t.st.hits <- t.st.hits + 1;
+          Obs.Metrics.incr "broker.cache.hit";
+          match e.Index.verdict with
+          | Index.Valid r -> Served { report = r; cached = true }
+          | Index.No_plan -> Rejected No_plan)
+      | None ->
+          t.st.misses <- t.st.misses + 1;
+          Obs.Metrics.incr "broker.cache.miss";
+          fresh_serve t name s)
+
+(* ---- request processing ---------------------------------------------- *)
+
+let apply t = function
+  | Open { client; body } ->
+      invalidate_client t client;
+      let s = { body; own_policies = policy_ids body } in
+      t.sessions <-
+        (if List.mem_assoc client t.sessions then
+           List.map
+             (fun (n, old) -> if n = client then (n, s) else (n, old))
+             t.sessions
+         else t.sessions @ [ (client, s) ]);
+      Ack
+  | Close { client } ->
+      if not (List.mem_assoc client t.sessions) then
+        Rejected (Unknown_client client)
+      else begin
+        invalidate_client t client;
+        t.sessions <- List.remove_assoc client t.sessions;
+        Ack
+      end
+  | Serve { client } -> serve t client
+  | Run { client; seed } -> (
+      match List.assoc_opt client t.sessions with
+      | None -> Rejected (Unknown_client client)
+      | Some s -> (
+          match Index.find t.index client with
+          | None | Some { Index.verdict = Index.No_plan; _ } ->
+              Rejected (Not_served client)
+          | Some { Index.verdict = Index.Valid r; _ } ->
+              let report =
+                Runtime.Engine.run ~seed ~fresh_caches:false t.repo
+                  [ (r.Planner.plan, (client, s.body)) ]
+                  (Simulate.random ~seed)
+              in
+              Ran
+                {
+                  completed = Runtime.Engine.completed report;
+                  steps =
+                    List.length report.Runtime.Engine.trace.Simulate.steps;
+                }))
+  | Publish { loc; service } ->
+      if List.mem_assoc loc t.repo then Rejected (Duplicate_location loc)
+      else begin
+        let new_repo_policies =
+          List.sort_uniq String.compare (t.repo_policies @ policy_ids service)
+        in
+        invalidate_for_mutation t ~old_repo:t.repo ~new_repo_policies
+          ~touched_locs:[] ~published:(Some service);
+        t.repo <- t.repo @ [ (loc, service) ];
+        t.repo_policies <- new_repo_policies;
+        Ack
+      end
+  | Retract { loc } -> (
+      match List.assoc_opt loc t.repo with
+      | None -> Rejected (Unknown_location loc)
+      | Some old ->
+          let remaining = List.filter (fun (l, _) -> l <> loc) t.repo in
+          let new_repo_policies = repo_policy_ids remaining in
+          invalidate_for_mutation t ~old_repo:t.repo ~new_repo_policies
+            ~touched_locs:[ loc ] ~published:None;
+          t.repo <- remaining;
+          t.repo_policies <- new_repo_policies;
+          retire_contract t old;
+          Ack)
+  | Update { loc; service } -> (
+      match List.assoc_opt loc t.repo with
+      | None -> Rejected (Unknown_location loc)
+      | Some old ->
+          let replaced =
+            List.map
+              (fun (l, h) -> if l = loc then (l, service) else (l, h))
+              t.repo
+          in
+          let new_repo_policies = repo_policy_ids replaced in
+          invalidate_for_mutation t ~old_repo:t.repo ~new_repo_policies
+            ~touched_locs:[ loc ] ~published:(Some service);
+          t.repo <- replaced;
+          t.repo_policies <- new_repo_policies;
+          if not (Hexpr.equal old service) then retire_contract t old;
+          Ack)
+  | Set_policy { queue; budget } ->
+      let clamp v = max 1 v in
+      t.adm <-
+        {
+          queue_capacity =
+            (match queue with
+            | Some q -> clamp q
+            | None -> t.adm.queue_capacity);
+          plan_budget =
+            (match budget with
+            | Some b -> clamp b
+            | None -> t.adm.plan_budget);
+        };
+      Ack
+
+let request_kind = function
+  | Open _ -> "open"
+  | Close _ -> "close"
+  | Serve _ -> "serve"
+  | Run _ -> "run"
+  | Publish _ -> "publish"
+  | Retract _ -> "retract"
+  | Update _ -> "update"
+  | Set_policy _ -> "set_policy"
+
+let outcome_kind = function
+  | Served _ -> "served"
+  | Degraded _ -> "degraded"
+  | Rejected Shed -> "shed"
+  | Rejected _ -> "rejected"
+  | Ran _ -> "ran"
+  | Ack -> "ack"
+
+let respond t request outcome =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  t.st.requests <- t.st.requests + 1;
+  Obs.Metrics.incr "broker.requests";
+  (match outcome with
+  | Served _ -> t.st.served <- t.st.served + 1
+  | Rejected Shed -> ()
+  | Rejected _ -> t.st.rejected <- t.st.rejected + 1
+  | Degraded _ | Ran _ | Ack -> ());
+  { seq; request; outcome }
+
+let set_depth t =
+  let d = Queue.length t.queue in
+  t.st.queue_peak <- max t.st.queue_peak d;
+  Obs.Metrics.set "broker.queue.depth" d;
+  Obs.Metrics.set_max "broker.queue.peak" d
+
+let submit t request =
+  if Queue.length t.queue >= t.adm.queue_capacity then begin
+    t.st.shed <- t.st.shed + 1;
+    Obs.Metrics.incr "broker.shed";
+    Some (respond t request (Rejected Shed))
+  end
+  else begin
+    Queue.add request t.queue;
+    set_depth t;
+    None
+  end
+
+let process t request =
+  Obs.Trace.with_span "broker.request" @@ fun () ->
+  if Obs.Trace.active () then
+    Obs.Trace.add_attr "kind" (Obs.Trace.Str (request_kind request));
+  let outcome = apply t request in
+  if Obs.Trace.active () then
+    Obs.Trace.add_attr "outcome" (Obs.Trace.Str (outcome_kind outcome));
+  respond t request outcome
+
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some request ->
+      set_depth t;
+      Some (process t request)
+
+let drain t =
+  let rec go acc =
+    match step t with None -> List.rev acc | Some r -> go (r :: acc)
+  in
+  go []
+
+(* ---- oracle ---------------------------------------------------------- *)
+
+module Oracle = struct
+  let serve repo ~client =
+    let rec go = function
+      | [] -> Index.No_plan
+      | p :: rest ->
+          let r = Planner.analyze repo ~client p in
+          if Result.is_ok r.Planner.verdict then Index.Valid r else go rest
+    in
+    go (Planner.enumerate repo ~client)
+end
+
+let verdict_equal a b =
+  match (a, b) with
+  | Index.No_plan, Index.No_plan -> true
+  | Index.Valid ra, Index.Valid rb ->
+      String.equal
+        (Fmt.str "%a" Planner.pp_report ra)
+        (Fmt.str "%a" Planner.pp_report rb)
+  | _ -> false
+
+(* ---- printers -------------------------------------------------------- *)
+
+let pp_request ppf = function
+  | Open { client; _ } -> Fmt.pf ppf "open %s" client
+  | Close { client } -> Fmt.pf ppf "close %s" client
+  | Serve { client } -> Fmt.pf ppf "serve %s" client
+  | Run { client; seed } -> Fmt.pf ppf "run %s seed %d" client seed
+  | Publish { loc; _ } -> Fmt.pf ppf "publish %s" loc
+  | Retract { loc } -> Fmt.pf ppf "retract %s" loc
+  | Update { loc; _ } -> Fmt.pf ppf "update %s" loc
+  | Set_policy { queue; budget } ->
+      Fmt.pf ppf "policy%a%a"
+        (Fmt.option (fun ppf -> Fmt.pf ppf " queue %d"))
+        queue
+        (Fmt.option (fun ppf -> Fmt.pf ppf " budget %d"))
+        budget
+
+let pp_reject ppf = function
+  | Shed -> Fmt.string ppf "shed (queue full)"
+  | No_plan -> Fmt.string ppf "no valid plan"
+  | Not_served c -> Fmt.pf ppf "%s has no served plan" c
+  | Unknown_client c -> Fmt.pf ppf "unknown client %s" c
+  | Unknown_location l -> Fmt.pf ppf "unknown location %s" l
+  | Duplicate_location l -> Fmt.pf ppf "location %s already published" l
+
+let pp_outcome ppf = function
+  | Served { report; cached } ->
+      Fmt.pf ppf "%s %a"
+        (if cached then "HIT" else "MISS")
+        Planner.pp_report report
+  | Degraded { analyzed; enumerated } ->
+      Fmt.pf ppf "DEGRADED after %d/%d plans" analyzed enumerated
+  | Rejected r -> Fmt.pf ppf "REJECTED: %a" pp_reject r
+  | Ran { completed; steps } ->
+      Fmt.pf ppf "RAN %d steps (%s)" steps
+        (if completed then "completed" else "incomplete")
+  | Ack -> Fmt.string ppf "OK"
+
+let pp_response ppf (r : response) =
+  Fmt.pf ppf "[%d] %a: %a" r.seq pp_request r.request pp_outcome r.outcome
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "requests %d, served %d (hits %d, misses %d), shed %d, degraded %d, \
+     rejected %d, invalidations %d, analyzed %d, queue peak %d"
+    s.requests s.served s.hits s.misses s.shed s.degraded s.rejected
+    s.invalidations s.analyzed s.queue_peak

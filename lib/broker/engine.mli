@@ -1,0 +1,154 @@
+(** The incremental orchestration broker: a long-lived serving layer
+    that owns a mutable repository and answers a stream of requests
+    through one deterministic event loop.
+
+    Where the one-shot tools ([Planner.valid_plans], [susf plan])
+    recompute everything per invocation, the broker caches each
+    client's verdict in an {!Index} with reverse-dependency maps, and a
+    repository mutation invalidates {e only} the dependent entries —
+    re-serving an unaffected client is a cache hit that never calls
+    [Planner.analyze]. The invalidation contract (which mutations drop
+    which entries, and the argument that this is exactly the set a
+    cold restart could answer differently on) is documented in
+    [docs/BROKER.md].
+
+    Admission control keeps the loop answerable under load: a bounded
+    queue sheds excess submissions, and each cache-missing [Serve] gets
+    a budget of fresh [Planner.analyze] calls — exceeding it degrades
+    the request instead of stalling the loop.
+
+    Everything is deterministic: requests are processed in submission
+    order, repository order is append/replace-in-place, and [Run]
+    executions are driven by explicit seeds — replaying a
+    {!Script} yields byte-identical responses. *)
+
+open Core
+
+(** {1 Admission policy} *)
+
+type admission = {
+  queue_capacity : int;  (** submissions beyond this are shed *)
+  plan_budget : int;
+      (** fresh [Planner.analyze] calls allowed per cache-missing
+          [Serve] before it degrades *)
+}
+
+val default_admission : admission
+(** [{ queue_capacity = 16; plan_budget = 64 }] *)
+
+type policy_delta = { queue : int option; budget : int option }
+(** A [Set_policy] payload: each [Some] field replaces the matching
+    admission field (clamped to ≥ 1), [None] leaves it alone. *)
+
+(** {1 Requests and responses} *)
+
+type request =
+  | Open of { client : string; body : Hexpr.t }
+      (** register a client session (idempotent re-registration
+          replaces the body and evicts any cached verdict) *)
+  | Close of { client : string }  (** deregister and evict *)
+  | Serve of { client : string }
+      (** answer with the client's first valid plan, from cache when
+          the index still holds a live entry *)
+  | Run of { client : string; seed : int }
+      (** execute the client's served plan under the supervised runtime
+          with this seed (requires a cached [Serve] verdict) *)
+  | Publish of { loc : string; service : Hexpr.t }
+      (** append a service to the repository *)
+  | Retract of { loc : string }  (** remove a service *)
+  | Update of { loc : string; service : Hexpr.t }
+      (** replace a service in place (repository order preserved) *)
+  | Set_policy of policy_delta
+
+type reject =
+  | Shed  (** the bounded queue was full at submission *)
+  | No_plan  (** no valid plan exists for the client (cacheable) *)
+  | Not_served of string  (** [Run] before a successful [Serve] *)
+  | Unknown_client of string
+  | Unknown_location of string
+  | Duplicate_location of string
+
+type outcome =
+  | Served of { report : Planner.report; cached : bool }
+  | Degraded of { analyzed : int; enumerated : int }
+      (** the plan budget ran out after [analyzed] of [enumerated]
+          candidate plans; nothing is cached *)
+  | Rejected of reject
+  | Ran of { completed : bool; steps : int }
+  | Ack  (** mutation/registration accepted *)
+
+type response = { seq : int; request : request; outcome : outcome }
+(** [seq] numbers processed requests from 0 in processing order (shed
+    submissions are numbered too — shedding is an answer). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable requests : int;  (** responses produced, shed included *)
+  mutable served : int;  (** [Served] outcomes *)
+  mutable hits : int;  (** [Serve]s answered from the index *)
+  mutable misses : int;  (** [Serve]s that recomputed (incl. degraded) *)
+  mutable shed : int;
+  mutable degraded : int;
+  mutable rejected : int;  (** [Rejected] outcomes other than [Shed] *)
+  mutable invalidations : int;  (** index entries dropped by mutations *)
+  mutable analyzed : int;  (** fresh [Planner.analyze] calls *)
+  mutable queue_peak : int;
+}
+
+(** {1 The broker} *)
+
+type t
+
+val create : ?admission:admission -> Network.repo -> t
+(** A broker owning (a copy of the list structure of) this repository.
+    Locations must be distinct. *)
+
+val repo : t -> Network.repo
+(** The current repository, in its deterministic order. *)
+
+val admission : t -> admission
+val stats : t -> stats
+val index_size : t -> int
+
+val clients : t -> (string * Hexpr.t) list
+(** Registered client sessions, in registration order. *)
+
+(** {1 The event loop} *)
+
+val submit : t -> request -> response option
+(** Enqueue a request. [Some response] is returned {e only} when the
+    queue is full and the submission is shed ([Rejected Shed]) —
+    otherwise the request waits for {!step}/{!drain}. Mirrors
+    [broker.shed] / [broker.queue.depth] to [Obs.Metrics]. *)
+
+val step : t -> response option
+(** Process the oldest queued request, if any. Each processed request
+    runs under a [broker.request] span and bumps [broker.requests],
+    [broker.cache.hit] / [broker.cache.miss] and friends. *)
+
+val drain : t -> response list
+(** {!step} until the queue is empty. *)
+
+val process : t -> request -> response
+(** [submit] + immediate processing, bypassing the queue's capacity
+    check — the synchronous convenience used by tests. *)
+
+(** {1 The cold oracle} *)
+
+module Oracle : sig
+  val serve : Network.repo -> client:string * Hexpr.t -> Index.verdict
+  (** What a from-scratch planner answers on this repository: the first
+      [Planner.enumerate]d plan whose verdict is [Ok], with no broker
+      cache involved. The broker's invalidation contract promises
+      [Serve] always equals this on the current repository — the
+      property test replays arbitrary interleavings against it. *)
+end
+
+val verdict_equal : Index.verdict -> Index.verdict -> bool
+(** Byte-identity of verdicts ([Planner.pp_report]-rendered). *)
+
+val pp_request : request Fmt.t
+val pp_outcome : outcome Fmt.t
+val pp_response : response Fmt.t
+val pp_stats : stats Fmt.t

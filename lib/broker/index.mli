@@ -1,0 +1,52 @@
+(** The broker's incremental verdict index: cached planner verdicts
+    keyed by client, with {e reverse-dependency maps} from the things a
+    verdict was computed from — service locations, hash-consed contract
+    ids, policy names — back to the entries that used them. A
+    repository mutation invalidates exactly the dependent entries;
+    everything else keeps serving from cache.
+
+    The index stores facts, the {!Broker} decides staleness: see
+    [docs/BROKER.md] for the invalidation contract (which mutations
+    must drop which entries, and why that is exactly the set a
+    cold-start planner could answer differently on). *)
+
+open Core
+
+type verdict =
+  | Valid of Planner.report
+      (** the first plan in {!Planner.enumerate} order whose
+          {!Planner.analyze} verdict is [Ok] *)
+  | No_plan  (** the enumeration was exhausted without a valid plan *)
+
+type entry = {
+  client : string;
+  verdict : verdict;
+  locs : string list;
+      (** plan-bound service locations the analysis consulted
+          (empty for [No_plan]) *)
+  contracts : Contract.t list;
+      (** the projected contracts the analysis consulted (client and
+          bound services) — holding the values here {e roots} them, so
+          their hash-consing ids stay valid reverse-map keys *)
+  policies : string list;
+      (** the policy universe (ids) the netcheck ran under *)
+}
+
+type t
+
+val create : unit -> t
+val find : t -> string -> entry option
+val store : t -> entry -> unit
+(** Replaces any previous entry for the same client. *)
+
+val drop : t -> string -> bool
+(** Remove one client's entry (with its reverse-dependency links);
+    [true] if one was present. *)
+
+val clients_of_loc : t -> string -> string list
+val clients_of_contract : t -> int -> string list
+val clients_of_policy : t -> string -> string list
+(** Who depends on this location / contract id / policy name. *)
+
+val fold : t -> ('a -> entry -> 'a) -> 'a -> 'a
+val size : t -> int

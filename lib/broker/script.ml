@@ -1,0 +1,123 @@
+type item = Submit of Engine.request | Tick | Drain
+
+(* Whole-line comments only: events spell as [#name(v)] inside hexpr
+   sources, so an inline ['#'] is not a comment marker. *)
+let strip_comment line =
+  let t = String.trim line in
+  if t <> "" && t.[0] = '#' then "" else line
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* "name = hexpr-source" after the verb: split at the first '=' *)
+let name_and_source rest =
+  match String.index_opt rest '=' with
+  | None -> None
+  | Some i ->
+      let name = String.trim (String.sub rest 0 i) in
+      let src =
+        String.trim (String.sub rest (i + 1) (String.length rest - i - 1))
+      in
+      if name = "" || src = "" || String.contains name ' ' then None
+      else Some (name, src)
+
+let parse_policy words =
+  let rec go acc = function
+    | [] -> Some acc
+    | "queue" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some q -> go { acc with Engine.queue = Some q } rest
+        | None -> None)
+    | "budget" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some b -> go { acc with Engine.budget = Some b } rest
+        | None -> None)
+    | _ -> None
+  in
+  match words with
+  | [] -> None
+  | _ -> go { Engine.queue = None; budget = None } words
+
+let parse_line ~hexpr_of_string line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then Ok None
+  else
+    let verb, rest =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+          ( String.sub line 0 i,
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          )
+    in
+    let with_hexpr k =
+      match name_and_source rest with
+      | None -> Error (Fmt.str "expected '%s NAME = HEXPR'" verb)
+      | Some (name, src) -> (
+          match hexpr_of_string src with
+          | h -> Ok (k name h)
+          | exception e ->
+              Error (Fmt.str "bad history expression: %s" (Printexc.to_string e))
+          )
+    in
+    let one_word k =
+      match split_words rest with
+      | [ w ] -> Ok (k w)
+      | _ -> Error (Fmt.str "expected '%s NAME'" verb)
+    in
+    Result.map Option.some
+    @@
+    match verb with
+    | "tick" when rest = "" -> Ok Tick
+    | "drain" when rest = "" -> Ok Drain
+    | "open" ->
+        with_hexpr (fun client body ->
+            Submit (Engine.Open { client; body }))
+    | "publish" ->
+        with_hexpr (fun loc service -> Submit (Engine.Publish { loc; service }))
+    | "update" ->
+        with_hexpr (fun loc service -> Submit (Engine.Update { loc; service }))
+    | "close" -> one_word (fun client -> Submit (Engine.Close { client }))
+    | "serve" -> one_word (fun client -> Submit (Engine.Serve { client }))
+    | "retract" -> one_word (fun loc -> Submit (Engine.Retract { loc }))
+    | "run" -> (
+        match split_words rest with
+        | [ client; "seed"; n ] -> (
+            match int_of_string_opt n with
+            | Some seed -> Ok (Submit (Engine.Run { client; seed }))
+            | None -> Error "expected 'run CLIENT seed INT'")
+        | [ client ] -> Ok (Submit (Engine.Run { client; seed = 0 }))
+        | _ -> Error "expected 'run CLIENT [seed INT]'")
+    | "policy" -> (
+        match parse_policy (split_words rest) with
+        | Some delta -> Ok (Submit (Engine.Set_policy delta))
+        | None -> Error "expected 'policy [queue INT] [budget INT]'")
+    | _ -> Error (Fmt.str "unknown verb %S" verb)
+
+let parse ~hexpr_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line ~hexpr_of_string line with
+        | Ok None -> go acc (lineno + 1) rest
+        | Ok (Some item) -> go (item :: acc) (lineno + 1) rest
+        | Error msg -> Error (Fmt.str "line %d: %s" lineno msg))
+  in
+  go [] 1 lines
+
+let replay broker items =
+  let responses =
+    List.concat_map
+      (function
+        | Submit r -> Option.to_list (Engine.submit broker r)
+        | Tick -> Option.to_list (Engine.step broker)
+        | Drain -> Engine.drain broker)
+      items
+  in
+  responses @ Engine.drain broker
+
+let pp_item ppf = function
+  | Submit r -> Engine.pp_request ppf r
+  | Tick -> Fmt.string ppf "tick"
+  | Drain -> Fmt.string ppf "drain"

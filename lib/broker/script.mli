@@ -1,0 +1,48 @@
+(** Deterministic workload scripts for the broker.
+
+    A script is a line-oriented text format replayed through one
+    broker's event loop — the transport of [susf serve --script] and of
+    the {!Testkit} workload generator, and the reason broker runs are
+    reproducible byte-for-byte: the same script against the same
+    starting repository yields the same responses.
+
+    {v
+    # whole-line comment (blank lines ignored; '#' inside a line is
+    # NOT a comment — events spell as #name(v))
+    open c1 = open(1){ req!.(cobo?.pay! + noav?) }
+    serve c1
+    publish s9 = req?.(cobo!.pay? (+) noav!)
+    update s1 = ...      retract s2      close c1
+    run c1 seed 7
+    policy queue 8 budget 3   # either field may be omitted
+    tick                      # process one queued request
+    drain                     # process everything queued
+    v}
+
+    [open]/[publish]/[update] take a history expression after [=],
+    parsed by the [hexpr_of_string] callback (the CLI passes
+    [Syntax.Parser.hexpr_of_string]); the broker library itself stays
+    independent of the surface syntax. Every request line {e submits};
+    processing happens at [tick]/[drain] boundaries, so scripts also
+    exercise admission control (submitting past the queue capacity
+    sheds). *)
+
+type item =
+  | Submit of Engine.request
+  | Tick  (** process the oldest queued request *)
+  | Drain  (** process until the queue is empty *)
+
+val parse :
+  hexpr_of_string:(string -> Core.Hexpr.t) ->
+  string ->
+  (item list, string) result
+(** Parse a script text; the error carries a line number. Exceptions
+    raised by [hexpr_of_string] are caught and reported the same way. *)
+
+val replay : Engine.t -> item list -> Engine.response list
+(** Feed the items through the broker in order and return every
+    response produced (shed submissions respond immediately; queued
+    ones respond at their [tick]/[drain]). A final implicit [Drain]
+    flushes whatever the script left queued. *)
+
+val pp_item : item Fmt.t

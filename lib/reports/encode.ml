@@ -206,3 +206,52 @@ let violation (v : Core.Validity.violation) =
       ( "prefix",
         Json.String (Fmt.str "%a" Core.History.pp v.Core.Validity.prefix) );
     ]
+
+let broker_outcome : Broker.outcome -> Json.t =
+  let obj kind fields = Json.Obj (("kind", Json.String kind) :: fields) in
+  function
+  | Broker.Served { report; cached } ->
+      obj "served"
+        [ ("cached", Json.Bool cached); ("report", planner_report report) ]
+  | Broker.Degraded { analyzed; enumerated } ->
+      obj "degraded"
+        [ ("analyzed", Json.Int analyzed); ("enumerated", Json.Int enumerated) ]
+  | Broker.Rejected reject ->
+      obj "rejected"
+        [
+          ( "reason",
+            Json.String
+              (match reject with
+              | Broker.Shed -> "shed"
+              | Broker.No_plan -> "no-plan"
+              | Broker.Not_served _ -> "not-served"
+              | Broker.Unknown_client _ -> "unknown-client"
+              | Broker.Unknown_location _ -> "unknown-location"
+              | Broker.Duplicate_location _ -> "duplicate-location") );
+        ]
+  | Broker.Ran { completed; steps } ->
+      obj "ran" [ ("completed", Json.Bool completed); ("steps", Json.Int steps) ]
+  | Broker.Ack -> obj "ack" []
+
+let broker_response (r : Broker.response) =
+  Json.Obj
+    [
+      ("seq", Json.Int r.Broker.seq);
+      ("request", Json.String (Fmt.str "%a" Broker.pp_request r.Broker.request));
+      ("outcome", broker_outcome r.Broker.outcome);
+    ]
+
+let broker_stats (s : Broker.stats) =
+  Json.Obj
+    [
+      ("requests", Json.Int s.Broker.requests);
+      ("served", Json.Int s.Broker.served);
+      ("hits", Json.Int s.Broker.hits);
+      ("misses", Json.Int s.Broker.misses);
+      ("shed", Json.Int s.Broker.shed);
+      ("degraded", Json.Int s.Broker.degraded);
+      ("rejected", Json.Int s.Broker.rejected);
+      ("invalidations", Json.Int s.Broker.invalidations);
+      ("analyzed", Json.Int s.Broker.analyzed);
+      ("queue_peak", Json.Int s.Broker.queue_peak);
+    ]

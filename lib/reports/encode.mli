@@ -21,3 +21,11 @@ val runtime_report : Runtime.Engine.report -> Json.t
 
 val priced : Quant.Plan_cost.priced -> Json.t
 val violation : Core.Validity.violation -> Json.t
+
+val broker_outcome : Broker.outcome -> Json.t
+val broker_response : Broker.response -> Json.t
+(** [{"seq": …, "request": "serve c1", "outcome": {"kind": …}}] *)
+
+val broker_stats : Broker.stats -> Json.t
+(** Hit/miss/shed/invalidation counters of one broker, mirroring the
+    [broker.*] metric names. *)

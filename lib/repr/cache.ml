@@ -3,14 +3,15 @@ type stats = { hits : int; misses : int; entries : int }
 type entry = {
   name : string;
   clear : (unit -> unit) option;
+  invalidate : (int -> unit) option;
   stats : unit -> stats;
   reset_counters : unit -> unit;
 }
 
 let registry : entry list ref = ref []
 
-let register ~name ?clear ~stats ~reset_counters () =
-  registry := { name; clear; stats; reset_counters } :: !registry
+let register ~name ?clear ?invalidate ~stats ~reset_counters () =
+  registry := { name; clear; invalidate; stats; reset_counters } :: !registry
 
 let clear_all () =
   Obs.Metrics.incr "repr.cache.clears";
@@ -19,6 +20,10 @@ let clear_all () =
       Option.iter (fun f -> f ()) e.clear;
       e.reset_counters ())
     !registry
+
+let invalidate id =
+  Obs.Metrics.incr "repr.cache.invalidations";
+  List.iter (fun e -> Option.iter (fun f -> f id) e.invalidate) !registry
 
 let stats () =
   !registry

@@ -17,7 +17,14 @@
     {!clear_all} also resets every entry's local hit/miss counters (the
     ones read back by {!stats}). The mirrored [Obs.Metrics] counters
     are {e not} reset — they stay monotone within a metrics epoch, as
-    the observability contract requires. *)
+    the observability contract requires.
+
+    Between the all-or-nothing epochs of {!clear_all}, long-lived hosts
+    (the orchestration broker) retire {e single} interned values with
+    {!invalidate}: every memo entry keyed on (or paired with) that id is
+    dropped, while intern tables — which register no [invalidate] hook,
+    exactly as they register no [clear] hook — keep their contents, so
+    physical equality of live values survives any invalidation. *)
 
 type stats = {
   hits : int;  (** lookups answered from the cache since the last reset *)
@@ -28,19 +35,30 @@ type stats = {
 val register :
   name:string ->
   ?clear:(unit -> unit) ->
+  ?invalidate:(int -> unit) ->
   stats:(unit -> stats) ->
   reset_counters:(unit -> unit) ->
   unit ->
   unit
 (** Called once per cache at creation ({!Memo.create},
-    {!Hashcons.Make.create}); omit [clear] for entries whose contents
-    must survive (intern tables). *)
+    {!Hashcons.Make.create}); omit [clear] and [invalidate] for entries
+    whose contents must survive (intern tables). [invalidate id] must
+    drop exactly the entries derived from the value with that
+    hash-consing id. *)
 
 val clear_all : unit -> unit
 (** Drop every registered memo table's contents and reset every
     registered entry's hit/miss counters. [Runtime.Engine.run] calls
     this at the start of each supervised run, making runs cache
     epochs. *)
+
+val invalidate : int -> unit
+(** Selective eviction: drop, from every registered table that supports
+    it, the entries keyed on this hash-consing id (for pair-keyed
+    tables, the entries whose key {e involves} it). Counters are left
+    running and intern tables are untouched — re-building the same
+    structure still interns to the same live value. Bumps the
+    [repr.cache.invalidations] metric. *)
 
 val stats : unit -> (string * stats) list
 (** Name-sorted snapshot of every registered entry. *)

@@ -17,8 +17,8 @@ type counters = {
 let make_counters name =
   { hits_name = name ^ ".hits"; misses_name = name ^ ".misses"; hits = 0; misses = 0 }
 
-let register_counters name c ~entries ~clear =
-  Cache.register ~name ~clear
+let register_counters name c ~entries ~clear ~invalidate =
+  Cache.register ~name ~clear ~invalidate
     ~stats:(fun () ->
       { Cache.hits = c.hits; misses = c.misses; entries = entries () })
     ~reset_counters:(fun () ->
@@ -36,7 +36,8 @@ let create ?(initial_size = 256) ~name ~key () =
   let c = make_counters name in
   register_counters name c
     ~entries:(fun () -> Int_tbl.length tbl)
-    ~clear:(fun () -> Int_tbl.reset tbl);
+    ~clear:(fun () -> Int_tbl.reset tbl)
+    ~invalidate:(fun id -> Int_tbl.remove tbl id);
   { tbl; key; c }
 
 let find t a ~compute =
@@ -50,6 +51,17 @@ let find t a ~compute =
       v
 
 let clear t = Int_tbl.reset t.tbl
+let remove t id = Int_tbl.remove t.tbl id
+
+(* Drop every pair whose either component is [id]. O(entries) — fine for
+   the rare, targeted eviction this supports. *)
+let remove_involving tbl id =
+  let doomed =
+    Pair_tbl.fold
+      (fun ((a, b) as k) _ acc -> if a = id || b = id then k :: acc else acc)
+      tbl []
+  in
+  List.iter (Pair_tbl.remove tbl) doomed
 
 module Pair = struct
   type ('a, 'b) t = { tbl : 'b Pair_tbl.t; key : 'a -> int; c : counters }
@@ -59,7 +71,8 @@ module Pair = struct
     let c = make_counters name in
     register_counters name c
       ~entries:(fun () -> Pair_tbl.length tbl)
-      ~clear:(fun () -> Pair_tbl.reset tbl);
+      ~clear:(fun () -> Pair_tbl.reset tbl)
+      ~invalidate:(fun id -> remove_involving tbl id);
     { tbl; key; c }
 
   let find t a b ~compute =
@@ -73,4 +86,5 @@ module Pair = struct
         v
 
   let clear t = Pair_tbl.reset t.tbl
+  let remove_involving t id = remove_involving t.tbl id
 end

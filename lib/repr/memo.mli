@@ -25,6 +25,10 @@ val find : ('a, 'b) t -> 'a -> compute:('a -> 'b) -> 'b
 val clear : ('a, 'b) t -> unit
 (** Drop all entries (counters are untouched). *)
 
+val remove : ('a, 'b) t -> int -> unit
+(** Drop the entry for one key (also reachable process-wide through
+    {!Cache.invalidate}). *)
+
 (** Tables keyed by an ordered pair of consed values — for relations
     such as the planner's compliance cache. *)
 module Pair : sig
@@ -35,4 +39,8 @@ module Pair : sig
 
   val find : ('a, 'b) t -> 'a -> 'a -> compute:('a -> 'a -> 'b) -> 'b
   val clear : ('a, 'b) t -> unit
+
+  val remove_involving : ('a, 'b) t -> int -> unit
+  (** Drop every pair with this id on either side — the
+      {!Cache.invalidate} hook of pair tables. O(entries). *)
 end

@@ -64,13 +64,16 @@ let label_locations : Network.glabel -> string list = function
   | Network.L_abort (_, lc, ls) -> [ lc; ls ]
 
 let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
-    ?(seed = 0) repo clients (sched : Simulate.scheduler) =
+    ?(seed = 0) ?(fresh_caches = true) repo clients (sched : Simulate.scheduler)
+    =
   Obs.Trace.with_span "runtime.run" @@ fun () ->
   (* runs are cache epochs: drop the representation layer's memo tables
      (interned contracts keep their ids — see Repr.Cache) so one
      simulated run cannot grow the host's memory unboundedly across a
-     long supervision campaign *)
-  Repr.Cache.clear_all ();
+     long supervision campaign. Long-lived hosts that manage their own
+     epochs (the broker) pass [~fresh_caches:false] and evict
+     selectively with [Repr.Cache.invalidate] instead. *)
+  if fresh_caches then Repr.Cache.clear_all ();
   Obs.Metrics.incr "runtime.runs";
   let rng = Random.State.make [| 0x5f5f; seed |] in
   let breaker = Supervisor.breaker () in

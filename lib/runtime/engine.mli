@@ -64,6 +64,7 @@ val run :
   ?supervisor:Supervisor.config ->
   ?faults:Faults.spec ->
   ?seed:int ->
+  ?fresh_caches:bool ->
   Network.repo ->
   (Plan.t * (string * Hexpr.t)) list ->
   Simulate.scheduler ->
@@ -72,7 +73,12 @@ val run :
     under its own plan, as in {!Core.Netcheck.check}) against the
     repository. [seed] (default 0) drives the fault triggers only — use
     the scheduler's own seed for scheduling noise. The monitor is always
-    on: recovery can never bypass it. *)
+    on: recovery can never bypass it.
+
+    [fresh_caches] (default [true]) makes the run a cache epoch by
+    calling [Repr.Cache.clear_all] on entry. Long-lived hosts that
+    manage cache lifetime themselves (the orchestration broker) pass
+    [false] so an embedded run does not wipe their warm memo tables. *)
 
 val completed : report -> bool
 val pp_event : event Fmt.t

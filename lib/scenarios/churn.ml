@@ -1,0 +1,50 @@
+open Core
+
+let repo = Hotel.repo
+
+let c3_body = Hotel.client_request_body Hotel.phi2
+let c3 = Hexpr.open_ ~rid:5 ~policy:Hotel.phi2 c3_body
+
+let clients =
+  [ ("c1", Hotel.client1); ("c2", Hotel.client2); ("c3", c3) ]
+
+let spares =
+  [
+    ("s3b", Hotel.hotel "s3b" ~price:60 ~rating:100 ~extra:[]);
+    ("s4b", Hotel.hotel "s4b" ~price:35 ~rating:80 ~extra:[]);
+  ]
+
+(* Services nobody's request can use: they listen on a channel no site
+   communicates on, so no site body is compliant with their projection
+   and publishing them must invalidate nothing. *)
+let audit name =
+  Hexpr.branch
+    [ ("audit", Hexpr.seq (Hexpr.ev ~arg:(Usage.Value.str name) "log")
+                  (Hexpr.send "ok")) ]
+
+let noise = [ ("audit1", audit "audit1"); ("audit2", audit "audit2") ]
+
+let script =
+  let open Broker in
+  [
+    Script.Submit (Open { client = "c1"; body = Hotel.client1 });
+    Script.Submit (Open { client = "c2"; body = Hotel.client2 });
+    Script.Drain;
+    Script.Submit (Serve { client = "c1" });
+    Script.Submit (Serve { client = "c2" });
+    Script.Drain;
+    (* an irrelevant publish: the re-serves below must both hit *)
+    Script.Submit (Publish { loc = "audit1"; service = snd (List.hd noise) });
+    Script.Submit (Serve { client = "c1" });
+    Script.Submit (Serve { client = "c2" });
+    Script.Drain;
+    (* a relevant publish, then retract c1's chosen hotel: the next
+       serve fails over to the backup *)
+    Script.Submit (Publish { loc = "s3b"; service = List.assoc "s3b" spares });
+    Script.Submit (Retract { loc = "s3" });
+    Script.Submit (Serve { client = "c1" });
+    Script.Submit (Serve { client = "c2" });
+    Script.Drain;
+    Script.Submit (Run { client = "c1"; seed = 1 });
+    Script.Drain;
+  ]

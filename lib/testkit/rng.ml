@@ -1,0 +1,7 @@
+(* One seeding convention for every randomised harness in the repo. *)
+
+let default_seed = 2013
+
+let make ?(seed = default_seed) () = Random.State.make [| seed |]
+
+let derive st = Random.State.make [| Random.State.bits st |]

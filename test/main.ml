@@ -30,6 +30,7 @@ let () =
       ("repr", Test_repr.suite);
       ("laws", Test_laws.suite);
       ("runtime", Test_runtime.suite);
+      ("broker", Test_broker.suite);
       ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
     ]

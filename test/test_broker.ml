@@ -1,0 +1,297 @@
+(* The incremental orchestration broker: the oracle-replay property
+   (every served verdict is byte-identical to a cold recomputation on
+   the repository as it stood), the zero-invalidation regression for
+   plan-irrelevant publishes, admission control, sessions, and the
+   script front-end. *)
+
+open Core
+
+let process b r = Broker.process b r
+
+let outcome b r = (process b r).Broker.outcome
+
+let check_served ?cached msg o =
+  match o with
+  | Broker.Served { cached = got; _ } -> (
+      match cached with
+      | None -> ()
+      | Some c -> Alcotest.(check bool) (msg ^ " (cached?)") c got)
+  | o -> Alcotest.failf "%s: expected Served, got %a" msg Broker.pp_outcome o
+
+(* ------------------------------------------------------------------ *)
+(* The canned churn scenario *)
+
+let test_canned_script () =
+  let b = Broker.create Scenarios.Churn.repo in
+  let responses = Broker.Script.replay b Scenarios.Churn.script in
+  Alcotest.(check bool) "responses produced" true (List.length responses > 0);
+  (match List.rev responses with
+  | { Broker.outcome = Broker.Ran { completed; _ }; _ } :: _ ->
+      Alcotest.(check bool) "final run completed" true completed
+  | r :: _ ->
+      Alcotest.failf "last response not Ran: %a" Broker.pp_response r
+  | [] -> Alcotest.fail "no responses");
+  let st = Broker.stats b in
+  Alcotest.(check int) "hits (both re-serves after noise)" 2 st.Broker.hits;
+  Alcotest.(check int) "misses" 4 st.Broker.misses;
+  Alcotest.(check int) "shed" 0 st.Broker.shed;
+  Alcotest.(check int) "degraded" 0 st.Broker.degraded;
+  Alcotest.(check int) "invalidations (relevant publish only)" 2
+    st.Broker.invalidations
+
+(* ------------------------------------------------------------------ *)
+(* The oracle-replay property: after an arbitrary interleaving of
+   serves, publishes, retracts and session churn, every serve answer
+   equals what a from-scratch planner computes on the current
+   repository. *)
+
+let replay_against_oracle items =
+  let b = Broker.create Scenarios.Churn.repo in
+  let mismatches = ref 0 and compared = ref 0 in
+  let handle (r : Broker.response) =
+    match (r.Broker.request, r.Broker.outcome) with
+    | ( Broker.Serve { client },
+        (Broker.Served _ | Broker.Rejected Broker.No_plan) ) -> (
+        match List.assoc_opt client (Broker.clients b) with
+        | None -> ()
+        | Some body ->
+            incr compared;
+            let got =
+              match r.Broker.outcome with
+              | Broker.Served { report; _ } -> Broker.Index.Valid report
+              | _ -> Broker.Index.No_plan
+            in
+            let expect =
+              Broker.Oracle.serve (Broker.repo b) ~client:(client, body)
+            in
+            if not (Broker.verdict_equal got expect) then incr mismatches)
+    | _ -> ()
+  in
+  List.iter
+    (function
+      | Broker.Script.Submit r -> Option.iter handle (Broker.submit b r)
+      | Broker.Script.Tick -> Option.iter handle (Broker.step b)
+      | Broker.Script.Drain ->
+          let rec go () =
+            match Broker.step b with
+            | Some r ->
+                handle r;
+                go ()
+            | None -> ()
+          in
+          go ())
+    items;
+  (!compared, !mismatches)
+
+let prop_oracle_replay =
+  QCheck.Test.make ~count:6 ~name:"broker serves = cold oracle (workloads)"
+    (QCheck.make QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let profile =
+        {
+          (Testkit.Workload.default ~clients:Scenarios.Churn.clients
+             ~spares:Scenarios.Churn.spares ~noise:Scenarios.Churn.noise)
+          with
+          Testkit.Workload.seed;
+          requests = 60;
+        }
+      in
+      let items, _ = Testkit.Workload.generate profile in
+      let compared, mismatches = replay_against_oracle items in
+      compared > 0 && mismatches = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation precision *)
+
+let noise_service = List.hd Scenarios.Churn.noise
+
+let spare_service = List.hd Scenarios.Churn.spares
+
+let open_c1 b =
+  outcome b
+    (Broker.Open
+       { client = "c1"; body = List.assoc "c1" Scenarios.Churn.clients })
+
+let test_noise_publish_invalidates_nothing () =
+  let b = Broker.create Scenarios.Churn.repo in
+  ignore (open_c1 b);
+  check_served ~cached:false "first serve" (outcome b (Broker.Serve { client = "c1" }));
+  let loc, service = noise_service in
+  (match outcome b (Broker.Publish { loc; service }) with
+  | Broker.Ack -> ()
+  | o -> Alcotest.failf "publish: %a" Broker.pp_outcome o);
+  let st = Broker.stats b in
+  Alcotest.(check int) "zero invalidations for a plan-irrelevant publish" 0
+    st.Broker.invalidations;
+  Alcotest.(check int) "entry survives" 1 (Broker.index_size b);
+  check_served ~cached:true "re-serve hits"
+    (outcome b (Broker.Serve { client = "c1" }))
+
+let test_relevant_publish_invalidates () =
+  let b = Broker.create Scenarios.Churn.repo in
+  ignore (open_c1 b);
+  check_served ~cached:false "first serve" (outcome b (Broker.Serve { client = "c1" }));
+  let loc, service = spare_service in
+  ignore (outcome b (Broker.Publish { loc; service }));
+  Alcotest.(check bool) "relevant publish invalidates" true
+    ((Broker.stats b).Broker.invalidations > 0);
+  check_served ~cached:false "re-serve recomputes"
+    (outcome b (Broker.Serve { client = "c1" }));
+  (* retract the plan's hotel: the client fails over to the spare, and
+     the answer still matches the cold oracle *)
+  (match outcome b (Broker.Retract { loc = "s3" }) with
+  | Broker.Ack -> ()
+  | o -> Alcotest.failf "retract: %a" Broker.pp_outcome o);
+  match outcome b (Broker.Serve { client = "c1" }) with
+  | Broker.Served { report; _ } ->
+      let body = List.assoc "c1" (Broker.clients b) in
+      Alcotest.(check bool) "failover verdict = oracle" true
+        (Broker.verdict_equal (Broker.Index.Valid report)
+           (Broker.Oracle.serve (Broker.repo b) ~client:("c1", body)))
+  | o -> Alcotest.failf "serve after retract: %a" Broker.pp_outcome o
+
+(* ------------------------------------------------------------------ *)
+(* Admission control *)
+
+let test_shedding () =
+  let b =
+    Broker.create
+      ~admission:{ Broker.queue_capacity = 2; plan_budget = 64 }
+      Scenarios.Churn.repo
+  in
+  ignore (open_c1 b);
+  let shed = ref 0 and queued = ref 0 in
+  for _ = 1 to 4 do
+    match Broker.submit b (Broker.Serve { client = "c1" }) with
+    | Some { Broker.outcome = Broker.Rejected Broker.Shed; _ } -> incr shed
+    | Some r -> Alcotest.failf "unexpected response %a" Broker.pp_response r
+    | None -> incr queued
+  done;
+  Alcotest.(check int) "two queued" 2 !queued;
+  Alcotest.(check int) "two shed" 2 !shed;
+  Alcotest.(check int) "queued ones drain" 2 (List.length (Broker.drain b));
+  Alcotest.(check int) "stats.shed" 2 (Broker.stats b).Broker.shed
+
+let test_degradation () =
+  let b =
+    Broker.create
+      ~admission:{ Broker.queue_capacity = 16; plan_budget = 1 }
+      Scenarios.Churn.repo
+  in
+  ignore (open_c1 b);
+  (match outcome b (Broker.Serve { client = "c1" }) with
+  | Broker.Degraded { analyzed; enumerated } ->
+      Alcotest.(check int) "budget spent" 1 analyzed;
+      Alcotest.(check bool) "more candidates existed" true (enumerated > 1)
+  | o -> Alcotest.failf "expected Degraded, got %a" Broker.pp_outcome o);
+  Alcotest.(check int) "nothing cached" 0 (Broker.index_size b);
+  (* raising the budget un-degrades the same request *)
+  ignore (outcome b (Broker.Set_policy { queue = None; budget = Some 64 }));
+  check_served ~cached:false "served once the budget allows"
+    (outcome b (Broker.Serve { client = "c1" }));
+  Alcotest.(check int) "one degradation recorded" 1
+    (Broker.stats b).Broker.degraded
+
+(* ------------------------------------------------------------------ *)
+(* Sessions *)
+
+let test_sessions () =
+  let b = Broker.create Scenarios.Churn.repo in
+  (match outcome b (Broker.Serve { client = "ghost" }) with
+  | Broker.Rejected (Broker.Unknown_client _) -> ()
+  | o -> Alcotest.failf "serve unknown: %a" Broker.pp_outcome o);
+  (match outcome b (Broker.Run { client = "ghost"; seed = 1 }) with
+  | Broker.Rejected (Broker.Unknown_client _) -> ()
+  | o -> Alcotest.failf "run unknown: %a" Broker.pp_outcome o);
+  ignore (open_c1 b);
+  (* run before a successful serve is refused *)
+  (match outcome b (Broker.Run { client = "c1"; seed = 1 }) with
+  | Broker.Rejected (Broker.Not_served _) -> ()
+  | o -> Alcotest.failf "run before serve: %a" Broker.pp_outcome o);
+  check_served "serve" (outcome b (Broker.Serve { client = "c1" }));
+  (match outcome b (Broker.Run { client = "c1"; seed = 1 }) with
+  | Broker.Ran { completed; _ } ->
+      Alcotest.(check bool) "run completed" true completed
+  | o -> Alcotest.failf "run: %a" Broker.pp_outcome o);
+  (* close evicts; serving again is refused *)
+  ignore (outcome b (Broker.Close { client = "c1" }));
+  Alcotest.(check int) "entry evicted on close" 0 (Broker.index_size b);
+  match outcome b (Broker.Serve { client = "c1" }) with
+  | Broker.Rejected (Broker.Unknown_client _) -> ()
+  | o -> Alcotest.failf "serve after close: %a" Broker.pp_outcome o
+
+let test_repository_guards () =
+  let b = Broker.create Scenarios.Churn.repo in
+  let _, service = spare_service in
+  (match outcome b (Broker.Publish { loc = "s3"; service }) with
+  | Broker.Rejected (Broker.Duplicate_location _) -> ()
+  | o -> Alcotest.failf "duplicate publish: %a" Broker.pp_outcome o);
+  (match outcome b (Broker.Retract { loc = "nowhere" }) with
+  | Broker.Rejected (Broker.Unknown_location _) -> ()
+  | o -> Alcotest.failf "retract unknown: %a" Broker.pp_outcome o);
+  match outcome b (Broker.Update { loc = "nowhere"; service }) with
+  | Broker.Rejected (Broker.Unknown_location _) -> ()
+  | o -> Alcotest.failf "update unknown: %a" Broker.pp_outcome o
+
+(* ------------------------------------------------------------------ *)
+(* The script front-end *)
+
+let hexpr_of_string src =
+  if String.equal src "BAD" then failwith "unparsable" else Hexpr.ev src
+
+let test_script_parse () =
+  let text =
+    "# a comment line\n\
+     \n\
+     open c1 = x\n\
+     serve c1\n\
+     publish s9 = y\n\
+     update s9 = z\n\
+     retract s9\n\
+     run c1 seed 7\n\
+     policy queue 8 budget 3\n\
+     tick\n\
+     drain\n\
+     close c1\n"
+  in
+  match Broker.Script.parse ~hexpr_of_string text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok items -> Alcotest.(check int) "all lines parsed" 10 (List.length items)
+
+let test_script_errors () =
+  let fails text expected_line =
+    match Broker.Script.parse ~hexpr_of_string text with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+    | Error e ->
+        Alcotest.(check bool)
+          (Fmt.str "%S reports line %d (got %S)" text expected_line e)
+          true
+          (Astring.String.is_prefix
+             ~affix:(Printf.sprintf "line %d:" expected_line)
+             e)
+  in
+  fails "serve c1\nfrobnicate x\n" 2;
+  fails "open c1 = BAD\n" 1;
+  fails "serve\n" 1;
+  fails "policy quux 3\n" 1;
+  fails "# comment\n\nrun c1 seed x\n" 3
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "canned churn scenario" `Quick test_canned_script;
+    QCheck_alcotest.to_alcotest prop_oracle_replay;
+    Alcotest.test_case "noise publish invalidates nothing" `Quick
+      test_noise_publish_invalidates_nothing;
+    Alcotest.test_case "relevant publish invalidates, retract fails over"
+      `Quick test_relevant_publish_invalidates;
+    Alcotest.test_case "queue sheds past capacity" `Quick test_shedding;
+    Alcotest.test_case "plan budget degrades, policy raises it" `Quick
+      test_degradation;
+    Alcotest.test_case "session lifecycle" `Quick test_sessions;
+    Alcotest.test_case "repository guards" `Quick test_repository_guards;
+    Alcotest.test_case "script parses every verb" `Quick test_script_parse;
+    Alcotest.test_case "script errors carry line numbers" `Quick
+      test_script_errors;
+  ]

@@ -57,10 +57,37 @@ let test_fmt_reparses () =
   Alcotest.(check int) "reparses and verifies" 0
     (run [ "check"; "roundtrip.susf"; "-c"; "c1"; "-p"; "pi1" ])
 
+let churn_script = "../examples/data/churn.script"
+
+let test_serve_outputs () =
+  let read f = In_channel.with_open_text f In_channel.input_all in
+  Alcotest.(check int) "serve with obs outputs" 0
+    (run
+       [ "serve"; hotel; "--script"; churn_script; "--metrics"; "sm.json";
+         "--trace"; "st.json" ]);
+  Alcotest.(check bool) "serve metrics mention the broker" true
+    (Astring.String.is_infix ~affix:"broker.cache.hit" (read "sm.json"));
+  let code =
+    Sys.command
+      (Filename.quote_command susf [ "serve"; hotel; "--script"; churn_script;
+                                     "--json" ]
+      ^ " > serve.json 2> /dev/null")
+  in
+  Alcotest.(check int) "serve --json succeeds" 0 code;
+  let j = read "serve.json" in
+  Alcotest.(check bool) "json has responses and stats" true
+    (Astring.String.is_infix ~affix:"\"responses\"" j
+    && Astring.String.is_infix ~affix:"\"stats\"" j)
+
 let suite =
   [
     Alcotest.test_case "check valid plan" `Quick
       (check_exit 0 [ "check"; hotel; "-c"; "c1"; "-p"; "pi1" ]);
+    Alcotest.test_case "serve replays the churn script" `Quick
+      (check_exit 0 [ "serve"; hotel; "--script"; churn_script ]);
+    Alcotest.test_case "serve rejects a missing script" `Quick
+      (check_exit 124 [ "serve"; hotel; "--script"; "no-such.script" ]);
+    Alcotest.test_case "serve obs and json outputs" `Quick test_serve_outputs;
     Alcotest.test_case "check invalid plan" `Quick
       (check_exit 1 [ "check"; hotel; "-c"; "c2"; "-p"; "pi1" ]);
     Alcotest.test_case "check json" `Quick

@@ -135,6 +135,34 @@ let counter name =
   List.assoc_opt name (Obs.Metrics.snapshot ()).Obs.Metrics.counters
   |> Option.value ~default:0
 
+let test_invalidate_selective () =
+  (* [Cache.invalidate id] drops exactly the memo entries derived from
+     that id; unrelated entries and the intern tables survive, so
+     physical equality of live values is unaffected *)
+  Obs.Metrics.install ();
+  Fun.protect ~finally:Obs.Metrics.uninstall @@ fun () ->
+  Repr.Cache.clear_all ();
+  let c = Contract.project Scenarios.Hotel.broker in
+  let s = Contract.project Scenarios.Hotel.s3 in
+  ignore (Ready.ready_sets c);
+  ignore (Ready.ready_sets s);
+  let before = (cache_stats "ready.sets").Repr.Cache.entries in
+  Alcotest.(check int) "both contracts memoized" 2 before;
+  let intern_before = (cache_stats "contract.intern").Repr.Cache.entries in
+  Repr.Cache.invalidate (Contract.id c);
+  Alcotest.(check int) "only c's entry dropped" 1
+    (cache_stats "ready.sets").Repr.Cache.entries;
+  Alcotest.(check int) "intern table untouched" intern_before
+    (cache_stats "contract.intern").Repr.Cache.entries;
+  Alcotest.(check bool) "invalidations metric bumped" true
+    (counter "repr.cache.invalidations" > 0);
+  (* the invalidated value is still the canonical interned one *)
+  Alcotest.(check bool) "physical equality survives invalidate" true
+    (rebuild c == c);
+  ignore (Ready.ready_sets c);
+  Alcotest.(check int) "memo refills on demand" 2
+    (cache_stats "ready.sets").Repr.Cache.entries
+
 let test_ready_computations_not_quadratic () =
   (* [ready.computations] counts memo misses, so over one compliance
      exploration it equals the number of distinct contracts queried —
@@ -245,6 +273,8 @@ let suite =
       test_clear_all;
     Alcotest.test_case "ready.computations is not quadratic" `Quick
       test_ready_computations_not_quadratic;
+    Alcotest.test_case "invalidate is selective, interning survives" `Quick
+      test_invalidate_selective;
     Alcotest.test_case "planner cache does not change reports" `Quick
       test_planner_cache_identical;
     QCheck_alcotest.to_alcotest prop_rebuild_physical;
