@@ -763,7 +763,55 @@ let serve_cmd =
             "Plan budget: fresh analyses allowed per cache-missing serve \
              before it degrades.")
   in
-  let run file script queue budget json trace metrics =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead journal: append every accepted event to $(docv) \
+             before applying it. Refuses to overwrite an existing journal \
+             unless $(b,--force) or $(b,--recover) is given.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--journal), write a snapshot (to $(i,JOURNAL).snapshot) \
+             every $(docv) accepted events, so recovery replays only the \
+             journal suffix. 0 disables snapshots.")
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Recover from $(b,--journal) (and its snapshot, if one exists) \
+             before replaying: restore the crashed broker's state, skip the \
+             script prefix the journal already covers, and continue — \
+             appending to the same journal.")
+  in
+  let force_arg =
+    Arg.(
+      value & flag
+      & info [ "force" ] ~doc:"Overwrite an existing journal file.")
+  in
+  let serve_faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Serve-loop fault injection: comma-separated $(b,crash\\@K) / \
+             $(b,torn\\@K) clauses, firing when event $(i,K) (0-based) is \
+             about to be accepted. $(b,torn) additionally leaves an \
+             unterminated garbage line in the journal. A fired fault stops \
+             the run with exit code 3.")
+  in
+  let run file script queue budget json trace metrics journal snapshot_every
+      recover force faults =
     with_obs ~trace ~metrics @@ fun () ->
     let spec = load file in
     let text =
@@ -772,19 +820,128 @@ let serve_cmd =
         Fmt.epr "%s@." msg;
         exit 2
     in
-    let hexpr_of_string =
-      Syntax.Parser.hexpr_of_string ~automata:spec.Syntax.Spec.automata
+    let hexpr_of_string src =
+      try Syntax.Parser.hexpr_of_string ~automata:spec.Syntax.Spec.automata src
+      with Syntax.Parser.Error (msg, line, col) ->
+        failwith (Fmt.str "%s (at %d:%d)" msg line col)
     in
-    match Broker.Script.parse ~hexpr_of_string text with
+    let hexpr_to_string = Core.Hexpr.to_string in
+    let sfaults =
+      match faults with
+      | None -> []
+      | Some s -> (
+          match Runtime.Faults.parse_serve s with
+          | Ok fs -> fs
+          | Error msg ->
+              Fmt.epr "--faults: %s@." msg;
+              exit 2)
+    in
+    match Broker.Script.parse ~file:script ~hexpr_of_string text with
     | Error msg ->
-        Fmt.epr "%s: %s@." script msg;
+        Fmt.epr "%s@." msg;
         exit 2
     | Ok items ->
         let admission =
           { Broker.queue_capacity = queue; plan_budget = budget }
         in
-        let broker = Broker.create ~admission (Syntax.Spec.repo spec) in
-        let responses = Broker.Script.replay broker items in
+        let repo = Syntax.Spec.repo spec in
+        (match journal with
+        | Some j when (not recover) && (not force) && Sys.file_exists j ->
+            Fmt.epr
+              "%s exists — pass --force to overwrite it, or --recover to \
+               resume from it@."
+              j;
+            exit 2
+        | _ -> ());
+        let broker, base =
+          if not recover then (Broker.create ~admission repo, 0)
+          else
+            match journal with
+            | None ->
+                Fmt.epr "--recover needs --journal@.";
+                exit 2
+            | Some j -> (
+                match
+                  Broker.Recovery.recover ~hexpr_of_string
+                    ~snapshot:(j ^ ".snapshot") ~admission ~journal:j repo
+                with
+                | Error msg ->
+                    Fmt.epr "recovery failed: %s@." msg;
+                    exit 2
+                | Ok (b, r) ->
+                    if r.Broker.Recovery.torn_dropped then
+                      Broker.Journal.drop_torn_tail j;
+                    Fmt.epr "-- %a@." Broker.Recovery.pp_report r;
+                    (b, r.Broker.Recovery.entries))
+        in
+        let writer =
+          Option.map
+            (fun j -> Broker.Journal.create ~hexpr_to_string ~append:recover j)
+            journal
+        in
+        let accepted = ref base in
+        let last_snap = ref base in
+        let exception Crashed of Runtime.Faults.serve_kind in
+        let hook ~seq request =
+          (match Runtime.Faults.serve_fires sfaults ~accepted:!accepted with
+          | Some k -> raise (Crashed k)
+          | None -> ());
+          Option.iter
+            (fun w -> Broker.Journal.append w { Broker.Journal.seq; request })
+            writer;
+          incr accepted
+        in
+        if Option.is_some writer || sfaults <> [] then
+          Broker.set_journal broker (Some hook);
+        let maybe_snapshot () =
+          match journal with
+          | Some j when snapshot_every > 0 && !accepted - !last_snap >= snapshot_every
+            ->
+              Broker.Recovery.write ~hexpr_to_string (j ^ ".snapshot")
+                (Broker.Recovery.snapshot_of broker ~upto:!accepted);
+              last_snap := !accepted
+          | _ -> ()
+        in
+        (* resume: the journal already covers the first [base] accepted
+           requests, so skip that many submits (and the processing
+           boundaries between them — already-drained ticks are no-ops) *)
+        let items =
+          let rec drop n = function
+            | Broker.Script.Submit _ :: rest when n > 0 -> drop (n - 1) rest
+            | (Broker.Script.Tick | Broker.Script.Drain) :: rest when n > 0 ->
+                drop n rest
+            | rest -> rest
+          in
+          drop base items
+        in
+        let responses = ref [] in
+        let crashed = ref None in
+        let push r = responses := r :: !responses in
+        let rec drain_steps () =
+          match Broker.step broker with
+          | None -> ()
+          | Some r ->
+              push r;
+              drain_steps ()
+        in
+        (try
+           List.iter
+             (fun item ->
+               (match item with
+               | Broker.Script.Submit r ->
+                   Option.iter push (Broker.submit broker r)
+               | Broker.Script.Tick -> Option.iter push (Broker.step broker)
+               | Broker.Script.Drain -> drain_steps ());
+               maybe_snapshot ())
+             items;
+           drain_steps ()
+         with Crashed k -> crashed := Some k);
+        (match !crashed with
+        | Some Runtime.Faults.Torn_write ->
+            Option.iter Broker.Journal.tear writer
+        | _ -> ());
+        Option.iter Broker.Journal.close writer;
+        let responses = List.rev !responses in
         let stats = Broker.stats broker in
         if json then
           Fmt.pr "%a@." Reports.Json.pp
@@ -799,17 +956,29 @@ let serve_cmd =
           List.iter (fun r -> Fmt.pr "%a@." Broker.pp_response r) responses;
           Fmt.pr "-- %a@." Broker.pp_stats stats
         end;
-        0
+        (match !crashed with
+        | None -> 0
+        | Some k ->
+            Fmt.epr "-- crashed (%s) after %d accepted events%s@."
+              (match k with
+              | Runtime.Faults.Crash_serve -> "crash"
+              | Runtime.Faults.Torn_write -> "torn write")
+              !accepted
+              (match journal with
+              | Some j -> Fmt.str "; resume with --recover --journal %s" j
+              | None -> "");
+            3)
   in
   let doc =
     "Run the orchestration broker over a workload script: a long-lived \
-     serving loop with dependency-tracked cache invalidation and admission \
-     control."
+     serving loop with dependency-tracked cache invalidation, admission \
+     control, and (with $(b,--journal)) crash-durable write-ahead logging."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ file_arg $ script_arg $ queue_arg $ budget_arg $ json_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ journal_arg $ snapshot_every_arg
+      $ recover_arg $ force_arg $ serve_faults_arg)
 
 (* --- show --- *)
 

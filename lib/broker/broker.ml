@@ -1,6 +1,8 @@
 (** The incremental orchestration broker (see {!Engine} for the event
     loop and invalidation contract, {!Index} for the reverse-dependency
-    verdict cache, {!Script} for the deterministic workload format).
+    verdict cache, {!Script} for the deterministic workload format,
+    {!Journal} for the write-ahead event log and {!Recovery} for
+    snapshots + deterministic crash recovery).
 
     The engine is included here, so [Broker.create] / [Broker.submit] /
     [Broker.drain] is the whole serving API; [Broker.Script.replay]
@@ -8,4 +10,6 @@
 
 module Index = Index
 module Script = Script
+module Journal = Journal
+module Recovery = Recovery
 include Engine

@@ -60,6 +60,9 @@ type t = {
   mutable adm : admission;
   queue : request Queue.t;
   mutable seq : int;
+  mutable journal : (seq:int -> request -> unit) option;
+      (* write-ahead hook: called with the sequence number a request is
+         about to be answered with, before [apply] runs *)
   st : stats;
 }
 
@@ -83,6 +86,7 @@ let create ?(admission = default_admission) repo =
     adm = admission;
     queue = Queue.create ();
     seq = 0;
+    journal = None;
     st =
       {
         requests = 0;
@@ -103,6 +107,12 @@ let admission t = t.adm
 let stats t = t.st
 let index_size t = Index.size t.index
 let clients t = List.map (fun (name, s) -> (name, s.body)) t.sessions
+let seq t = t.seq
+let set_journal t hook = t.journal <- hook
+
+let served_clients t =
+  Index.fold t.index (fun acc e -> e.Index.client :: acc) []
+  |> List.sort String.compare
 
 (* ---- universe bookkeeping -------------------------------------------- *)
 
@@ -430,14 +440,27 @@ let submit t request =
     None
   end
 
-let process t request =
+let process_event t ~journaled request =
   Obs.Trace.with_span "broker.request" @@ fun () ->
   if Obs.Trace.active () then
     Obs.Trace.add_attr "kind" (Obs.Trace.Str (request_kind request));
+  (* write-ahead: the event reaches the journal (or the hook raises —
+     e.g. an injected crash) before any state changes, so the journal
+     never lags the applied state *)
+  (if journaled then
+     match t.journal with
+     | Some log -> log ~seq:t.seq request
+     | None -> ());
   let outcome = apply t request in
   if Obs.Trace.active () then
     Obs.Trace.add_attr "outcome" (Obs.Trace.Str (outcome_kind outcome));
   respond t request outcome
+
+let process t request = process_event t ~journaled:true request
+
+let replay t ~seq request =
+  t.seq <- seq;
+  process_event t ~journaled:false request
 
 let step t =
   match Queue.take_opt t.queue with
@@ -451,6 +474,41 @@ let drain t =
     match step t with None -> List.rev acc | Some r -> go (r :: acc)
   in
   go []
+
+(* ---- snapshot restore ------------------------------------------------- *)
+
+(* Rebuild a snapshot-recorded index entry with no plan budget and no
+   stats traffic. The uninterrupted broker only caches *settled*
+   verdicts (a budget exhaustion caches nothing), and by the oracle
+   property a settled verdict is the first valid enumerated plan on the
+   current repository — which is exactly what this recomputes, so the
+   rebuilt entry is byte-identical to the lost one. *)
+let rebuild_entry t name (s : session) =
+  let client = (name, s.body) in
+  let rec go = function
+    | [] -> Index.No_plan
+    | p :: rest ->
+        let r = Planner.analyze ~cache:t.compliance t.repo ~client p in
+        if Result.is_ok r.Planner.verdict then Index.Valid r else go rest
+  in
+  let verdict = go (Planner.enumerate t.repo ~client) in
+  Index.store t.index (entry_of_verdict t name s verdict)
+
+let restore ?admission ~sessions ~served ~seq repo =
+  let t = create ?admission repo in
+  List.iter
+    (fun (client, body) -> ignore (apply t (Open { client; body })))
+    sessions;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name t.sessions with
+      | None ->
+          invalid_arg
+            (Fmt.str "Broker.restore: served client %s has no session" name)
+      | Some s -> rebuild_entry t name s)
+    served;
+  t.seq <- seq;
+  t
 
 (* ---- oracle ---------------------------------------------------------- *)
 

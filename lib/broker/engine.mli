@@ -134,6 +134,49 @@ val process : t -> request -> response
 (** [submit] + immediate processing, bypassing the queue's capacity
     check — the synchronous convenience used by tests. *)
 
+(** {1 Durability hooks}
+
+    The primitives {!Journal} and {!Recovery} are built on. Shed
+    submissions never reach the hook: they mutate nothing, so they are
+    not durable (a recovered broker re-numbers from the last {e
+    processed} event). *)
+
+val seq : t -> int
+(** The sequence number the next processed request will be answered
+    with. *)
+
+val set_journal : t -> (seq:int -> request -> unit) option -> unit
+(** Install (or remove) the write-ahead hook. Each processed request
+    calls it with the sequence number it is about to be answered with,
+    {e before} [apply] mutates any state; an exception raised by the
+    hook (an injected crash, a full disk) propagates and the event is
+    never applied — the journal can lead the applied state by at most
+    the entry being written, never lag it. *)
+
+val served_clients : t -> string list
+(** Clients with a live index entry, sorted — what a snapshot records
+    so {!restore} knows which verdicts to rebuild. *)
+
+val restore :
+  ?admission:admission ->
+  sessions:(string * Hexpr.t) list ->
+  served:string list ->
+  seq:int ->
+  Network.repo ->
+  t
+(** Rebuild a broker from snapshot data: [create] on the snapshot
+    repository, re-open [sessions] in order, recompute an index entry
+    for every [served] client (unbudgeted — the snapshot only records
+    settled verdicts, and the oracle property makes the recomputation
+    byte-identical), and resume numbering at [seq]. The queue starts
+    empty: queued-but-unprocessed submissions are not durable. Raises
+    [Invalid_argument] on a served client without a session. *)
+
+val replay : t -> seq:int -> request -> response
+(** Process a journal entry during recovery: force the response
+    sequence number to the recorded [seq] and bypass the write-ahead
+    hook (a recovering broker must not re-journal what it reads). *)
+
 (** {1 The cold oracle} *)
 
 module Oracle : sig

@@ -1,0 +1,150 @@
+(* Write-ahead journal for the broker: one header line, then one
+   checksummed line per accepted event, flushed before the event is
+   applied. The payload is the script-syntax rendering of the request,
+   so a journal is readable (and even hand-editable, at the price of
+   recomputing the checksum) with the same grammar as [Broker.Script]. *)
+
+let version = 1
+let header_line = Printf.sprintf "susf-journal %d" version
+
+(* FNV-1a, 32-bit: tiny, dependency-free, and plenty to detect torn
+   writes and bit rot — this is a consistency check, not a MAC. *)
+let checksum s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+type entry = { seq : int; request : Engine.request }
+
+type error = { path : string; line : int; msg : string }
+
+let pp_error ppf e =
+  if e.line = 0 then Fmt.pf ppf "%s: %s" e.path e.msg
+  else Fmt.pf ppf "%s:%d: %s" e.path e.line e.msg
+
+let encode ~hexpr_to_string { seq; request } =
+  let payload = Script.request_line ~hexpr_to_string request in
+  let body = Printf.sprintf "%d %s" seq payload in
+  Printf.sprintf "%d %08x %s" seq (checksum body) payload
+
+let decode ~hexpr_of_string line =
+  match String.split_on_char ' ' line with
+  | seq :: crc :: rest when rest <> [] -> (
+      let payload = String.concat " " rest in
+      match (int_of_string_opt seq, int_of_string_opt ("0x" ^ crc)) with
+      | None, _ -> Error (Fmt.str "bad sequence number %S" seq)
+      | _, None -> Error (Fmt.str "bad checksum field %S" crc)
+      | Some seq, Some crc ->
+          let want = checksum (Printf.sprintf "%d %s" seq payload) in
+          if crc <> want then
+            Error
+              (Fmt.str "checksum mismatch (recorded %08x, computed %08x)" crc
+                 want)
+          else
+            Result.map
+              (fun request -> { seq; request })
+              (Script.request_of_line ~hexpr_of_string payload))
+  | _ -> Error "malformed journal line (want 'SEQ CRC PAYLOAD')"
+
+(* ---- reading ---------------------------------------------------------- *)
+
+type read = { entries : entry list; torn : bool }
+
+let read ~hexpr_of_string path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error { path; line = 0; msg }
+  | "" -> Error { path; line = 0; msg = "empty journal (missing header)" }
+  | text ->
+      let complete = text.[String.length text - 1] = '\n' in
+      let lines =
+        match List.rev (String.split_on_char '\n' text) with
+        | "" :: rev when complete -> List.rev rev
+        | rev -> List.rev rev
+      in
+      let err line msg = Error { path; line; msg } in
+      let rec go acc prev_seq lineno = function
+        | [] -> Ok { entries = List.rev acc; torn = false }
+        | [ _torn_tail ] when not complete ->
+            (* An unterminated final line is a torn write — an [append]
+               interrupted mid-flush (each line is written newline
+               included in one buffer, so a partial write never carries
+               the newline). Drop it: the prefix is the durable state.
+               A *complete* line that fails its checksum is corruption,
+               handled below, and rejected loudly instead. *)
+            Ok { entries = List.rev acc; torn = true }
+        | line :: rest -> (
+            match decode ~hexpr_of_string line with
+            | Error msg -> err lineno msg
+            | Ok e ->
+                if e.seq <= prev_seq then
+                  err lineno
+                    (Fmt.str "sequence number %d not increasing (previous %d)"
+                       e.seq prev_seq)
+                else go (e :: acc) e.seq (lineno + 1) rest)
+      in
+      (match lines with
+      | [] -> err 1 "empty journal (missing header)"
+      | h :: entries ->
+          if h <> header_line then
+            err 1
+              (Fmt.str "unsupported journal header %S (want %S)" h header_line)
+          else if entries = [] && not complete then
+            err 1 "torn journal header"
+          else go [] (-1) 2 entries)
+
+(* ---- writing ---------------------------------------------------------- *)
+
+type writer = {
+  oc : out_channel;
+  hexpr_to_string : Core.Hexpr.t -> string;
+  mutable appended : int;
+}
+
+let create ~hexpr_to_string ?(append = false) path =
+  let continue = append && Sys.file_exists path in
+  let oc =
+    if continue then
+      open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+    else open_out path
+  in
+  if not continue then (
+    output_string oc (header_line ^ "\n");
+    flush oc);
+  { oc; hexpr_to_string; appended = 0 }
+
+let append w e =
+  let line = encode ~hexpr_to_string:w.hexpr_to_string e ^ "\n" in
+  output_string w.oc line;
+  flush w.oc;
+  w.appended <- w.appended + 1;
+  Obs.Metrics.incr "broker.journal.appends";
+  Obs.Metrics.add "broker.journal.bytes" (String.length line)
+
+let appended w = w.appended
+
+(* Chaos helper: simulate a torn write by leaving an unterminated
+   garbage prefix at the tail, exactly what an interrupted [append]
+   can leave behind. *)
+let tear w =
+  output_string w.oc "999 dead";
+  flush w.oc
+
+let close w = close_out w.oc
+
+(* Truncate an unterminated final line so appends can resume after a
+   torn write (see [read]: torn == missing trailing newline). *)
+let drop_torn_tail path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> ()
+  | "" -> ()
+  | text when text.[String.length text - 1] = '\n' -> ()
+  | text ->
+      let keep =
+        match String.rindex_opt text '\n' with
+        | Some i -> String.sub text 0 (i + 1)
+        | None -> ""
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc keep)

@@ -1,0 +1,86 @@
+(** Write-ahead journal for the broker.
+
+    A journal is a line-oriented file: a versioned header, then one
+    entry per accepted event, flushed {e before} the event is applied
+    to the engine (write-ahead). Each entry line is
+
+    {v SEQ CRC PAYLOAD v}
+
+    where [SEQ] is the response sequence number the event was (or will
+    be) answered with, [CRC] is the FNV-1a/32 checksum (8 hex digits)
+    of ["SEQ PAYLOAD"], and [PAYLOAD] is the single-line script-syntax
+    rendering of the request ({!Script.request_line}) — the journal
+    reuses the script grammar, so it is human-readable.
+
+    Torn-write semantics: every append writes one line, newline
+    included, in a single flushed buffer. A final line {e missing its
+    newline} is therefore a torn write (an append interrupted by a
+    crash) — {!read} drops it and reports [torn = true]; the preceding
+    entries are the durable prefix. Any other damage — a bad header, a
+    checksum failure on a complete line, a non-increasing sequence
+    number — is corruption and is rejected with a positioned
+    diagnostic, never silently skipped. *)
+
+type entry = { seq : int; request : Engine.request }
+
+type error = { path : string; line : int; msg : string }
+(** [line] is 1-based ([0] when the file could not be read at all). *)
+
+val pp_error : error Fmt.t
+
+val checksum : string -> int
+(** FNV-1a, 32 bits — the entry and snapshot consistency check. *)
+
+val encode : hexpr_to_string:(Core.Hexpr.t -> string) -> entry -> string
+(** One journal line, without the trailing newline. *)
+
+val decode :
+  hexpr_of_string:(string -> Core.Hexpr.t) ->
+  string ->
+  (entry, string) result
+
+(** {1 Reading} *)
+
+type read = {
+  entries : entry list;  (** the durable prefix, in file order *)
+  torn : bool;  (** an unterminated final line was dropped *)
+}
+
+val read :
+  hexpr_of_string:(string -> Core.Hexpr.t) ->
+  string ->
+  (read, error) result
+
+(** {1 Writing} *)
+
+type writer
+
+val create :
+  hexpr_to_string:(Core.Hexpr.t -> string) ->
+  ?append:bool ->
+  string ->
+  writer
+(** Open a journal for writing. [~append:false] (the default) truncates
+    and writes a fresh header; [~append:true] continues an existing
+    journal after its last line (a missing file still gets a fresh
+    header). A torn tail must be handled by the caller before
+    appending — recovery truncates by rewriting the durable prefix. *)
+
+val append : writer -> entry -> unit
+(** Encode, write and flush one entry ([broker.journal.appends] /
+    [broker.journal.bytes] count them). *)
+
+val appended : writer -> int
+(** Entries appended through this writer. *)
+
+val tear : writer -> unit
+(** Chaos helper: leave an unterminated garbage tail, as an interrupted
+    {!append} would. *)
+
+val close : writer -> unit
+
+val drop_torn_tail : string -> unit
+(** Physically truncate an unterminated final line (if any) so that a
+    writer reopened with [~append:true] continues from the durable
+    prefix instead of gluing onto torn garbage. A no-op on clean,
+    missing or empty files. *)

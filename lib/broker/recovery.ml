@@ -1,0 +1,251 @@
+(* Snapshots + deterministic recovery for the journaled broker.
+
+   A snapshot records the *inputs* the broker's state is a function of
+   — repository, sessions, admission policy, which clients hold a live
+   verdict — not the verdicts themselves: recovery recomputes those
+   (unbudgeted, [Engine.restore]), and the oracle-replay property
+   guarantees the recomputation is byte-identical to what was lost.
+   Recovery then replays the journal suffix past the snapshot through
+   the ordinary event loop, so a recovered broker *is* the
+   uninterrupted broker as far as any client can observe. *)
+
+type snapshot = {
+  upto : int;
+  seq : int;
+  admission : Engine.admission;
+  repo : (string * Core.Hexpr.t) list;
+  sessions : (string * Core.Hexpr.t) list;
+  served : string list;
+}
+
+let header_line = "susf-snapshot 1"
+
+let snapshot_of broker ~upto =
+  {
+    upto;
+    seq = Engine.seq broker;
+    admission = Engine.admission broker;
+    repo = Engine.repo broker;
+    sessions = Engine.clients broker;
+    served = Engine.served_clients broker;
+  }
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let render ~hexpr_to_string s =
+  let b = Buffer.create 512 in
+  let line fmt = Fmt.kstr (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "%s" header_line;
+  line "upto %d" s.upto;
+  line "seq %d" s.seq;
+  line "policy queue %d budget %d" s.admission.Engine.queue_capacity
+    s.admission.Engine.plan_budget;
+  List.iter
+    (fun (loc, service) ->
+      line "%s"
+        (Script.request_line ~hexpr_to_string (Engine.Publish { loc; service })))
+    s.repo;
+  List.iter
+    (fun (client, body) ->
+      line "%s"
+        (Script.request_line ~hexpr_to_string (Engine.Open { client; body })))
+    s.sessions;
+  List.iter (fun c -> line "served %s" c) s.served;
+  let body = Buffer.contents b in
+  body ^ Printf.sprintf "end %08x\n" (Journal.checksum body)
+
+let write ~hexpr_to_string path s =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (render ~hexpr_to_string s));
+  Sys.rename tmp path;
+  Obs.Metrics.incr "broker.journal.snapshots"
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+let read ~hexpr_of_string path =
+  let err line msg = Error { Journal.path; line; msg } in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> err 0 msg
+  | "" -> err 0 "empty snapshot"
+  | text when text.[String.length text - 1] <> '\n' ->
+      err 0 "truncated snapshot (missing final newline)"
+  | text -> (
+      let lines =
+        match List.rev (String.split_on_char '\n' text) with
+        | "" :: rev -> List.rev rev
+        | rev -> List.rev rev
+      in
+      let has_prefix p s =
+        String.length s >= String.length p
+        && String.sub s 0 (String.length p) = p
+      in
+      match List.rev lines with
+      | last :: _ when not (has_prefix "end " last) ->
+          err (List.length lines) "truncated snapshot (no end marker)"
+      | [] | [ _ ] -> err 1 "truncated snapshot (no body)"
+      | last :: rev_body -> (
+          let crc =
+            int_of_string_opt
+              ("0x" ^ String.trim (String.sub last 4 (String.length last - 4)))
+          in
+          let body_text =
+            (* everything up to the end marker, trailing newline included *)
+            String.sub text 0 (String.length text - String.length last - 1)
+          in
+          match crc with
+          | None -> err (List.length lines) "bad end-marker checksum field"
+          | Some crc when crc <> Journal.checksum body_text ->
+              err (List.length lines)
+                (Fmt.str "snapshot checksum mismatch (recorded %08x, computed %08x)"
+                   crc (Journal.checksum body_text))
+          | Some _ ->
+              let body = List.rev rev_body in
+              let upto = ref None
+              and seq = ref None
+              and adm = ref None
+              and repo = ref []
+              and sessions = ref []
+              and served = ref [] in
+              let parse_line lineno line =
+                let words =
+                  String.split_on_char ' ' line
+                  |> List.filter (fun w -> w <> "")
+                in
+                match words with
+                | _ when lineno = 1 ->
+                    if line = header_line then Ok ()
+                    else
+                      Error
+                        (Fmt.str "unsupported snapshot header %S (want %S)" line
+                           header_line)
+                | [ "upto"; n ] -> (
+                    match int_of_string_opt n with
+                    | Some n -> Ok (upto := Some n)
+                    | None -> Error (Fmt.str "bad upto %S" n))
+                | [ "seq"; n ] -> (
+                    match int_of_string_opt n with
+                    | Some n -> Ok (seq := Some n)
+                    | None -> Error (Fmt.str "bad seq %S" n))
+                | [ "policy"; "queue"; q; "budget"; b ] -> (
+                    match (int_of_string_opt q, int_of_string_opt b) with
+                    | Some queue_capacity, Some plan_budget ->
+                        Ok (adm := Some { Engine.queue_capacity; plan_budget })
+                    | _ -> Error "bad admission policy line")
+                | [ "served"; c ] -> Ok (served := c :: !served)
+                | ("publish" | "open") :: _ -> (
+                    match Script.request_of_line ~hexpr_of_string line with
+                    | Ok (Engine.Publish { loc; service }) ->
+                        Ok (repo := (loc, service) :: !repo)
+                    | Ok (Engine.Open { client; body }) ->
+                        Ok (sessions := (client, body) :: !sessions)
+                    | Ok _ -> Error "unexpected request kind in snapshot"
+                    | Error msg -> Error msg)
+                | _ -> Error (Fmt.str "unrecognized snapshot line %S" line)
+              in
+              let rec go lineno = function
+                | [] -> Ok ()
+                | l :: rest -> (
+                    match parse_line lineno l with
+                    | Ok () -> go (lineno + 1) rest
+                    | Error msg -> err lineno msg)
+              in
+              (match go 1 body with
+              | Error _ as e -> e
+              | Ok () -> (
+                  match (!upto, !seq, !adm) with
+                  | Some upto, Some seq, Some admission ->
+                      Ok
+                        {
+                          upto;
+                          seq;
+                          admission;
+                          repo = List.rev !repo;
+                          sessions = List.rev !sessions;
+                          served = List.rev !served;
+                        }
+                  | None, _, _ -> err 0 "snapshot is missing its upto line"
+                  | _, None, _ -> err 0 "snapshot is missing its seq line"
+                  | _, _, None -> err 0 "snapshot is missing its policy line"))))
+
+(* ---- recovery --------------------------------------------------------- *)
+
+type report = {
+  entries : int;
+  replayed : int;
+  rebuilt : int;
+  snapshot : bool;
+  torn_dropped : bool;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "recovered %d events (%d replayed, %d verdicts rebuilt%s%s)"
+    r.entries r.replayed r.rebuilt
+    (if r.snapshot then ", from snapshot" else "")
+    (if r.torn_dropped then ", torn tail dropped" else "")
+
+let recover ~hexpr_of_string ?snapshot ?admission ~journal repo =
+  Obs.Trace.with_span "broker.recovery" @@ fun () ->
+  Obs.Metrics.incr "broker.recovery.runs";
+  let jerr e = Error (Fmt.str "%a" Journal.pp_error e) in
+  match Journal.read ~hexpr_of_string journal with
+  | Error e -> jerr e
+  | Ok { Journal.entries; torn } -> (
+      let snap =
+        match snapshot with
+        | Some p when Sys.file_exists p ->
+            Result.map Option.some (read ~hexpr_of_string p)
+        | _ -> Ok None
+      in
+      match snap with
+      | Error e -> jerr e
+      | Ok snap -> (
+          let total = List.length entries in
+          match snap with
+          | Some s when s.upto > total ->
+              Error
+                (Fmt.str
+                   "snapshot covers %d events but the journal holds only %d — \
+                    mismatched snapshot/journal pair?"
+                   s.upto total)
+          | _ -> (
+              let base =
+                match snap with
+                | None -> Ok (Engine.create ?admission repo, 0, 0)
+                | Some s -> (
+                    try
+                      Ok
+                        ( Engine.restore ~admission:s.admission
+                            ~sessions:s.sessions ~served:s.served ~seq:s.seq
+                            s.repo,
+                          s.upto,
+                          List.length s.served )
+                    with Invalid_argument msg -> Error msg)
+              in
+              match base with
+              | Error msg -> Error msg
+              | Ok (t, skip, rebuilt) ->
+                  let suffix = List.filteri (fun i _ -> i >= skip) entries in
+                  List.iter
+                    (fun (e : Journal.entry) ->
+                      ignore (Engine.replay t ~seq:e.Journal.seq e.Journal.request))
+                    suffix;
+                  let replayed = List.length suffix in
+                  Obs.Metrics.add "broker.recovery.replayed" replayed;
+                  Obs.Metrics.add "broker.recovery.rebuilt" rebuilt;
+                  if torn then Obs.Metrics.incr "broker.recovery.torn_dropped";
+                  if Obs.Trace.active () then begin
+                    Obs.Trace.add_attr "entries" (Obs.Trace.Int total);
+                    Obs.Trace.add_attr "replayed" (Obs.Trace.Int replayed);
+                    Obs.Trace.add_attr "rebuilt" (Obs.Trace.Int rebuilt);
+                    Obs.Trace.add_attr "torn" (Obs.Trace.Bool torn)
+                  end;
+                  Ok
+                    ( t,
+                      {
+                        entries = total;
+                        replayed;
+                        rebuilt;
+                        snapshot = Option.is_some snap;
+                        torn_dropped = torn;
+                      } ))))

@@ -23,20 +23,20 @@ let name_and_source rest =
 
 let parse_policy words =
   let rec go acc = function
-    | [] -> Some acc
+    | [] -> Ok acc
     | "queue" :: n :: rest -> (
         match int_of_string_opt n with
         | Some q -> go { acc with Engine.queue = Some q } rest
-        | None -> None)
+        | None -> Error (Fmt.str "bad queue %S (want an integer)" n))
     | "budget" :: n :: rest -> (
         match int_of_string_opt n with
         | Some b -> go { acc with Engine.budget = Some b } rest
-        | None -> None)
-    | _ -> None
+        | None -> Error (Fmt.str "bad budget %S (want an integer)" n))
+    | [ (("queue" | "budget") as w) ] ->
+        Error (Fmt.str "%s needs a value" w)
+    | w :: _ -> Error (Fmt.str "unknown policy field %S" w)
   in
-  match words with
-  | [] -> None
-  | _ -> go { Engine.queue = None; budget = None } words
+  go { Engine.queue = None; budget = None } words
 
 let parse_line ~hexpr_of_string line =
   let line = String.trim (strip_comment line) in
@@ -52,18 +52,22 @@ let parse_line ~hexpr_of_string line =
     in
     let with_hexpr k =
       match name_and_source rest with
-      | None -> Error (Fmt.str "expected '%s NAME = HEXPR'" verb)
+      | None ->
+          Error (Fmt.str "expected '%s NAME = HEXPR', got %S" verb rest)
       | Some (name, src) -> (
           match hexpr_of_string src with
           | h -> Ok (k name h)
+          | exception Failure msg ->
+              Error (Fmt.str "bad history expression %S: %s" src msg)
           | exception e ->
-              Error (Fmt.str "bad history expression: %s" (Printexc.to_string e))
-          )
+              Error
+                (Fmt.str "bad history expression %S: %s" src
+                   (Printexc.to_string e)))
     in
     let one_word k =
       match split_words rest with
       | [ w ] -> Ok (k w)
-      | _ -> Error (Fmt.str "expected '%s NAME'" verb)
+      | _ -> Error (Fmt.str "expected '%s NAME', got %S" verb rest)
     in
     Result.map Option.some
     @@
@@ -85,16 +89,16 @@ let parse_line ~hexpr_of_string line =
         | [ client; "seed"; n ] -> (
             match int_of_string_opt n with
             | Some seed -> Ok (Submit (Engine.Run { client; seed }))
-            | None -> Error "expected 'run CLIENT seed INT'")
+            | None -> Error (Fmt.str "bad seed %S (want 'run CLIENT seed INT')" n))
         | [ client ] -> Ok (Submit (Engine.Run { client; seed = 0 }))
-        | _ -> Error "expected 'run CLIENT [seed INT]'")
+        | _ -> Error (Fmt.str "expected 'run CLIENT [seed INT]', got %S" rest))
     | "policy" -> (
         match parse_policy (split_words rest) with
-        | Some delta -> Ok (Submit (Engine.Set_policy delta))
-        | None -> Error "expected 'policy [queue INT] [budget INT]'")
+        | Ok delta -> Ok (Submit (Engine.Set_policy delta))
+        | Error msg -> Error msg)
     | _ -> Error (Fmt.str "unknown verb %S" verb)
 
-let parse ~hexpr_of_string text =
+let parse ?file ~hexpr_of_string text =
   let lines = String.split_on_char '\n' text in
   let rec go acc lineno = function
     | [] -> Ok (List.rev acc)
@@ -102,9 +106,48 @@ let parse ~hexpr_of_string text =
         match parse_line ~hexpr_of_string line with
         | Ok None -> go acc (lineno + 1) rest
         | Ok (Some item) -> go (item :: acc) (lineno + 1) rest
-        | Error msg -> Error (Fmt.str "line %d: %s" lineno msg))
+        | Error msg ->
+            Error
+              (match file with
+              | Some f -> Fmt.str "%s:%d: %s" f lineno msg
+              | None -> Fmt.str "line %d: %s" lineno msg))
   in
   go [] 1 lines
+
+(* ---- the one-line request codec (journal payloads) ------------------- *)
+
+(* Collapse formatter line breaks (newline plus indentation) to single
+   spaces: hexpr pretty-printers only break at spaces, so the collapsed
+   rendering parses back to the same term. *)
+let one_line s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+  |> String.concat " "
+
+let request_line ~hexpr_to_string (r : Engine.request) =
+  let h x = one_line (hexpr_to_string x) in
+  match r with
+  | Engine.Open { client; body } -> Fmt.str "open %s = %s" client (h body)
+  | Engine.Close { client } -> Fmt.str "close %s" client
+  | Engine.Serve { client } -> Fmt.str "serve %s" client
+  | Engine.Run { client; seed } -> Fmt.str "run %s seed %d" client seed
+  | Engine.Publish { loc; service } ->
+      Fmt.str "publish %s = %s" loc (h service)
+  | Engine.Retract { loc } -> Fmt.str "retract %s" loc
+  | Engine.Update { loc; service } -> Fmt.str "update %s = %s" loc (h service)
+  | Engine.Set_policy { queue; budget } ->
+      Fmt.str "policy%a%a"
+        (Fmt.option (fun ppf -> Fmt.pf ppf " queue %d"))
+        queue
+        (Fmt.option (fun ppf -> Fmt.pf ppf " budget %d"))
+        budget
+
+let request_of_line ~hexpr_of_string line =
+  match parse_line ~hexpr_of_string line with
+  | Ok (Some (Submit r)) -> Ok r
+  | Ok (Some (Tick | Drain)) | Ok None -> Error "not a request line"
+  | Error msg -> Error msg
 
 let replay broker items =
   let responses =

@@ -33,11 +33,29 @@ type item =
   | Drain  (** process until the queue is empty *)
 
 val parse :
+  ?file:string ->
   hexpr_of_string:(string -> Core.Hexpr.t) ->
   string ->
   (item list, string) result
-(** Parse a script text; the error carries a line number. Exceptions
-    raised by [hexpr_of_string] are caught and reported the same way. *)
+(** Parse a script text; the error carries a position ([FILE:LINE:]
+    when [~file] is given, [line N:] otherwise) and names the
+    offending token. Exceptions raised by [hexpr_of_string] are caught
+    and reported the same way. *)
+
+val request_line : hexpr_to_string:(Core.Hexpr.t -> string) -> Engine.request -> string
+(** Render a request as a single script line (the journal payload
+    codec). Formatter line breaks inside the history-expression
+    rendering are collapsed to single spaces, so the result always
+    occupies one line and — provided [hexpr_to_string] prints the
+    surface syntax — parses back with {!request_of_line}. Names
+    containing whitespace or ['='] are not representable. *)
+
+val request_of_line :
+  hexpr_of_string:(string -> Core.Hexpr.t) ->
+  string ->
+  (Engine.request, string) result
+(** Parse one request line produced by {!request_line}. [tick]/[drain]/
+    blank lines are not requests and are rejected. *)
 
 val replay : Engine.t -> item list -> Engine.response list
 (** Feed the items through the broker in order and return every

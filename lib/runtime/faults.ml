@@ -63,6 +63,54 @@ let parse s =
        (Ok [])
   |> Result.map List.rev
 
+(* ---- serve-loop faults ------------------------------------------------ *)
+
+type serve_kind = Crash_serve | Torn_write
+
+type serve_fault = { after : int; skind : serve_kind }
+
+let serve_fires spec ~accepted =
+  let hit f = f.after = accepted in
+  (* a torn write is a crash mid-append: when both are staged at the
+     same point the torn variant wins, it subsumes the plain crash *)
+  match List.find_opt (fun f -> hit f && f.skind = Torn_write) spec with
+  | Some f -> Some f.skind
+  | None -> Option.map (fun f -> f.skind) (List.find_opt hit spec)
+
+let parse_serve_one s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "missing @EVENT in %S" s)
+  | Some i -> (
+      let lhs = String.sub s 0 i
+      and rhs = String.sub s (i + 1) (String.length s - i - 1) in
+      let skind =
+        match lhs with
+        | "crash" -> Ok Crash_serve
+        | "torn" -> Ok Torn_write
+        | _ -> Error (Printf.sprintf "unknown serve fault kind %S" lhs)
+      in
+      match (skind, int_of_string_opt rhs) with
+      | Ok skind, Some after when after >= 0 -> Ok { after; skind }
+      | Ok _, _ -> Error (Printf.sprintf "bad event count %S" rhs)
+      | (Error _ as e), _ -> e)
+
+let parse_serve s =
+  String.split_on_char ',' s
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.fold_left
+       (fun acc item ->
+         match (acc, parse_serve_one (String.trim item)) with
+         | Error _, _ -> acc
+         | Ok fs, Ok f -> Ok (f :: fs)
+         | Ok _, (Error _ as e) -> e)
+       (Ok [])
+  |> Result.map List.rev
+
+let pp_serve_fault ppf f =
+  Fmt.pf ppf "%s@@%d"
+    (match f.skind with Crash_serve -> "crash" | Torn_write -> "torn")
+    f.after
+
 let pp_kind ppf = function
   | Crash loc -> Fmt.pf ppf "crash:%s" loc
   | Drop chan -> Fmt.pf ppf "drop:%s" chan

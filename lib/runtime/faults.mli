@@ -50,3 +50,33 @@ val parse : string -> (spec, string) result
 
 val pp_kind : kind Fmt.t
 val pp_fault : fault Fmt.t
+
+(** {1 Serve-loop faults}
+
+    PR 1's faults interfere with one session's execution; these
+    interfere with the {e serving layer} itself — they kill the broker
+    process between events, to exercise journal recovery. A serve
+    fault fires when [accepted] events have already been accepted and
+    the next one arrives:
+
+    - [Crash_serve]: die before the event is journaled or applied (the
+      journal ends cleanly after [after] entries);
+    - [Torn_write]: die {e mid-append} — the journal additionally ends
+      in an unterminated garbage line, the torn tail recovery must
+      drop. *)
+
+type serve_kind = Crash_serve | Torn_write
+
+type serve_fault = { after : int; skind : serve_kind }
+
+val serve_fires : serve_fault list -> accepted:int -> serve_kind option
+(** The staged fault (if any) that fires with [accepted] events already
+    accepted; [Torn_write] wins when both are staged at the same
+    point. *)
+
+val parse_serve : string -> (serve_fault list, string) result
+(** Comma-separated [crash\@K] / [torn\@K] clauses — fire when event
+    [K] (0-based count of already-accepted events) is about to be
+    accepted, i.e. after [K] events succeeded. *)
+
+val pp_serve_fault : serve_fault Fmt.t

@@ -31,6 +31,7 @@ let () =
       ("laws", Test_laws.suite);
       ("runtime", Test_runtime.suite);
       ("broker", Test_broker.suite);
+      ("recovery", Test_recovery.suite);
       ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
     ]

@@ -276,6 +276,33 @@ let test_script_errors () =
   fails "policy quux 3\n" 1;
   fails "# comment\n\nrun c1 seed x\n" 3
 
+let test_script_error_tokens () =
+  let error_of ?file text =
+    match Broker.Script.parse ?file ~hexpr_of_string text with
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+    | Error e -> e
+  in
+  let mentions text token =
+    Alcotest.(check bool)
+      (Fmt.str "%S names the offending token %S" text token)
+      true
+      (Astring.String.is_infix ~affix:token (error_of text))
+  in
+  (* the offending token, not just a position *)
+  mentions "frobnicate x\n" "frobnicate";
+  mentions "policy quux 3\n" "quux";
+  mentions "policy queue\n" "queue needs a value";
+  mentions "policy queue many\n" "many";
+  mentions "run c1 seed x\n" "\"x\"";
+  mentions "open c1 = BAD\n" "unparsable";
+  mentions "serve a b\n" "serve NAME";
+  mentions "publish s9\n" "publish NAME = HEXPR";
+  (* ~file switches the position prefix to FILE:LINE: *)
+  Alcotest.(check bool)
+    "file-qualified position" true
+    (Astring.String.is_prefix ~affix:"w.script:2:"
+       (error_of ~file:"w.script" "serve c1\nfrobnicate x\n"))
+
 (* ------------------------------------------------------------------ *)
 
 let suite =
@@ -294,4 +321,6 @@ let suite =
     Alcotest.test_case "script parses every verb" `Quick test_script_parse;
     Alcotest.test_case "script errors carry line numbers" `Quick
       test_script_errors;
+    Alcotest.test_case "script errors name the offending token" `Quick
+      test_script_error_tokens;
   ]

@@ -79,6 +79,60 @@ let test_serve_outputs () =
     (Astring.String.is_infix ~affix:"\"responses\"" j
     && Astring.String.is_infix ~affix:"\"stats\"" j)
 
+let test_serve_crash_recovery () =
+  let read f = In_channel.with_open_text f In_channel.input_all in
+  let out args file =
+    Sys.command (Filename.quote_command susf args ^ " > " ^ file ^ " 2> /dev/null")
+  in
+  let response_lines f =
+    read f |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "" && l.[0] = '[')
+  in
+  Alcotest.(check int) "uninterrupted run" 0
+    (out [ "serve"; hotel; "--script"; churn_script ] "full.txt");
+  Alcotest.(check int) "crashed run exits 3" 3
+    (out
+       [ "serve"; hotel; "--script"; churn_script; "--journal"; "crash.journal";
+         "--snapshot-every"; "4"; "--faults"; "crash@8" ]
+       "pre.txt");
+  Alcotest.(check bool) "snapshot written" true
+    (Sys.file_exists "crash.journal.snapshot");
+  Alcotest.(check int) "journal overwrite guarded" 2
+    (run [ "serve"; hotel; "--script"; churn_script; "--journal"; "crash.journal" ]);
+  Alcotest.(check int) "recovery resumes" 0
+    (out
+       [ "serve"; hotel; "--script"; churn_script; "--recover"; "--journal";
+         "crash.journal" ]
+       "post.txt");
+  let full = response_lines "full.txt"
+  and pre = response_lines "pre.txt"
+  and post = response_lines "post.txt" in
+  Alcotest.(check int) "prefix + suffix covers the run" (List.length full)
+    (List.length pre + List.length post);
+  Alcotest.(check (list string))
+    "post-recovery responses equal the uninterrupted run's tail"
+    (List.filteri (fun i _ -> i >= List.length pre) full)
+    post;
+  (* --force does overwrite *)
+  Alcotest.(check int) "journal overwrite forced" 0
+    (run
+       [ "serve"; hotel; "--script"; churn_script; "--journal"; "crash.journal";
+         "--force" ])
+
+let test_serve_script_diagnostics () =
+  let bad = write_log "bad.script" "serve c1\nfrobnicate c1\n" in
+  let code =
+    Sys.command
+      (Filename.quote_command susf [ "serve"; hotel; "--script"; bad ]
+      ^ " > /dev/null 2> bad.err")
+  in
+  Alcotest.(check int) "malformed script exits 2" 2 code;
+  let err = In_channel.with_open_text "bad.err" In_channel.input_all in
+  Alcotest.(check bool) "error carries file:line:" true
+    (Astring.String.is_infix ~affix:"bad.script:2:" err);
+  Alcotest.(check bool) "error names the token" true
+    (Astring.String.is_infix ~affix:"frobnicate" err)
+
 let suite =
   [
     Alcotest.test_case "check valid plan" `Quick
@@ -88,6 +142,10 @@ let suite =
     Alcotest.test_case "serve rejects a missing script" `Quick
       (check_exit 124 [ "serve"; hotel; "--script"; "no-such.script" ]);
     Alcotest.test_case "serve obs and json outputs" `Quick test_serve_outputs;
+    Alcotest.test_case "serve crash, guard, and recovery" `Quick
+      test_serve_crash_recovery;
+    Alcotest.test_case "serve script diagnostics" `Quick
+      test_serve_script_diagnostics;
     Alcotest.test_case "check invalid plan" `Quick
       (check_exit 1 [ "check"; hotel; "-c"; "c2"; "-p"; "pi1" ]);
     Alcotest.test_case "check json" `Quick

@@ -1,0 +1,439 @@
+(* The crash-durable broker: journal codec round trips, snapshot round
+   trips, loud rejection of corrupted inputs, and the recovery oracle
+   property — crashing after *every* prefix of a run, recovering, and
+   replaying the rest must be byte-identical to the uninterrupted
+   broker. *)
+
+open Core
+
+(* The real surface-syntax codec: the journal payloads are script
+   lines, and the policy references ([phi({s1},45,100)]) in the hotel
+   bodies resolve against the same automata context the CLI builds from
+   a specification's policy declarations. *)
+let automata = [ ("phi", Usage.Policy_lib.hotel) ]
+let hexpr_of_string = Syntax.Parser.hexpr_of_string ~automata
+let hexpr_to_string = Hexpr.to_string
+let tmpfile () = Filename.temp_file "susf-recovery" ".tmp"
+
+let req_equal a b =
+  match (a, b) with
+  | Broker.Open { client = c1; body = b1 }, Broker.Open { client = c2; body = b2 }
+    ->
+      c1 = c2 && Hexpr.equal b1 b2
+  | Broker.Publish { loc = l1; service = s1 }, Broker.Publish { loc = l2; service = s2 }
+  | Broker.Update { loc = l1; service = s1 }, Broker.Update { loc = l2; service = s2 }
+    ->
+      l1 = l2 && Hexpr.equal s1 s2
+  | Broker.Close { client = a }, Broker.Close { client = b }
+  | Broker.Serve { client = a }, Broker.Serve { client = b } ->
+      a = b
+  | Broker.Retract { loc = a }, Broker.Retract { loc = b } -> a = b
+  | Broker.Run { client = a; seed = sa }, Broker.Run { client = b; seed = sb }
+    ->
+      a = b && sa = sb
+  | Broker.Set_policy { queue = qa; budget = ba },
+    Broker.Set_policy { queue = qb; budget = bb } ->
+      qa = qb && ba = bb
+  | _ -> false
+
+let sample_requests () =
+  let client n = List.assoc n Scenarios.Churn.clients in
+  [
+    Broker.Open { client = "c1"; body = client "c1" };
+    Broker.Open { client = "c2"; body = client "c2" };
+    Broker.Serve { client = "c1" };
+    Broker.Run { client = "c2"; seed = 42 };
+    Broker.Publish
+      { loc = "s3b"; service = List.assoc "s3b" Scenarios.Churn.spares };
+    Broker.Publish
+      { loc = "audit1"; service = List.assoc "audit1" Scenarios.Churn.noise };
+    Broker.Update
+      { loc = "s1"; service = List.assoc "s1" Scenarios.Churn.repo };
+    Broker.Retract { loc = "s4" };
+    Broker.Close { client = "c1" };
+    Broker.Set_policy { queue = Some 8; budget = Some 3 };
+    Broker.Set_policy { queue = None; budget = Some 2 };
+    Broker.Set_policy { queue = None; budget = None };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Codec and journal round trips *)
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun r ->
+      let line = Broker.Script.request_line ~hexpr_to_string r in
+      Alcotest.(check bool)
+        (Fmt.str "single line: %s" line)
+        false
+        (String.contains line '\n');
+      match Broker.Script.request_of_line ~hexpr_of_string line with
+      | Error e -> Alcotest.failf "decode %S failed: %s" line e
+      | Ok r' ->
+          Alcotest.(check bool) (Fmt.str "round trip: %s" line) true
+            (req_equal r r'))
+    (sample_requests ())
+
+let write_entries path entries =
+  let w = Broker.Journal.create ~hexpr_to_string path in
+  List.iter (Broker.Journal.append w) entries;
+  Broker.Journal.close w
+
+let read_ok path =
+  match Broker.Journal.read ~hexpr_of_string path with
+  | Error e -> Alcotest.failf "journal read: %a" Broker.Journal.pp_error e
+  | Ok r -> r
+
+let test_journal_roundtrip () =
+  let path = tmpfile () in
+  let entries =
+    (* non-contiguous seqs: sheds consume numbers without being
+       journaled, so gaps are legal — only monotonicity is checked *)
+    List.mapi
+      (fun i r -> { Broker.Journal.seq = (i * 2) + 1; request = r })
+      (sample_requests ())
+  in
+  write_entries path entries;
+  let { Broker.Journal.entries = got; torn } = read_ok path in
+  Alcotest.(check bool) "not torn" false torn;
+  Alcotest.(check int) "all entries back" (List.length entries)
+    (List.length got);
+  List.iter2
+    (fun (a : Broker.Journal.entry) (b : Broker.Journal.entry) ->
+      Alcotest.(check int) "seq" a.Broker.Journal.seq b.Broker.Journal.seq;
+      Alcotest.(check bool) "request" true
+        (req_equal a.Broker.Journal.request b.Broker.Journal.request))
+    entries got;
+  Sys.remove path
+
+let test_torn_tail () =
+  let path = tmpfile () in
+  let reqs = sample_requests () in
+  let entries =
+    List.mapi (fun i r -> { Broker.Journal.seq = i; request = r }) reqs
+  in
+  let w = Broker.Journal.create ~hexpr_to_string path in
+  List.iter (Broker.Journal.append w) entries;
+  Broker.Journal.tear w;
+  Broker.Journal.close w;
+  let { Broker.Journal.entries = got; torn } = read_ok path in
+  Alcotest.(check bool) "torn reported" true torn;
+  Alcotest.(check int) "durable prefix kept" (List.length entries)
+    (List.length got);
+  (* resume: truncate the garbage, append, and the journal is clean *)
+  Broker.Journal.drop_torn_tail path;
+  let w = Broker.Journal.create ~hexpr_to_string ~append:true path in
+  Broker.Journal.append w
+    { Broker.Journal.seq = 99; request = Broker.Serve { client = "c2" } };
+  Broker.Journal.close w;
+  let { Broker.Journal.entries = got; torn } = read_ok path in
+  Alcotest.(check bool) "clean after resume" false torn;
+  Alcotest.(check int) "appended past the truncation"
+    (List.length entries + 1) (List.length got);
+  Sys.remove path
+
+let test_corruption_rejected () =
+  let fails_at path expected_line infix =
+    match Broker.Journal.read ~hexpr_of_string path with
+    | Ok _ -> Alcotest.failf "corrupted journal accepted (%s)" infix
+    | Error e ->
+        Alcotest.(check int) (Fmt.str "error line (%s)" infix) expected_line
+          e.Broker.Journal.line;
+        Alcotest.(check bool) (Fmt.str "mentions %S" infix) true
+          (Astring.String.is_infix ~affix:infix e.Broker.Journal.msg)
+  in
+  let entry i r = { Broker.Journal.seq = i; request = r } in
+  let path = tmpfile () in
+  (* bad header *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "susf-journal 99\n");
+  fails_at path 1 "unsupported journal header";
+  (* mid-file bit rot: flip a payload byte on line 2, keep the file
+     shape intact — must be rejected, not skipped *)
+  write_entries path
+    [ entry 0 (Broker.Serve { client = "c1" });
+      entry 1 (Broker.Serve { client = "c2" }) ];
+  let lines =
+    In_channel.with_open_bin path In_channel.input_all
+    |> String.split_on_char '\n'
+  in
+  let mangled =
+    List.mapi
+      (fun i l ->
+        if i = 1 then String.map (fun c -> if c = '1' then '2' else c) l else l)
+      lines
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.concat "\n" mangled));
+  fails_at path 2 "checksum mismatch";
+  (* a complete (newline-terminated) corrupt *final* line is corruption
+     too — torn-write forgiveness only covers unterminated tails *)
+  write_entries path [ entry 0 (Broker.Serve { client = "c1" }) ];
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc "1 00000000 serve c2\n";
+  close_out oc;
+  fails_at path 3 "checksum mismatch";
+  (* non-increasing sequence numbers *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.concat "\n"
+           [
+             "susf-journal 1";
+             Broker.Journal.encode ~hexpr_to_string
+               (entry 5 (Broker.Serve { client = "c1" }));
+             Broker.Journal.encode ~hexpr_to_string
+               (entry 3 (Broker.Serve { client = "c2" }));
+             "";
+           ]));
+  fails_at path 3 "not increasing";
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let canned_broker () =
+  let b = Broker.create Scenarios.Churn.repo in
+  List.iter
+    (fun (client, body) ->
+      ignore (Broker.process b (Broker.Open { client; body })))
+    Scenarios.Churn.clients;
+  ignore (Broker.process b (Broker.Serve { client = "c1" }));
+  ignore (Broker.process b (Broker.Serve { client = "c2" }));
+  b
+
+let test_snapshot_roundtrip () =
+  let b = canned_broker () in
+  let s = Broker.Recovery.snapshot_of b ~upto:5 in
+  let path = tmpfile () in
+  Broker.Recovery.write ~hexpr_to_string path s;
+  (match Broker.Recovery.read ~hexpr_of_string path with
+  | Error e -> Alcotest.failf "snapshot read: %a" Broker.Journal.pp_error e
+  | Ok s' ->
+      Alcotest.(check int) "upto" s.Broker.Recovery.upto s'.Broker.Recovery.upto;
+      Alcotest.(check int) "seq" s.Broker.Recovery.seq s'.Broker.Recovery.seq;
+      Alcotest.(check (pair int int))
+        "admission"
+        ( s.Broker.Recovery.admission.Broker.queue_capacity,
+          s.Broker.Recovery.admission.Broker.plan_budget )
+        ( s'.Broker.Recovery.admission.Broker.queue_capacity,
+          s'.Broker.Recovery.admission.Broker.plan_budget );
+      Alcotest.(check (list string))
+        "repo locations"
+        (List.map fst s.Broker.Recovery.repo)
+        (List.map fst s'.Broker.Recovery.repo);
+      List.iter2
+        (fun (_, a) (_, b) ->
+          Alcotest.(check bool) "repo body round trip" true (Hexpr.equal a b))
+        s.Broker.Recovery.repo s'.Broker.Recovery.repo;
+      Alcotest.(check (list string))
+        "sessions"
+        (List.map fst s.Broker.Recovery.sessions)
+        (List.map fst s'.Broker.Recovery.sessions);
+      Alcotest.(check (list string))
+        "served" s.Broker.Recovery.served s'.Broker.Recovery.served);
+  Sys.remove path
+
+let test_snapshot_corruption_rejected () =
+  let b = canned_broker () in
+  let path = tmpfile () in
+  let fresh () =
+    Broker.Recovery.write ~hexpr_to_string path
+      (Broker.Recovery.snapshot_of b ~upto:4)
+  in
+  let fails infix =
+    match Broker.Recovery.read ~hexpr_of_string path with
+    | Ok _ -> Alcotest.failf "damaged snapshot accepted (%s)" infix
+    | Error e ->
+        Alcotest.(check bool) (Fmt.str "mentions %S" infix) true
+          (Astring.String.is_infix ~affix:infix e.Broker.Journal.msg)
+  in
+  let text () = In_channel.with_open_bin path In_channel.input_all in
+  let put s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s) in
+  (* truncation: cut the file mid-way *)
+  fresh ();
+  let t = text () in
+  put (String.sub t 0 (String.length t / 2));
+  fails "truncated snapshot";
+  (* bit rot in the body: end marker intact, checksum mismatch *)
+  fresh ();
+  put
+    (Astring.String.cuts ~sep:"phi" (text ()) |> String.concat " phj");
+  fails "checksum mismatch";
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* The recovery oracle property *)
+
+let submits items =
+  List.filter_map
+    (function Broker.Script.Submit r -> Some r | _ -> None)
+    items
+
+let render rs = String.concat "\n" (List.map (Fmt.str "%a" Broker.pp_response) rs)
+
+(* Run [reqs] through a journaled broker; return the journal path and
+   the full response stream. *)
+let journaled_run reqs =
+  let path = tmpfile () in
+  let w = Broker.Journal.create ~hexpr_to_string path in
+  let b = Broker.create Scenarios.Churn.repo in
+  Broker.set_journal b
+    (Some (fun ~seq request -> Broker.Journal.append w { Broker.Journal.seq; request }));
+  let responses = List.map (Broker.process b) reqs in
+  Broker.Journal.close w;
+  (path, b, responses)
+
+(* Satellite: crash after *every* prefix k. Recovering from the first k
+   journal entries (with and without a snapshot covering half of them)
+   and replaying the remaining requests must reproduce the
+   uninterrupted run's responses byte-for-byte. *)
+let test_crash_at_every_prefix () =
+  let reqs = submits Scenarios.Churn.script in
+  let n = List.length reqs in
+  let jpath, _, all = journaled_run reqs in
+  let entries =
+    let r = read_ok jpath in
+    Alcotest.(check bool) "uninterrupted journal is clean" false
+      r.Broker.Journal.torn;
+    r.Broker.Journal.entries
+  in
+  Alcotest.(check int) "journal covers the run" n (List.length entries);
+  for k = 0 to n do
+    let prefix_path = tmpfile () in
+    write_entries prefix_path (List.filteri (fun i _ -> i < k) entries);
+    let snapshot =
+      if k < 2 then None
+      else begin
+        (* a snapshot covering half the prefix: recovery must rebuild
+           its served verdicts, then replay only the suffix *)
+        let half = k / 2 in
+        let hb = Broker.create Scenarios.Churn.repo in
+        List.iteri
+          (fun i r -> if i < half then ignore (Broker.process hb r))
+          reqs;
+        let spath = tmpfile () in
+        Broker.Recovery.write ~hexpr_to_string spath
+          (Broker.Recovery.snapshot_of hb ~upto:half);
+        Some spath
+      end
+    in
+    (match
+       Broker.Recovery.recover ~hexpr_of_string ?snapshot ~journal:prefix_path
+         Scenarios.Churn.repo
+     with
+    | Error msg -> Alcotest.failf "recover at k=%d: %s" k msg
+    | Ok (rb, report) ->
+        Alcotest.(check int)
+          (Fmt.str "k=%d entries" k)
+          k report.Broker.Recovery.entries;
+        if k >= 2 then
+          Alcotest.(check int)
+            (Fmt.str "k=%d replays only the suffix" k)
+            (k - (k / 2))
+            report.Broker.Recovery.replayed;
+        let rest = List.filteri (fun i _ -> i >= k) reqs in
+        let expect = List.filteri (fun i _ -> i >= k) all in
+        let got = List.map (Broker.process rb) rest in
+        Alcotest.(check string)
+          (Fmt.str "k=%d post-recovery responses" k)
+          (render expect) (render got));
+    Sys.remove prefix_path;
+    Option.iter Sys.remove snapshot
+  done;
+  Sys.remove jpath
+
+(* Recovered verdicts are also byte-identical to the cold oracle — the
+   paper-side anchor: recovery composed with the broker's invalidation
+   contract still answers what a from-scratch [Planner.analyze] run
+   answers. *)
+let test_recovered_verdicts_match_oracle () =
+  let reqs = submits Scenarios.Churn.script in
+  let jpath, _, _ = journaled_run reqs in
+  match Broker.Recovery.recover ~hexpr_of_string ~journal:jpath Scenarios.Churn.repo with
+  | Error msg -> Alcotest.failf "recover: %s" msg
+  | Ok (rb, _) ->
+      let repo = Broker.repo rb in
+      List.iter
+        (fun (name, body) ->
+          let served =
+            match Broker.process rb (Broker.Serve { client = name }) with
+            | { Broker.outcome = Broker.Served { report; _ }; _ } ->
+                Broker.Index.Valid report
+            | { Broker.outcome = Broker.Rejected Broker.No_plan; _ } ->
+                Broker.Index.No_plan
+            | r -> Alcotest.failf "unexpected serve outcome: %a" Broker.pp_response r
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s matches the cold oracle" name)
+            true
+            (Broker.verdict_equal served
+               (Broker.Oracle.serve repo ~client:(name, body))))
+        (Broker.clients rb);
+      Sys.remove jpath
+
+(* Chaos: seeded workloads, a random crash point, optionally a torn
+   tail — recovery either restores the consistent prefix or fails
+   loudly; when it restores, replaying the remainder is byte-identical
+   to the uninterrupted run. *)
+let prop_chaos_recovery =
+  QCheck.Test.make ~count:6
+    ~name:"chaos: random crash point (± torn tail) recovers byte-identically"
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, knob) ->
+      let profile =
+        {
+          (Testkit.Workload.default ~clients:Scenarios.Churn.clients
+             ~spares:Scenarios.Churn.spares ~noise:Scenarios.Churn.noise)
+          with
+          Testkit.Workload.seed;
+          requests = 40;
+        }
+      in
+      let items, _ = Testkit.Workload.generate profile in
+      let reqs = submits items in
+      let n = List.length reqs in
+      let jpath, _, all = journaled_run reqs in
+      let entries = (read_ok jpath).Broker.Journal.entries in
+      let k = knob mod (n + 1) in
+      let torn = knob land 1 = 1 in
+      let prefix_path = tmpfile () in
+      write_entries prefix_path (List.filteri (fun i _ -> i < k) entries);
+      if torn then begin
+        let w = Broker.Journal.create ~hexpr_to_string ~append:true prefix_path in
+        Broker.Journal.tear w;
+        Broker.Journal.close w
+      end;
+      let ok =
+        match
+          Broker.Recovery.recover ~hexpr_of_string ~journal:prefix_path
+            Scenarios.Churn.repo
+        with
+        | Error msg -> QCheck.Test.fail_reportf "recover (k=%d): %s" k msg
+        | Ok (rb, report) ->
+            let rest = List.filteri (fun i _ -> i >= k) reqs in
+            let expect = List.filteri (fun i _ -> i >= k) all in
+            let got = List.map (Broker.process rb) rest in
+            report.Broker.Recovery.torn_dropped = torn
+            && String.equal (render expect) (render got)
+      in
+      Sys.remove jpath;
+      Sys.remove prefix_path;
+      ok)
+
+let suite =
+  [
+    Alcotest.test_case "request codec round trips" `Quick test_codec_roundtrip;
+    Alcotest.test_case "journal round trips" `Quick test_journal_roundtrip;
+    Alcotest.test_case "torn tail dropped, resume appends" `Quick
+      test_torn_tail;
+    Alcotest.test_case "corrupted journals rejected loudly" `Quick
+      test_corruption_rejected;
+    Alcotest.test_case "snapshot round trips" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "damaged snapshots rejected loudly" `Quick
+      test_snapshot_corruption_rejected;
+    Alcotest.test_case "crash at every prefix recovers byte-identically"
+      `Quick test_crash_at_every_prefix;
+    Alcotest.test_case "recovered verdicts match the cold oracle" `Quick
+      test_recovered_verdicts_match_oracle;
+    QCheck_alcotest.to_alcotest prop_chaos_recovery;
+  ]
