@@ -631,10 +631,18 @@ let b9_recovery () =
       let spath = jpath ^ ".snapshot" in
       let w = Broker.Journal.create ~hexpr_to_string jpath in
       let broker = Broker.create Scenarios.Churn.repo in
+      let submitted = ref 0 in
       Broker.set_journal broker
         (Some
            (fun ~seq request ->
-             Broker.Journal.append w { Broker.Journal.seq; request }));
+             Broker.Journal.append w
+               {
+                 Broker.Journal.seq;
+                 submit = !submitted;
+                 shed = false;
+                 request;
+               };
+             incr submitted));
       (* one snapshot at 3/4 of the run, so snapshot-based recovery
          replays a quarter of the journal *)
       let snap_at = 3 * List.length reqs / 4 in

@@ -853,8 +853,18 @@ let serve_cmd =
               j;
             exit 2
         | _ -> ());
-        let broker, base =
-          if not recover then (Broker.create ~admission repo, 0)
+        (* A fresh journaled run must not inherit a previous run's
+           snapshot: --recover pairs FILE with FILE.snapshot
+           unconditionally, and a stale snapshot whose [upto] happens
+           to fit the new journal would silently restore the wrong
+           run's state. *)
+        (match journal with
+        | Some j when not recover ->
+            let snap = j ^ ".snapshot" in
+            if Sys.file_exists snap then Sys.remove snap
+        | _ -> ());
+        let broker, recovered =
+          if not recover then (Broker.create ~admission repo, None)
           else
             match journal with
             | None ->
@@ -872,22 +882,60 @@ let serve_cmd =
                     if r.Broker.Recovery.torn_dropped then
                       Broker.Journal.drop_torn_tail j;
                     Fmt.epr "-- %a@." Broker.Recovery.pp_report r;
-                    (b, r.Broker.Recovery.entries))
+                    (b, Some r))
+        in
+        (* resume: skip the script submissions the journal already
+           covers — keyed on the recorded submission index, not a
+           count, because shed markers interleave with submissions that
+           were still queued at the crash and must be re-submitted —
+           and verify each skipped one against its journal entry *)
+        let items =
+          let covered =
+            match recovered with
+            | Some r -> r.Broker.Recovery.events
+            | None -> []
+          in
+          match
+            Broker.Recovery.resume_script ~hexpr_to_string ~covered items
+          with
+          | Ok items -> items
+          | Error msg ->
+              Fmt.epr "--recover: %s@." msg;
+              exit 2
         in
         let writer =
           Option.map
             (fun j -> Broker.Journal.create ~hexpr_to_string ~append:recover j)
             journal
         in
-        let accepted = ref base in
-        let last_snap = ref base in
+        let logged =
+          ref
+            (match recovered with
+            | Some r -> r.Broker.Recovery.entries
+            | None -> 0)
+        in
+        let accepted =
+          ref
+            (match recovered with
+            | Some r -> r.Broker.Recovery.entries - r.Broker.Recovery.sheds
+            | None -> 0)
+        in
+        let last_snap = ref !accepted in
+        (* submission indices of the queued-but-unprocessed requests,
+           mirroring the broker's FIFO: the write-ahead hook pops the
+           index the processed request was submitted under *)
+        let pending = Queue.create () in
         let exception Crashed of Runtime.Faults.serve_kind in
         let hook ~seq request =
           (match Runtime.Faults.serve_fires sfaults ~accepted:!accepted with
           | Some k -> raise (Crashed k)
           | None -> ());
+          let submit = Queue.pop pending in
           Option.iter
-            (fun w -> Broker.Journal.append w { Broker.Journal.seq; request })
+            (fun w ->
+              Broker.Journal.append w
+                { Broker.Journal.seq; submit; shed = false; request };
+              incr logged)
             writer;
           incr accepted
         in
@@ -898,21 +946,9 @@ let serve_cmd =
           | Some j when snapshot_every > 0 && !accepted - !last_snap >= snapshot_every
             ->
               Broker.Recovery.write ~hexpr_to_string (j ^ ".snapshot")
-                (Broker.Recovery.snapshot_of broker ~upto:!accepted);
+                (Broker.Recovery.snapshot_of broker ~upto:!logged);
               last_snap := !accepted
           | _ -> ()
-        in
-        (* resume: the journal already covers the first [base] accepted
-           requests, so skip that many submits (and the processing
-           boundaries between them — already-drained ticks are no-ops) *)
-        let items =
-          let rec drop n = function
-            | Broker.Script.Submit _ :: rest when n > 0 -> drop (n - 1) rest
-            | (Broker.Script.Tick | Broker.Script.Drain) :: rest when n > 0 ->
-                drop n rest
-            | rest -> rest
-          in
-          drop base items
         in
         let responses = ref [] in
         let crashed = ref None in
@@ -926,10 +962,27 @@ let serve_cmd =
         in
         (try
            List.iter
-             (fun item ->
+             (fun (idx, item) ->
                (match item with
-               | Broker.Script.Submit r ->
-                   Option.iter push (Broker.submit broker r)
+               | Broker.Script.Submit r -> (
+                   match Broker.submit broker r with
+                   | None -> Queue.add idx pending
+                   | Some resp ->
+                       (* shed: it consumed this submission and a
+                          sequence number, so journal a marker —
+                          otherwise --recover would re-submit it *)
+                       Option.iter
+                         (fun w ->
+                           Broker.Journal.append w
+                             {
+                               Broker.Journal.seq = resp.Broker.seq;
+                               submit = idx;
+                               shed = true;
+                               request = r;
+                             };
+                           incr logged)
+                         writer;
+                       push resp)
                | Broker.Script.Tick -> Option.iter push (Broker.step broker)
                | Broker.Script.Drain -> drain_steps ());
                maybe_snapshot ())

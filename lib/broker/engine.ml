@@ -462,6 +462,12 @@ let replay t ~seq request =
   t.seq <- seq;
   process_event t ~journaled:false request
 
+let replay_shed t ~seq request =
+  t.seq <- seq;
+  t.st.shed <- t.st.shed + 1;
+  Obs.Metrics.incr "broker.shed";
+  respond t request (Rejected Shed)
+
 let step t =
   match Queue.take_opt t.queue with
   | None -> None

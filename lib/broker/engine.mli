@@ -137,9 +137,11 @@ val process : t -> request -> response
 (** {1 Durability hooks}
 
     The primitives {!Journal} and {!Recovery} are built on. Shed
-    submissions never reach the hook: they mutate nothing, so they are
-    not durable (a recovered broker re-numbers from the last {e
-    processed} event). *)
+    submissions never reach the hook — they mutate nothing — but they
+    {e do} consume a sequence number and a script submission, so a
+    journaling serve loop records them itself, at submit time, from the
+    [Rejected Shed] response ({!submit}'s [Some] return); recovery
+    restores their numbering with {!replay_shed}. *)
 
 val seq : t -> int
 (** The sequence number the next processed request will be answered
@@ -176,6 +178,14 @@ val replay : t -> seq:int -> request -> response
 (** Process a journal entry during recovery: force the response
     sequence number to the recorded [seq] and bypass the write-ahead
     hook (a recovering broker must not re-journal what it reads). *)
+
+val replay_shed : t -> seq:int -> request -> response
+(** Reproduce a journaled shed marker during recovery: restore the
+    sequence number the shed submission consumed and answer
+    [Rejected Shed] without touching the queue or applying anything —
+    sheds mutate no state, but they number (and count toward) the
+    response stream, so a recovered broker resumes numbering exactly
+    where the crashed one stopped. *)
 
 (** {1 The cold oracle} *)
 

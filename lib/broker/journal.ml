@@ -4,7 +4,7 @@
    so a journal is readable (and even hand-editable, at the price of
    recomputing the checksum) with the same grammar as [Broker.Script]. *)
 
-let version = 1
+let version = 2
 let header_line = Printf.sprintf "susf-journal %d" version
 
 (* FNV-1a, 32-bit: tiny, dependency-free, and plenty to detect torn
@@ -16,7 +16,17 @@ let checksum s =
     s;
   !h
 
-type entry = { seq : int; request : Engine.request }
+type entry = {
+  seq : int;
+  submit : int;
+      (* index of the script submission that carried this request —
+         what resume skipping is keyed on, stable across repeated
+         crash/recover cycles *)
+  shed : bool;
+      (* a shed marker: the submission consumed a sequence number but
+         was never applied (recorded at submit time, not write-ahead) *)
+  request : Engine.request;
+}
 
 type error = { path : string; line : int; msg : string }
 
@@ -24,29 +34,42 @@ let pp_error ppf e =
   if e.line = 0 then Fmt.pf ppf "%s: %s" e.path e.msg
   else Fmt.pf ppf "%s:%d: %s" e.path e.line e.msg
 
-let encode ~hexpr_to_string { seq; request } =
+let encode ~hexpr_to_string { seq; submit; shed; request } =
   let payload = Script.request_line ~hexpr_to_string request in
-  let body = Printf.sprintf "%d %s" seq payload in
-  Printf.sprintf "%d %08x %s" seq (checksum body) payload
+  let payload = if shed then "shed " ^ payload else payload in
+  let body = Printf.sprintf "%d %d %s" seq submit payload in
+  Printf.sprintf "%d %08x %d %s" seq (checksum body) submit payload
 
 let decode ~hexpr_of_string line =
   match String.split_on_char ' ' line with
-  | seq :: crc :: rest when rest <> [] -> (
+  | seq :: crc :: submit :: rest when rest <> [] -> (
       let payload = String.concat " " rest in
-      match (int_of_string_opt seq, int_of_string_opt ("0x" ^ crc)) with
-      | None, _ -> Error (Fmt.str "bad sequence number %S" seq)
-      | _, None -> Error (Fmt.str "bad checksum field %S" crc)
-      | Some seq, Some crc ->
-          let want = checksum (Printf.sprintf "%d %s" seq payload) in
+      match
+        ( int_of_string_opt seq,
+          int_of_string_opt ("0x" ^ crc),
+          int_of_string_opt submit )
+      with
+      | None, _, _ -> Error (Fmt.str "bad sequence number %S" seq)
+      | _, None, _ -> Error (Fmt.str "bad checksum field %S" crc)
+      | _, _, None -> Error (Fmt.str "bad submission index %S" submit)
+      | _, _, Some submit when submit < 0 ->
+          Error (Fmt.str "negative submission index %d" submit)
+      | Some seq, Some crc, Some submit ->
+          let want = checksum (Printf.sprintf "%d %d %s" seq submit payload) in
           if crc <> want then
             Error
               (Fmt.str "checksum mismatch (recorded %08x, computed %08x)" crc
                  want)
           else
+            let shed, payload =
+              match rest with
+              | "shed" :: tail when tail <> [] -> (true, String.concat " " tail)
+              | _ -> (false, payload)
+            in
             Result.map
-              (fun request -> { seq; request })
+              (fun request -> { seq; submit; shed; request })
               (Script.request_of_line ~hexpr_of_string payload))
-  | _ -> Error "malformed journal line (want 'SEQ CRC PAYLOAD')"
+  | _ -> Error "malformed journal line (want 'SEQ CRC SUBMIT PAYLOAD')"
 
 (* ---- reading ---------------------------------------------------------- *)
 
@@ -146,5 +169,10 @@ let drop_torn_tail path =
         | Some i -> String.sub text 0 (i + 1)
         | None -> ""
       in
-      Out_channel.with_open_bin path (fun oc ->
-          Out_channel.output_string oc keep)
+      (* write-to-temp + rename, as [Recovery.write] does: an in-place
+         truncate-and-rewrite interrupted by a second crash would
+         destroy the durable prefix this function exists to preserve *)
+      let tmp = path ^ ".tmp" in
+      Out_channel.with_open_bin tmp (fun oc ->
+          Out_channel.output_string oc keep);
+      Sys.rename tmp path

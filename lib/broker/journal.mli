@@ -4,13 +4,19 @@
     entry per accepted event, flushed {e before} the event is applied
     to the engine (write-ahead). Each entry line is
 
-    {v SEQ CRC PAYLOAD v}
+    {v SEQ CRC SUBMIT PAYLOAD v}
 
     where [SEQ] is the response sequence number the event was (or will
     be) answered with, [CRC] is the FNV-1a/32 checksum (8 hex digits)
-    of ["SEQ PAYLOAD"], and [PAYLOAD] is the single-line script-syntax
-    rendering of the request ({!Script.request_line}) — the journal
-    reuses the script grammar, so it is human-readable.
+    of ["SEQ SUBMIT PAYLOAD"], [SUBMIT] is the index of the script
+    submission that carried the request (what {!Recovery.resume_script}
+    skips by), and [PAYLOAD] is the single-line script-syntax rendering
+    of the request ({!Script.request_line}) — the journal reuses the
+    script grammar, so it is human-readable. A payload prefixed with
+    [shed ] is a {e shed marker}: the serve loop records a shed
+    submission at submit time (it consumed a submission and a sequence
+    number but was never applied), so recovery can skip it and restore
+    the response numbering.
 
     Torn-write semantics: every append writes one line, newline
     included, in a single flushed buffer. A final line {e missing its
@@ -21,7 +27,12 @@
     number — is corruption and is rejected with a positioned
     diagnostic, never silently skipped. *)
 
-type entry = { seq : int; request : Engine.request }
+type entry = {
+  seq : int;  (** response sequence number *)
+  submit : int;  (** index of the script submission that carried it *)
+  shed : bool;  (** a shed marker — recorded, never applied *)
+  request : Engine.request;
+}
 
 type error = { path : string; line : int; msg : string }
 (** [line] is 1-based ([0] when the file could not be read at all). *)
@@ -82,5 +93,6 @@ val close : writer -> unit
 val drop_torn_tail : string -> unit
 (** Physically truncate an unterminated final line (if any) so that a
     writer reopened with [~append:true] continues from the durable
-    prefix instead of gluing onto torn garbage. A no-op on clean,
-    missing or empty files. *)
+    prefix instead of gluing onto torn garbage. Atomic (write-to-temp
+    + rename), so a crash mid-truncation cannot damage the durable
+    prefix. A no-op on clean, missing or empty files. *)

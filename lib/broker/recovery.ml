@@ -172,15 +172,18 @@ let read ~hexpr_of_string path =
 
 type report = {
   entries : int;
+  sheds : int;
   replayed : int;
   rebuilt : int;
   snapshot : bool;
   torn_dropped : bool;
+  events : Journal.entry list;
 }
 
 let pp_report ppf r =
-  Fmt.pf ppf "recovered %d events (%d replayed, %d verdicts rebuilt%s%s)"
+  Fmt.pf ppf "recovered %d events (%d replayed, %d verdicts rebuilt%s%s%s)"
     r.entries r.replayed r.rebuilt
+    (if r.sheds > 0 then Fmt.str ", %d shed" r.sheds else "")
     (if r.snapshot then ", from snapshot" else "")
     (if r.torn_dropped then ", torn tail dropped" else "")
 
@@ -228,9 +231,20 @@ let recover ~hexpr_of_string ?snapshot ?admission ~journal repo =
                   let suffix = List.filteri (fun i _ -> i >= skip) entries in
                   List.iter
                     (fun (e : Journal.entry) ->
-                      ignore (Engine.replay t ~seq:e.Journal.seq e.Journal.request))
+                      ignore
+                        (if e.Journal.shed then
+                           Engine.replay_shed t ~seq:e.Journal.seq
+                             e.Journal.request
+                         else
+                           Engine.replay t ~seq:e.Journal.seq e.Journal.request))
                     suffix;
                   let replayed = List.length suffix in
+                  let sheds =
+                    List.fold_left
+                      (fun n (e : Journal.entry) ->
+                        if e.Journal.shed then n + 1 else n)
+                      0 entries
+                  in
                   Obs.Metrics.add "broker.recovery.replayed" replayed;
                   Obs.Metrics.add "broker.recovery.rebuilt" rebuilt;
                   if torn then Obs.Metrics.incr "broker.recovery.torn_dropped";
@@ -244,8 +258,72 @@ let recover ~hexpr_of_string ?snapshot ?admission ~journal repo =
                     ( t,
                       {
                         entries = total;
+                        sheds;
                         replayed;
                         rebuilt;
                         snapshot = Option.is_some snap;
                         torn_dropped = torn;
+                        events = entries;
                       } ))))
+
+(* ---- resuming a script past a recovered prefix ------------------------ *)
+
+(* Every journal entry records the index of the script submission it
+   consumed — processed events and shed markers alike — so the covered
+   submissions are exactly the journal's [submit] set. Skipping by
+   {e index} (rather than by count) is what makes resume correct in the
+   presence of shedding: a shed marker can be journaled after a
+   submission that was still sitting in the queue at the crash, so the
+   covered set has holes, and the holes (plus the unconsumed tail) are
+   what must be re-submitted. Each dropped submission is checked
+   against the journaled request, so resuming with the wrong script
+   fails loudly instead of replaying garbage. Tick/Drain items are
+   dropped while covered submissions remain ahead: their processing
+   work was already replayed from the journal. *)
+let resume_script ~hexpr_to_string ~covered items =
+  let line = Script.request_line ~hexpr_to_string in
+  let tbl = Hashtbl.create 64 in
+  let max_covered = ref (-1) in
+  let rec index = function
+    | [] -> Ok ()
+    | (e : Journal.entry) :: rest ->
+        if Hashtbl.mem tbl e.Journal.submit then
+          Error
+            (Fmt.str "journal records submission #%d twice" e.Journal.submit)
+        else begin
+          Hashtbl.replace tbl e.Journal.submit e;
+          max_covered := max !max_covered e.Journal.submit;
+          index rest
+        end
+  in
+  match index covered with
+  | Error _ as e -> e
+  | Ok () ->
+      let rec go i acc = function
+        | [] ->
+            if i <= !max_covered then
+              Error
+                (Fmt.str
+                   "journal records submission #%d but the script only has %d \
+                    submissions — is this the script the journal was recorded \
+                    against?"
+                   !max_covered i)
+            else Ok (List.rev acc)
+        | Script.Submit r :: rest -> (
+            match Hashtbl.find_opt tbl i with
+            | Some (e : Journal.entry) ->
+                let got = line r and want = line e.Journal.request in
+                if String.equal got want then go (i + 1) acc rest
+                else
+                  Error
+                    (Fmt.str
+                       "script submission #%d (%s) does not match its journal \
+                        entry (%s) — is this the script the journal was \
+                        recorded against?"
+                       i got want)
+            | None -> go (i + 1) ((i, Script.Submit r) :: acc) rest)
+        | ((Script.Tick | Script.Drain) as item) :: rest ->
+            if i <= !max_covered then go i acc rest
+            else go i ((i, item) :: acc) rest
+      in
+      go 0 [] items

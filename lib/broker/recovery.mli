@@ -43,11 +43,15 @@ val read :
 (** {1 Recovery} *)
 
 type report = {
-  entries : int;  (** durable journal entries found *)
+  entries : int;  (** durable journal entries found (shed markers included) *)
+  sheds : int;  (** of which shed markers *)
   replayed : int;  (** entries replayed past the snapshot *)
   rebuilt : int;  (** verdicts recomputed from the snapshot *)
   snapshot : bool;  (** a snapshot was used *)
   torn_dropped : bool;  (** the journal had a torn final line *)
+  events : Journal.entry list;
+      (** the durable entries themselves — what {!resume_script} skips
+          the covered script submissions by *)
 }
 
 val pp_report : report Fmt.t
@@ -72,5 +76,26 @@ val recover :
     a snapshot covering more events than the journal holds. A torn
     {e final} journal line is not corruption: it is dropped and
     reported in the {!report}, and the restored state is the
-    consistent prefix. Runs under a [broker.recovery] span and bumps
-    the [broker.recovery.*] counters. *)
+    consistent prefix. Shed markers replay through
+    [Engine.replay_shed], so the recovered broker resumes response
+    numbering exactly where the crashed one stopped. Runs under a
+    [broker.recovery] span and bumps the [broker.recovery.*]
+    counters. *)
+
+val resume_script :
+  hexpr_to_string:(Core.Hexpr.t -> string) ->
+  covered:Journal.entry list ->
+  Script.item list ->
+  ((int * Script.item) list, string) result
+(** The script items a resumed serve loop still has to run, each paired
+    with its absolute submission index (so re-journaled entries keep
+    stable indices across repeated crash/recover cycles; [Tick]/[Drain]
+    carry the index of the next submission). A submission whose index
+    appears in [covered] — processed {e or} shed — is dropped, after
+    checking it renders identically to the journaled request;
+    submissions absent from [covered] (still queued at the crash, or
+    never consumed) are kept. Fails with a diagnostic when the script
+    does not match the journal: a covered submission that renders
+    differently, a script with fewer submissions than the journal
+    records, or a duplicated submission index. With [covered = []] it
+    simply numbers a fresh script's submissions. *)

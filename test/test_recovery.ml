@@ -87,10 +87,17 @@ let read_ok path =
 let test_journal_roundtrip () =
   let path = tmpfile () in
   let entries =
-    (* non-contiguous seqs: sheds consume numbers without being
-       journaled, so gaps are legal — only monotonicity is checked *)
+    (* non-contiguous seqs (a library user may journal only processed
+       events, so gaps are legal — only monotonicity is checked) and a
+       sprinkling of shed markers, which must round trip too *)
     List.mapi
-      (fun i r -> { Broker.Journal.seq = (i * 2) + 1; request = r })
+      (fun i r ->
+        {
+          Broker.Journal.seq = (i * 2) + 1;
+          submit = i;
+          shed = i mod 3 = 2;
+          request = r;
+        })
       (sample_requests ())
   in
   write_entries path entries;
@@ -101,6 +108,9 @@ let test_journal_roundtrip () =
   List.iter2
     (fun (a : Broker.Journal.entry) (b : Broker.Journal.entry) ->
       Alcotest.(check int) "seq" a.Broker.Journal.seq b.Broker.Journal.seq;
+      Alcotest.(check int) "submit" a.Broker.Journal.submit
+        b.Broker.Journal.submit;
+      Alcotest.(check bool) "shed" a.Broker.Journal.shed b.Broker.Journal.shed;
       Alcotest.(check bool) "request" true
         (req_equal a.Broker.Journal.request b.Broker.Journal.request))
     entries got;
@@ -110,7 +120,10 @@ let test_torn_tail () =
   let path = tmpfile () in
   let reqs = sample_requests () in
   let entries =
-    List.mapi (fun i r -> { Broker.Journal.seq = i; request = r }) reqs
+    List.mapi
+      (fun i r ->
+        { Broker.Journal.seq = i; submit = i; shed = false; request = r })
+      reqs
   in
   let w = Broker.Journal.create ~hexpr_to_string path in
   List.iter (Broker.Journal.append w) entries;
@@ -124,7 +137,12 @@ let test_torn_tail () =
   Broker.Journal.drop_torn_tail path;
   let w = Broker.Journal.create ~hexpr_to_string ~append:true path in
   Broker.Journal.append w
-    { Broker.Journal.seq = 99; request = Broker.Serve { client = "c2" } };
+    {
+      Broker.Journal.seq = 99;
+      submit = 99;
+      shed = false;
+      request = Broker.Serve { client = "c2" };
+    };
   Broker.Journal.close w;
   let { Broker.Journal.entries = got; torn } = read_ok path in
   Alcotest.(check bool) "clean after resume" false torn;
@@ -142,7 +160,9 @@ let test_corruption_rejected () =
         Alcotest.(check bool) (Fmt.str "mentions %S" infix) true
           (Astring.String.is_infix ~affix:infix e.Broker.Journal.msg)
   in
-  let entry i r = { Broker.Journal.seq = i; request = r } in
+  let entry i r =
+    { Broker.Journal.seq = i; submit = i; shed = false; request = r }
+  in
   let path = tmpfile () in
   (* bad header *)
   Out_channel.with_open_bin path (fun oc ->
@@ -170,7 +190,7 @@ let test_corruption_rejected () =
      too — torn-write forgiveness only covers unterminated tails *)
   write_entries path [ entry 0 (Broker.Serve { client = "c1" }) ];
   let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
-  output_string oc "1 00000000 serve c2\n";
+  output_string oc "1 00000000 1 serve c2\n";
   close_out oc;
   fails_at path 3 "checksum mismatch";
   (* non-increasing sequence numbers *)
@@ -178,7 +198,7 @@ let test_corruption_rejected () =
       Out_channel.output_string oc
         (String.concat "\n"
            [
-             "susf-journal 1";
+             "susf-journal 2";
              Broker.Journal.encode ~hexpr_to_string
                (entry 5 (Broker.Serve { client = "c1" }));
              Broker.Journal.encode ~hexpr_to_string
@@ -277,8 +297,13 @@ let journaled_run reqs =
   let path = tmpfile () in
   let w = Broker.Journal.create ~hexpr_to_string path in
   let b = Broker.create Scenarios.Churn.repo in
+  let n = ref 0 in
   Broker.set_journal b
-    (Some (fun ~seq request -> Broker.Journal.append w { Broker.Journal.seq; request }));
+    (Some
+       (fun ~seq request ->
+         Broker.Journal.append w
+           { Broker.Journal.seq; submit = !n; shed = false; request };
+         incr n));
   let responses = List.map (Broker.process b) reqs in
   Broker.Journal.close w;
   (path, b, responses)
@@ -420,6 +445,191 @@ let prop_chaos_recovery =
       Sys.remove prefix_path;
       ok)
 
+(* ------------------------------------------------------------------ *)
+(* Resuming a script past the recovered prefix, shedding included *)
+
+let test_resume_script () =
+  let sub c = Broker.Script.Submit (Broker.Serve { client = c }) in
+  let entry ?(shed = false) ~seq ~submit c =
+    { Broker.Journal.seq; submit; shed; request = Broker.Serve { client = c } }
+  in
+  let render_items items =
+    String.concat "; "
+      (List.map
+         (fun (i, item) -> Fmt.str "%d:%a" i Broker.Script.pp_item item)
+         items)
+  in
+  let resume covered items =
+    Broker.Recovery.resume_script ~hexpr_to_string ~covered items
+  in
+  let items =
+    [ sub "a"; sub "b"; Broker.Script.Tick; sub "c"; sub "d";
+      Broker.Script.Tick ]
+  in
+  (* a processed, b still queued, c still queued, d shed after them:
+     the covered set {0, 3} has a hole, so count-based skipping would
+     either re-apply a or drop the queued b/c — index-based skipping
+     keeps exactly b, c and the trailing tick *)
+  (match
+     resume [ entry ~seq:0 ~submit:0 "a"; entry ~shed:true ~seq:1 ~submit:3 "d" ]
+       items
+   with
+  | Error msg -> Alcotest.failf "resume with holes: %s" msg
+  | Ok rest ->
+      Alcotest.(check string)
+        "holes: queued submissions and the tail survive"
+        (render_items [ (1, sub "b"); (2, sub "c"); (4, Broker.Script.Tick) ])
+        (render_items rest));
+  (* an empty covered set just numbers the script *)
+  (match resume [] items with
+  | Error msg -> Alcotest.failf "fresh numbering: %s" msg
+  | Ok rest ->
+      Alcotest.(check int) "fresh numbering keeps everything"
+        (List.length items) (List.length rest));
+  let fails infix covered items =
+    match resume covered items with
+    | Ok _ -> Alcotest.failf "mismatched resume accepted (%s)" infix
+    | Error msg ->
+        Alcotest.(check bool) (Fmt.str "mentions %S" infix) true
+          (Astring.String.is_infix ~affix:infix msg)
+  in
+  (* a covered submission that renders differently is a wrong script *)
+  fails "does not match" [ entry ~seq:0 ~submit:0 "zzz" ] items;
+  (* a journal covering more submissions than the script has *)
+  fails "only has" [ entry ~seq:0 ~submit:9 "a" ] items;
+  (* a duplicated submission index is corruption *)
+  fails "twice" [ entry ~seq:0 ~submit:0 "a"; entry ~seq:1 ~submit:0 "a" ] items
+
+(* The high-severity regression: a serve loop whose bounded queue sheds
+   submissions, crashed after every processed-event prefix. Shed
+   markers are journaled at submit time, so recovery + resume must
+   neither re-apply a journaled event nor drop a submission that was
+   still queued at the crash — the crashed run's responses followed by
+   the resumed run's must equal the uninterrupted run byte-for-byte,
+   sequence numbers included. *)
+let shed_admission = { Broker.queue_capacity = 1; plan_budget = 64 }
+
+let shed_script () =
+  let client n = List.assoc n Scenarios.Churn.clients in
+  let open Broker.Script in
+  [
+    Submit (Broker.Open { client = "c1"; body = client "c1" });
+    Submit (Broker.Open { client = "c2"; body = client "c2" });
+    (* shed *)
+    Tick;
+    Submit (Broker.Open { client = "c2"; body = client "c2" });
+    Submit (Broker.Serve { client = "c1" });
+    (* shed *)
+    Tick;
+    Submit (Broker.Serve { client = "c1" });
+    Submit (Broker.Serve { client = "c2" });
+    (* shed *)
+    Tick;
+    Submit (Broker.Serve { client = "c2" });
+    Drain;
+  ]
+
+exception Crash
+
+(* Mirror the susf serve loop: processed events journal through the
+   write-ahead hook (popping the submission index the request was
+   queued under), sheds journal a marker at submit time, and an
+   injected crash fires before processed event [crash_at] reaches the
+   journal. *)
+let drive ?crash_at broker w indexed =
+  let responses = ref [] in
+  let push r = responses := r :: !responses in
+  let pending = Queue.create () in
+  let accepted = ref 0 in
+  Broker.set_journal broker
+    (Some
+       (fun ~seq request ->
+         (match crash_at with
+         | Some k when !accepted = k -> raise Crash
+         | _ -> ());
+         Broker.Journal.append w
+           {
+             Broker.Journal.seq;
+             submit = Queue.pop pending;
+             shed = false;
+             request;
+           };
+         incr accepted));
+  (try
+     List.iter
+       (fun (i, item) ->
+         match item with
+         | Broker.Script.Submit r -> (
+             match Broker.submit broker r with
+             | None -> Queue.add i pending
+             | Some resp ->
+                 Broker.Journal.append w
+                   {
+                     Broker.Journal.seq = resp.Broker.seq;
+                     submit = i;
+                     shed = true;
+                     request = r;
+                   };
+                 push resp)
+         | Broker.Script.Tick -> Option.iter push (Broker.step broker)
+         | Broker.Script.Drain -> List.iter push (Broker.drain broker))
+       indexed;
+     List.iter push (Broker.drain broker)
+   with Crash -> ());
+  List.rev !responses
+
+let test_shed_crash_resume () =
+  let items = shed_script () in
+  let indexed =
+    match Broker.Recovery.resume_script ~hexpr_to_string ~covered:[] items with
+    | Ok l -> l
+    | Error msg -> Alcotest.fail msg
+  in
+  let upath = tmpfile () in
+  let uw = Broker.Journal.create ~hexpr_to_string upath in
+  let ub = Broker.create ~admission:shed_admission Scenarios.Churn.repo in
+  let all = drive ub uw indexed in
+  Broker.Journal.close uw;
+  let uentries = (read_ok upath).Broker.Journal.entries in
+  Sys.remove upath;
+  let processed =
+    List.length
+      (List.filter (fun (e : Broker.Journal.entry) -> not e.shed) uentries)
+  in
+  (* the workload must actually shed, or this test proves nothing *)
+  Alcotest.(check bool) "workload sheds" true
+    (List.exists (fun (e : Broker.Journal.entry) -> e.Broker.Journal.shed)
+       uentries);
+  for k = 0 to processed do
+    let jpath = tmpfile () in
+    let w = Broker.Journal.create ~hexpr_to_string jpath in
+    let b = Broker.create ~admission:shed_admission Scenarios.Churn.repo in
+    let pre = drive ~crash_at:k b w indexed in
+    Broker.Journal.close w;
+    (match
+       Broker.Recovery.recover ~hexpr_of_string ~admission:shed_admission
+         ~journal:jpath Scenarios.Churn.repo
+     with
+    | Error msg -> Alcotest.failf "recover at k=%d: %s" k msg
+    | Ok (rb, report) -> (
+        match
+          Broker.Recovery.resume_script ~hexpr_to_string
+            ~covered:report.Broker.Recovery.events items
+        with
+        | Error msg -> Alcotest.failf "resume at k=%d: %s" k msg
+        | Ok rest ->
+            let w2 =
+              Broker.Journal.create ~hexpr_to_string ~append:true jpath
+            in
+            let post = drive rb w2 rest in
+            Broker.Journal.close w2;
+            Alcotest.(check string)
+              (Fmt.str "k=%d crashed+resumed equals uninterrupted" k)
+              (render all)
+              (render (pre @ post))));
+    Sys.remove jpath
+  done
+
 let suite =
   [
     Alcotest.test_case "request codec round trips" `Quick test_codec_roundtrip;
@@ -435,5 +645,9 @@ let suite =
       `Quick test_crash_at_every_prefix;
     Alcotest.test_case "recovered verdicts match the cold oracle" `Quick
       test_recovered_verdicts_match_oracle;
+    Alcotest.test_case "resume skips by submission index, checks the script"
+      `Quick test_resume_script;
+    Alcotest.test_case "shedding run crashes and resumes byte-identically"
+      `Quick test_shed_crash_resume;
     QCheck_alcotest.to_alcotest prop_chaos_recovery;
   ]
