@@ -428,7 +428,55 @@ let b5_recovery () =
   table "without the standby (no compliant substitute):"
     Scenarios.Redundant.repo_no_backup;
   pf "  (every completed run under faults re-planned through compliant@.";
-  pf "   substitutes only; degraded runs abandoned the session cleanly.)@."
+  pf "   substitutes only; degraded runs abandoned the session cleanly.)@.";
+  (* Degraded-mode outcome mix: the loose scenario wedges whenever the
+     scheduler takes [avail]. Strict admission reports those runs as
+     hard failures; affectible admission retracts the wedge back to the
+     [open] checkpoint and retries, so no run may end [Stuck]. *)
+  let sweep level =
+    let completed = ref 0
+    and degraded = ref 0
+    and stuck = ref 0
+    and rollbacks = ref 0 in
+    let loose_clients =
+      [ (Scenarios.Loose.plan, ("c", Scenarios.Loose.client)) ]
+    in
+    for seed = 1 to runs do
+      let faults = [ Runtime.Faults.rate 0.05 (Runtime.Faults.Drop "req") ] in
+      let r =
+        Runtime.Engine.run ~level ~faults ~seed Scenarios.Loose.repo
+          loose_clients
+          (Simulate.random ~seed)
+      in
+      rollbacks := !rollbacks + r.Runtime.Engine.rollbacks;
+      match r.Runtime.Engine.trace.Simulate.outcome with
+      | Simulate.Completed -> incr completed
+      | Simulate.Degraded _ -> incr degraded
+      | Simulate.Stuck _ -> incr stuck
+      | Simulate.Out_of_fuel | Simulate.Stopped -> ()
+    done;
+    (!completed, !degraded, !stuck, !rollbacks)
+  in
+  pf "  degraded-mode outcome mix (loose scenario, %d seeded runs):@." runs;
+  pf "  %-12s %9s %9s %7s %9s@." "level" "completed" "degraded" "stuck"
+    "rollbacks";
+  let strict_c, strict_d, strict_s, strict_r = sweep Core.Compliance.Strict in
+  pf "  %-12s %9d %9d %7d %9d@." "strict" strict_c strict_d strict_s strict_r;
+  let aff_c, aff_d, aff_s, aff_r = sweep Core.Compliance.Affectible in
+  pf "  %-12s %9d %9d %7d %9d@." "affectible" aff_c aff_d aff_s aff_r;
+  check_line ~expected:"0" ~got:(string_of_int aff_s)
+    "no hard failure under affectible admission";
+  check_line ~expected:"true"
+    ~got:(string_of_bool (aff_r > 0))
+    (Printf.sprintf "wedges were retracted (%d rollbacks)" aff_r);
+  check_line ~expected:"true"
+    ~got:(string_of_bool (aff_c > strict_c))
+    (Printf.sprintf "retraction completes more runs (%d vs %d strict)" aff_c
+       strict_c);
+  Obs.Metrics.set "runtime.degraded.strict.stuck" strict_s;
+  Obs.Metrics.set "runtime.degraded.affectible.stuck" aff_s;
+  Obs.Metrics.set "runtime.degraded.affectible.completed" aff_c;
+  Obs.Metrics.set "runtime.degraded.affectible.rollbacks" aff_r
 
 let b5_ablation () =
   section "B5 (ablation): Definition 4 vs product automaton";
@@ -573,7 +621,12 @@ let b8_broker () =
      draining; everything past the capacity must be shed. *)
   let burst =
     Broker.create
-      ~admission:{ Broker.queue_capacity = 4; plan_budget = 64 }
+      ~admission:
+        {
+          Broker.queue_capacity = 4;
+          plan_budget = 64;
+          floor = Core.Compliance.Strict;
+        }
       Scenarios.Churn.repo
   in
   List.iter
@@ -593,10 +646,64 @@ let b8_broker () =
   let shed_pct = pct burst_st.Broker.shed burst_st.Broker.requests in
   pf "  burst shed rate %d%% (%d of %d requests)@." shed_pct
     burst_st.Broker.shed burst_st.Broker.requests;
+  (* Same overload with the admission floor loosened to [Affectible]:
+     the degradation ladder rescues full-queue serves at the floor and
+     drains the queue down the rungs, so the shed rate must be strictly
+     below the strict-only baseline. Every rescued verdict still has to
+     match the cold oracle at the level it was answered at. *)
+  let loosened =
+    Broker.create
+      ~admission:
+        {
+          Broker.queue_capacity = 4;
+          plan_budget = 64;
+          floor = Core.Compliance.Affectible;
+        }
+      Scenarios.Churn.repo
+  in
+  List.iter
+    (fun (client, body) ->
+      ignore (Broker.process loosened (Broker.Open { client; body })))
+    Scenarios.Churn.clients;
+  let rescued_mismatches = ref 0 in
+  for _ = 1 to 12 do
+    match Broker.submit loosened (Broker.Serve { client = "c1" }) with
+    | Some { Broker.outcome = Broker.Served { report; level; _ }; _ } -> (
+        match List.assoc_opt "c1" (Broker.clients loosened) with
+        | None -> ()
+        | Some body ->
+            let expect =
+              Broker.Oracle.serve ~level (Broker.repo loosened)
+                ~client:("c1", body)
+            in
+            if not (Broker.verdict_equal (Broker.Index.Valid report) expect)
+            then incr rescued_mismatches)
+    | _ -> ()
+  done;
+  ignore (Broker.drain loosened);
+  let loose_st = Broker.stats loosened in
+  check_line ~expected:"0" ~got:(string_of_int !rescued_mismatches)
+    "rescued verdicts match the cold oracle at their level";
+  check_line ~expected:"true"
+    ~got:(string_of_bool (loose_st.Broker.shed < burst_st.Broker.shed))
+    (Printf.sprintf "affectible floor sheds less: %d vs %d strict-only"
+       loose_st.Broker.shed burst_st.Broker.shed);
+  pf
+    "  outcome mix under affectible floor: strict %d, skip %d, affectible \
+     %d, rescued %d, shed %d@."
+    loose_st.Broker.served_strict loose_st.Broker.served_skip
+    loose_st.Broker.served_affectible loose_st.Broker.rescued
+    loose_st.Broker.shed;
   (* Summary gauges for the --json baseline (rates are percentages;
      the raw counters sit next to them in the same snapshot). *)
   Obs.Metrics.set "broker.hit_rate.pct" hit_pct;
-  Obs.Metrics.set "broker.shed_rate.pct" shed_pct
+  Obs.Metrics.set "broker.shed_rate.pct" shed_pct;
+  Obs.Metrics.set "broker.degraded.shed" loose_st.Broker.shed;
+  Obs.Metrics.set "broker.degraded.rescued" loose_st.Broker.rescued;
+  Obs.Metrics.set "broker.degraded.served.strict" loose_st.Broker.served_strict;
+  Obs.Metrics.set "broker.degraded.served.skip" loose_st.Broker.served_skip;
+  Obs.Metrics.set "broker.degraded.served.affectible"
+    loose_st.Broker.served_affectible
 
 (* ------------------------------------------------------------------ *)
 
@@ -634,12 +741,14 @@ let b9_recovery () =
       let submitted = ref 0 in
       Broker.set_journal broker
         (Some
-           (fun ~seq request ->
+           (fun ~seq ~level request ->
              Broker.Journal.append w
                {
                  Broker.Journal.seq;
                  submit = !submitted;
                  shed = false;
+                 rescued = false;
+                 level;
                  request;
                };
              incr submitted));

@@ -282,14 +282,35 @@ let simulate_cmd =
       & info [ "json" ]
           ~doc:"With $(b,--faults), print the recovery report as JSON.")
   in
+  let level_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:
+            "With $(b,--faults), the admission level the clients were served \
+             at ($(b,strict), $(b,skip:K), $(b,affectible)). $(b,affectible) \
+             arms reversible sessions: a wedged session is retracted to its \
+             open-time checkpoint and retried.")
+  in
   let run file client plan_name seed max_steps compact faults retries json
-      trace metrics =
+      level trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let spec = load file in
     let repo = Syntax.Spec.repo spec in
     let cs = clients spec client in
     let plan =
       match plan_name with Some pn -> plan_of spec pn | None -> Core.Plan.empty
+    in
+    let level =
+      match level with
+      | None -> Core.Compliance.Strict
+      | Some l -> (
+          match Core.Compliance.level_of_string l with
+          | Ok l -> l
+          | Error e ->
+              Fmt.epr "bad --level: %s@." e;
+              exit 2)
     in
     match faults with
     | None ->
@@ -312,7 +333,8 @@ let simulate_cmd =
               { Runtime.Supervisor.default with max_retries = retries }
             in
             let r =
-              Runtime.Engine.run ~max_steps ~supervisor ~faults:fspec ~seed repo
+              Runtime.Engine.run ~max_steps ~supervisor ~faults:fspec ~seed
+                ~level repo
                 (List.map (fun c -> (plan, c)) cs)
                 (Core.Simulate.random ~seed)
             in
@@ -330,8 +352,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ file_arg $ client_arg $ plan_arg $ seed_arg $ steps_arg
-      $ compact_arg $ faults_arg $ retries_arg $ json_arg $ trace_arg
-      $ metrics_arg)
+      $ compact_arg $ faults_arg $ retries_arg $ json_arg $ level_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- dot --- *)
 
@@ -744,8 +766,9 @@ let serve_cmd =
             "Workload script to replay: one request per line ($(b,open c = \
              HEXPR), $(b,serve c), $(b,publish l = HEXPR), $(b,retract l), \
              $(b,update l = HEXPR), $(b,close c), $(b,run c seed N), \
-             $(b,policy queue N budget N)) plus $(b,tick)/$(b,drain) \
-             processing boundaries. See docs/BROKER.md.")
+             $(b,policy queue N budget N floor LEVEL)) plus \
+             $(b,tick)/$(b,drain) processing boundaries. See \
+             docs/BROKER.md.")
   in
   let queue_arg =
     Arg.(
@@ -762,6 +785,19 @@ let serve_cmd =
           ~doc:
             "Plan budget: fresh analyses allowed per cache-missing serve \
              before it degrades.")
+  in
+  let floor_arg =
+    Arg.(
+      value
+      & opt string "strict"
+      & info [ "floor" ] ~docv:"LEVEL"
+          ~doc:
+            "Degradation floor: the weakest compliance level the admission \
+             ladder may serve at under queue pressure ($(b,strict), \
+             $(b,skip:K), $(b,affectible)). With the default $(b,strict) the \
+             ladder is disabled and a full queue sheds; with a weaker floor, \
+             a full-queue serve is rescued at the floor level instead of \
+             shed. See docs/BROKER.md.")
   in
   let journal_arg =
     Arg.(
@@ -810,8 +846,8 @@ let serve_cmd =
              unterminated garbage line in the journal. A fired fault stops \
              the run with exit code 3.")
   in
-  let run file script queue budget json trace metrics journal snapshot_every
-      recover force faults =
+  let run file script queue budget floor json trace metrics journal
+      snapshot_every recover force faults =
     with_obs ~trace ~metrics @@ fun () ->
     let spec = load file in
     let text =
@@ -841,8 +877,15 @@ let serve_cmd =
         Fmt.epr "%s@." msg;
         exit 2
     | Ok items ->
+        let floor =
+          match Core.Compliance.level_of_string floor with
+          | Ok f -> f
+          | Error e ->
+              Fmt.epr "bad --floor: %s@." e;
+              exit 2
+        in
         let admission =
-          { Broker.queue_capacity = queue; plan_budget = budget }
+          { Broker.queue_capacity = queue; plan_budget = budget; floor }
         in
         let repo = Syntax.Spec.repo spec in
         (match journal with
@@ -926,7 +969,7 @@ let serve_cmd =
            index the processed request was submitted under *)
         let pending = Queue.create () in
         let exception Crashed of Runtime.Faults.serve_kind in
-        let hook ~seq request =
+        let hook ~seq ~level request =
           (match Runtime.Faults.serve_fires sfaults ~accepted:!accepted with
           | Some k -> raise (Crashed k)
           | None -> ());
@@ -934,7 +977,14 @@ let serve_cmd =
           Option.iter
             (fun w ->
               Broker.Journal.append w
-                { Broker.Journal.seq; submit; shed = false; request };
+                {
+                  Broker.Journal.seq;
+                  submit;
+                  shed = false;
+                  rescued = false;
+                  level;
+                  request;
+                };
               incr logged)
             writer;
           incr accepted
@@ -968,16 +1018,28 @@ let serve_cmd =
                    match Broker.submit broker r with
                    | None -> Queue.add idx pending
                    | Some resp ->
-                       (* shed: it consumed this submission and a
-                          sequence number, so journal a marker —
-                          otherwise --recover would re-submit it *)
+                       (* a full-queue answer consumed this submission
+                          and a sequence number, so journal a marker —
+                          otherwise --recover would re-submit it. Shed
+                          and rescued markers are distinguished so
+                          recovery can re-run the rescue's floor-level
+                          serve *)
+                       let shed =
+                         match resp.Broker.outcome with
+                         | Broker.Rejected Broker.Shed -> true
+                         | _ -> false
+                       in
                        Option.iter
                          (fun w ->
                            Broker.Journal.append w
                              {
                                Broker.Journal.seq = resp.Broker.seq;
                                submit = idx;
-                               shed = true;
+                               shed;
+                               rescued = not shed;
+                               level =
+                                 (if shed then Core.Compliance.Strict
+                                  else floor);
                                request = r;
                              };
                            incr logged)
@@ -1029,8 +1091,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ file_arg $ script_arg $ queue_arg $ budget_arg $ json_arg
-      $ trace_arg $ metrics_arg $ journal_arg $ snapshot_every_arg
+      const run $ file_arg $ script_arg $ queue_arg $ budget_arg $ floor_arg
+      $ json_arg $ trace_arg $ metrics_arg $ journal_arg $ snapshot_every_arg
       $ recover_arg $ force_arg $ serve_faults_arg)
 
 (* --- show --- *)

@@ -1,10 +1,19 @@
 open Core
 
-type admission = { queue_capacity : int; plan_budget : int }
+type admission = {
+  queue_capacity : int;
+  plan_budget : int;
+  floor : Compliance.level;
+}
 
-let default_admission = { queue_capacity = 16; plan_budget = 64 }
+let default_admission =
+  { queue_capacity = 16; plan_budget = 64; floor = Compliance.Strict }
 
-type policy_delta = { queue : int option; budget : int option }
+type policy_delta = {
+  queue : int option;
+  budget : int option;
+  floor : Compliance.level option;
+}
 
 type request =
   | Open of { client : string; body : Hexpr.t }
@@ -23,10 +32,15 @@ type reject =
   | Unknown_client of string
   | Unknown_location of string
   | Duplicate_location of string
+  | Invalid_policy of string
 
 type outcome =
-  | Served of { report : Planner.report; cached : bool }
-  | Degraded of { analyzed : int; enumerated : int }
+  | Served of {
+      report : Planner.report;
+      cached : bool;
+      level : Compliance.level;
+    }
+  | Degraded of { analyzed : int; enumerated : int; level : Compliance.level }
   | Rejected of reject
   | Ran of { completed : bool; steps : int }
   | Ack
@@ -44,6 +58,10 @@ type stats = {
   mutable invalidations : int;
   mutable analyzed : int;
   mutable queue_peak : int;
+  mutable rescued : int;
+  mutable served_strict : int;
+  mutable served_skip : int;
+  mutable served_affectible : int;
 }
 
 type session = { body : Hexpr.t; own_policies : string list }
@@ -53,16 +71,18 @@ type t = {
   mutable repo_policies : string list;  (* sorted policy ids *)
   mutable sessions : (string * session) list;  (* registration order *)
   index : Index.t;
-  compliance : Product.counterexample option Repr.Key.Pair_tbl.t;
+  compliance : Product.survey Repr.Key.Pair_tbl.t;
       (* the long-lived compliance cache shared across every analysis
          this broker runs, keyed on contract-id pairs as in
-         [Planner.analyze] *)
+         [Planner.analyze]; one survey answers every admission level *)
   mutable adm : admission;
   queue : request Queue.t;
   mutable seq : int;
-  mutable journal : (seq:int -> request -> unit) option;
-      (* write-ahead hook: called with the sequence number a request is
-         about to be answered with, before [apply] runs *)
+  mutable journal :
+    (seq:int -> level:Compliance.level -> request -> unit) option;
+      (* write-ahead hook: called with the sequence number and admission
+         level a request is about to be answered with/at, before [apply]
+         runs *)
   st : stats;
 }
 
@@ -73,34 +93,76 @@ let repo_policy_ids repo =
   List.concat_map (fun (_, h) -> policy_ids h) repo
   |> List.sort_uniq String.compare
 
+(* ---- the degradation ladder ------------------------------------------- *)
+
+(* The admission level a request is processed at, as a function of
+   queue pressure. The ladder has (at most) three rungs — Strict, a
+   skip-k middle rung, Affectible — and never descends below the
+   operator-set floor: with the default [floor = Strict] the broker
+   behaves exactly as before (always strict, shed at capacity). With a
+   weaker floor, depth up to half the capacity still serves strict,
+   depth up to three quarters serves at the middle rung, and beyond
+   that at the floor itself; a submission arriving at a *full* queue is
+   rescued at the floor level instead of shed ([submit]). *)
+let ladder t =
+  match t.adm.floor with
+  | Compliance.Strict -> Compliance.Strict
+  | floor ->
+      let d = Queue.length t.queue and c = t.adm.queue_capacity in
+      if 2 * d <= c then Compliance.Strict
+      else if 4 * d <= 3 * c then
+        (match floor with
+        | Compliance.Skip_k _ | Compliance.Strict -> floor
+        | Compliance.Affectible -> Compliance.Skip_k 1)
+      else floor
+
+(* rung of the 3-step ladder, for the [broker.admission.level] gauge:
+   0 strict, 1 degraded (skip-k), 2 affectible *)
+let level_rung = function
+  | Compliance.Strict -> 0
+  | Compliance.Skip_k _ -> 1
+  | Compliance.Affectible -> 2
+
+let refresh_gauges t =
+  Obs.Metrics.set "broker.queue.depth" (Queue.length t.queue);
+  Obs.Metrics.set "broker.admission.level" (level_rung (ladder t))
+
 let create ?(admission = default_admission) repo =
   let locs = List.map fst repo in
   if List.length (List.sort_uniq String.compare locs) <> List.length locs then
     invalid_arg "Broker.create: duplicate repository locations";
-  {
-    repo;
-    repo_policies = repo_policy_ids repo;
-    sessions = [];
-    index = Index.create ();
-    compliance = Repr.Key.Pair_tbl.create 64;
-    adm = admission;
-    queue = Queue.create ();
-    seq = 0;
-    journal = None;
-    st =
-      {
-        requests = 0;
-        served = 0;
-        hits = 0;
-        misses = 0;
-        shed = 0;
-        degraded = 0;
-        rejected = 0;
-        invalidations = 0;
-        analyzed = 0;
-        queue_peak = 0;
-      };
-  }
+  let t =
+    {
+      repo;
+      repo_policies = repo_policy_ids repo;
+      sessions = [];
+      index = Index.create ();
+      compliance = Repr.Key.Pair_tbl.create 64;
+      adm = admission;
+      queue = Queue.create ();
+      seq = 0;
+      journal = None;
+      st =
+        {
+          requests = 0;
+          served = 0;
+          hits = 0;
+          misses = 0;
+          shed = 0;
+          degraded = 0;
+          rejected = 0;
+          invalidations = 0;
+          analyzed = 0;
+          queue_peak = 0;
+          rescued = 0;
+          served_strict = 0;
+          served_skip = 0;
+          served_affectible = 0;
+        };
+    }
+  in
+  refresh_gauges t;
+  t
 
 let repo t = t.repo
 let admission t = t.adm
@@ -111,8 +173,8 @@ let seq t = t.seq
 let set_journal t hook = t.journal <- hook
 
 let served_clients t =
-  Index.fold t.index (fun acc e -> e.Index.client :: acc) []
-  |> List.sort String.compare
+  Index.fold t.index (fun acc e -> (e.Index.client, e.Index.level) :: acc) []
+  |> List.sort compare
 
 (* ---- universe bookkeeping -------------------------------------------- *)
 
@@ -126,14 +188,16 @@ let universe_of t (s : session) =
 
 (* ---- compliance (shared cache, Planner.analyze keying) --------------- *)
 
-let compliant t cb cs =
+let survey_pair t cb cs =
   let k = (Contract.id cb, Contract.id cs) in
   match Repr.Key.Pair_tbl.find_opt t.compliance k with
-  | Some r -> r = None
+  | Some r -> r
   | None ->
-      let r = Product.counterexample cb cs in
+      let r = Product.survey cb cs in
       Repr.Key.Pair_tbl.replace t.compliance k r;
-      r = None
+      r
+
+let compliant t ~level cb cs = Product.admits level (survey_pair t cb cs)
 
 (* ---- invalidation ---------------------------------------------------- *)
 
@@ -150,7 +214,7 @@ let invalidate_client t name =
    No_plan) survives the publish. Sites are taken against [repo] (the
    repository *without* the new service: its own sites only become
    reachable once it is bound at a pre-existing one). *)
-let publish_relevant t repo h (name, (s : session)) =
+let publish_relevant t repo h ~level (name, (s : session)) =
   match Contract.project h with
   | exception Contract.Unprojectable _ -> true
   | cs ->
@@ -158,7 +222,7 @@ let publish_relevant t repo h (name, (s : session)) =
       |> List.exists (fun (site : Planner.site) ->
              match Contract.project site.Planner.body with
              | exception Contract.Unprojectable _ -> true
-             | cb -> compliant t cb cs)
+             | cb -> compliant t ~level cb cs)
 
 (* Apply the invalidation contract for a mutation: entries bound to a
    touched location, entries whose policy universe changed, and — when a
@@ -189,7 +253,11 @@ let invalidate_for_mutation t ~old_repo ~new_repo_policies ~touched_locs
                 ||
                 match published with
                 | None -> false
-                | Some h -> publish_relevant t old_repo h (name, s)
+                | Some h ->
+                    (* relevance is judged at the entry's own level: a
+                       service only admissible below it cannot change
+                       the entry's first-valid plan *)
+                    publish_relevant t old_repo h ~level:e.Index.level (name, s)
           in
           if stale then invalidate_client t name)
     survivors
@@ -216,7 +284,7 @@ let retire_contract t h =
 
 (* ---- serving --------------------------------------------------------- *)
 
-let entry_of_verdict t name (s : session) verdict =
+let entry_of_verdict t name (s : session) ~level verdict =
   let locs, contracts =
     match verdict with
     | Index.No_plan -> ([], [])
@@ -247,12 +315,19 @@ let entry_of_verdict t name (s : session) verdict =
   {
     Index.client = name;
     verdict;
+    level;
     locs;
     contracts;
     policies = universe_of t s;
   }
 
-let fresh_serve t name (s : session) =
+(* The budgeted first-valid search at one admission level. [store]
+   decides whether a settled verdict is cached: the queued serve path
+   caches, the full-queue rescue path answers without caching (a rescue
+   is an overload answer, not a settled verdict — and keeping it out of
+   the index keeps recovery replay a pure function of the applied
+   prefix). *)
+let budgeted_serve t name (s : session) ~level ~store =
   let client = (name, s.body) in
   let plans = Planner.enumerate t.repo ~client in
   let enumerated = List.length plans in
@@ -263,7 +338,7 @@ let fresh_serve t name (s : session) =
         if analyzed >= budget then `Budget analyzed
         else begin
           t.st.analyzed <- t.st.analyzed + 1;
-          let r = Planner.analyze ~cache:t.compliance t.repo ~client p in
+          let r = Planner.analyze ~cache:t.compliance ~level t.repo ~client p in
           if Result.is_ok r.Planner.verdict then
             `Done (Index.Valid r, analyzed + 1)
           else go (analyzed + 1) rest
@@ -273,32 +348,38 @@ let fresh_serve t name (s : session) =
   | `Budget analyzed ->
       t.st.degraded <- t.st.degraded + 1;
       Obs.Metrics.incr "broker.degraded";
-      Degraded { analyzed; enumerated }
+      Degraded { analyzed; enumerated; level }
   | `Done (verdict, _) -> (
-      Index.store t.index (entry_of_verdict t name s verdict);
+      if store then Index.store t.index (entry_of_verdict t name s ~level verdict);
       match verdict with
-      | Index.Valid r -> Served { report = r; cached = false }
+      | Index.Valid r -> Served { report = r; cached = false; level }
       | Index.No_plan -> Rejected No_plan)
 
-let serve t name =
+let serve_at t ~level ~store name =
   match List.assoc_opt name t.sessions with
   | None -> Rejected (Unknown_client name)
   | Some s -> (
       match Index.find t.index name with
-      | Some e -> (
+      | Some e when Compliance.equal_level e.Index.level level -> (
           t.st.hits <- t.st.hits + 1;
           Obs.Metrics.incr "broker.cache.hit";
           match e.Index.verdict with
-          | Index.Valid r -> Served { report = r; cached = true }
+          | Index.Valid r -> Served { report = r; cached = true; level }
           | Index.No_plan -> Rejected No_plan)
-      | None ->
+      | Some _ | None ->
+          (* an entry at another level is a miss: per-level oracle
+             equality forbids answering level L from an entry settled
+             at L' — enumeration order can admit an earlier plan at the
+             weaker level *)
           t.st.misses <- t.st.misses + 1;
           Obs.Metrics.incr "broker.cache.miss";
-          fresh_serve t name s)
+          budgeted_serve t name s ~level ~store)
+
+let serve t ~level name = serve_at t ~level ~store:true name
 
 (* ---- request processing ---------------------------------------------- *)
 
-let apply t = function
+let apply t ~level = function
   | Open { client; body } ->
       invalidate_client t client;
       let s = { body; own_policies = policy_ids body } in
@@ -317,7 +398,7 @@ let apply t = function
         t.sessions <- List.remove_assoc client t.sessions;
         Ack
       end
-  | Serve { client } -> serve t client
+  | Serve { client } -> serve t ~level client
   | Run { client; seed } -> (
       match List.assoc_opt client t.sessions with
       | None -> Rejected (Unknown_client client)
@@ -377,20 +458,32 @@ let apply t = function
           t.repo_policies <- new_repo_policies;
           if not (Hexpr.equal old service) then retire_contract t old;
           Ack)
-  | Set_policy { queue; budget } ->
-      let clamp v = max 1 v in
-      t.adm <-
-        {
-          queue_capacity =
-            (match queue with
-            | Some q -> clamp q
-            | None -> t.adm.queue_capacity);
-          plan_budget =
-            (match budget with
-            | Some b -> clamp b
-            | None -> t.adm.plan_budget);
-        };
-      Ack
+  | Set_policy { queue; budget; floor } ->
+      (* out-of-range deltas are rejected whole, not clamped: a silent
+         clamp-to-1 turns an operator typo ("queue 0") into a
+         near-total shed storm *)
+      let bad =
+        List.filter_map
+          (fun (name, v) ->
+            match v with
+            | Some v when v < 1 -> Some (Fmt.str "%s %d" name v)
+            | _ -> None)
+          [ ("queue", queue); ("budget", budget) ]
+      in
+      if bad <> [] then
+        Rejected
+          (Invalid_policy
+             (Fmt.str "%s (must be >= 1)" (String.concat ", " bad)))
+      else begin
+        t.adm <-
+          {
+            queue_capacity = Option.value queue ~default:t.adm.queue_capacity;
+            plan_budget = Option.value budget ~default:t.adm.plan_budget;
+            floor = Option.value floor ~default:t.adm.floor;
+          };
+        refresh_gauges t;
+        Ack
+      end
 
 let request_kind = function
   | Open _ -> "open"
@@ -416,7 +509,13 @@ let respond t request outcome =
   t.st.requests <- t.st.requests + 1;
   Obs.Metrics.incr "broker.requests";
   (match outcome with
-  | Served _ -> t.st.served <- t.st.served + 1
+  | Served { level; _ } -> (
+      t.st.served <- t.st.served + 1;
+      match level with
+      | Compliance.Strict -> t.st.served_strict <- t.st.served_strict + 1
+      | Compliance.Skip_k _ -> t.st.served_skip <- t.st.served_skip + 1
+      | Compliance.Affectible ->
+          t.st.served_affectible <- t.st.served_affectible + 1)
   | Rejected Shed -> ()
   | Rejected _ -> t.st.rejected <- t.st.rejected + 1
   | Degraded _ | Ran _ | Ack -> ());
@@ -425,48 +524,77 @@ let respond t request outcome =
 let set_depth t =
   let d = Queue.length t.queue in
   t.st.queue_peak <- max t.st.queue_peak d;
-  Obs.Metrics.set "broker.queue.depth" d;
-  Obs.Metrics.set_max "broker.queue.peak" d
+  Obs.Metrics.set_max "broker.queue.peak" d;
+  refresh_gauges t
+
+(* Answer a full-queue [Serve] immediately at the floor level instead
+   of shedding it. The answer is uncached ([serve_at ~store:false]):
+   see [budgeted_serve]. Deterministic and hence replayable — the
+   broker state at the rescue point is a function of the applied
+   prefix, which recovery reconstructs in order. *)
+let rescue_serve t client =
+  t.st.rescued <- t.st.rescued + 1;
+  Obs.Metrics.incr "broker.rescued";
+  serve_at t ~level:t.adm.floor ~store:false client
 
 let submit t request =
-  if Queue.length t.queue >= t.adm.queue_capacity then begin
-    t.st.shed <- t.st.shed + 1;
-    Obs.Metrics.incr "broker.shed";
-    Some (respond t request (Rejected Shed))
-  end
+  if Queue.length t.queue >= t.adm.queue_capacity then
+    match (t.adm.floor, request) with
+    | (Compliance.Skip_k _ | Compliance.Affectible), Serve { client } ->
+        Some (respond t request (rescue_serve t client))
+    | _ ->
+        t.st.shed <- t.st.shed + 1;
+        Obs.Metrics.incr "broker.shed";
+        Some (respond t request (Rejected Shed))
   else begin
     Queue.add request t.queue;
     set_depth t;
     None
   end
 
-let process_event t ~journaled request =
+let process_event t ~journaled ?level request =
   Obs.Trace.with_span "broker.request" @@ fun () ->
-  if Obs.Trace.active () then
+  (* the processing level is read off the ladder at dequeue time — or
+     forced by the caller during replay, where the queue is empty and
+     the ladder would misreport the original pressure *)
+  let level = match level with Some l -> l | None -> ladder t in
+  if Obs.Trace.active () then begin
     Obs.Trace.add_attr "kind" (Obs.Trace.Str (request_kind request));
+    Obs.Trace.add_attr "level"
+      (Obs.Trace.Str (Compliance.level_to_string level))
+  end;
   (* write-ahead: the event reaches the journal (or the hook raises —
      e.g. an injected crash) before any state changes, so the journal
      never lags the applied state *)
   (if journaled then
      match t.journal with
-     | Some log -> log ~seq:t.seq request
+     | Some log -> log ~seq:t.seq ~level request
      | None -> ());
-  let outcome = apply t request in
+  let outcome = apply t ~level request in
   if Obs.Trace.active () then
     Obs.Trace.add_attr "outcome" (Obs.Trace.Str (outcome_kind outcome));
   respond t request outcome
 
 let process t request = process_event t ~journaled:true request
 
-let replay t ~seq request =
+let replay t ~seq ~level request =
   t.seq <- seq;
-  process_event t ~journaled:false request
+  process_event t ~journaled:false ~level request
 
 let replay_shed t ~seq request =
   t.seq <- seq;
   t.st.shed <- t.st.shed + 1;
   Obs.Metrics.incr "broker.shed";
   respond t request (Rejected Shed)
+
+let replay_rescue t ~seq ~level request =
+  t.seq <- seq;
+  match request with
+  | Serve { client } ->
+      t.st.rescued <- t.st.rescued + 1;
+      Obs.Metrics.incr "broker.rescued";
+      respond t request (serve_at t ~level ~store:false client)
+  | _ -> invalid_arg "Broker.replay_rescue: only Serve requests are rescued"
 
 let step t =
   match Queue.take_opt t.queue with
@@ -489,41 +617,43 @@ let drain t =
    property a settled verdict is the first valid enumerated plan on the
    current repository — which is exactly what this recomputes, so the
    rebuilt entry is byte-identical to the lost one. *)
-let rebuild_entry t name (s : session) =
+let rebuild_entry t name (s : session) ~level =
   let client = (name, s.body) in
   let rec go = function
     | [] -> Index.No_plan
     | p :: rest ->
-        let r = Planner.analyze ~cache:t.compliance t.repo ~client p in
+        let r = Planner.analyze ~cache:t.compliance ~level t.repo ~client p in
         if Result.is_ok r.Planner.verdict then Index.Valid r else go rest
   in
   let verdict = go (Planner.enumerate t.repo ~client) in
-  Index.store t.index (entry_of_verdict t name s verdict)
+  Index.store t.index (entry_of_verdict t name s ~level verdict)
 
 let restore ?admission ~sessions ~served ~seq repo =
   let t = create ?admission repo in
   List.iter
-    (fun (client, body) -> ignore (apply t (Open { client; body })))
+    (fun (client, body) ->
+      ignore (apply t ~level:Compliance.Strict (Open { client; body })))
     sessions;
   List.iter
-    (fun name ->
+    (fun (name, level) ->
       match List.assoc_opt name t.sessions with
       | None ->
           invalid_arg
             (Fmt.str "Broker.restore: served client %s has no session" name)
-      | Some s -> rebuild_entry t name s)
+      | Some s -> rebuild_entry t name s ~level)
     served;
   t.seq <- seq;
+  refresh_gauges t;
   t
 
 (* ---- oracle ---------------------------------------------------------- *)
 
 module Oracle = struct
-  let serve repo ~client =
+  let serve ?(level = Compliance.Strict) repo ~client =
     let rec go = function
       | [] -> Index.No_plan
       | p :: rest ->
-          let r = Planner.analyze repo ~client p in
+          let r = Planner.analyze ~level repo ~client p in
           if Result.is_ok r.Planner.verdict then Index.Valid r else go rest
     in
     go (Planner.enumerate repo ~client)
@@ -548,12 +678,15 @@ let pp_request ppf = function
   | Publish { loc; _ } -> Fmt.pf ppf "publish %s" loc
   | Retract { loc } -> Fmt.pf ppf "retract %s" loc
   | Update { loc; _ } -> Fmt.pf ppf "update %s" loc
-  | Set_policy { queue; budget } ->
-      Fmt.pf ppf "policy%a%a"
+  | Set_policy { queue; budget; floor } ->
+      Fmt.pf ppf "policy%a%a%a"
         (Fmt.option (fun ppf -> Fmt.pf ppf " queue %d"))
         queue
         (Fmt.option (fun ppf -> Fmt.pf ppf " budget %d"))
         budget
+        (Fmt.option (fun ppf l ->
+             Fmt.pf ppf " floor %s" (Compliance.level_to_string l)))
+        floor
 
 let pp_reject ppf = function
   | Shed -> Fmt.string ppf "shed (queue full)"
@@ -562,14 +695,22 @@ let pp_reject ppf = function
   | Unknown_client c -> Fmt.pf ppf "unknown client %s" c
   | Unknown_location l -> Fmt.pf ppf "unknown location %s" l
   | Duplicate_location l -> Fmt.pf ppf "location %s already published" l
+  | Invalid_policy msg -> Fmt.pf ppf "invalid policy: %s" msg
+
+(* render the level only when it is not strict, so the output of a
+   strict-floor broker stays byte-identical to earlier releases *)
+let pp_level_tag ppf = function
+  | Compliance.Strict -> ()
+  | l -> Fmt.pf ppf "[%s]" (Compliance.level_to_string l)
 
 let pp_outcome ppf = function
-  | Served { report; cached } ->
-      Fmt.pf ppf "%s %a"
+  | Served { report; cached; level } ->
+      Fmt.pf ppf "%s%a %a"
         (if cached then "HIT" else "MISS")
-        Planner.pp_report report
-  | Degraded { analyzed; enumerated } ->
-      Fmt.pf ppf "DEGRADED after %d/%d plans" analyzed enumerated
+        pp_level_tag level Planner.pp_report report
+  | Degraded { analyzed; enumerated; level } ->
+      Fmt.pf ppf "DEGRADED%a after %d/%d plans" pp_level_tag level analyzed
+        enumerated
   | Rejected r -> Fmt.pf ppf "REJECTED: %a" pp_reject r
   | Ran { completed; steps } ->
       Fmt.pf ppf "RAN %d steps (%s)" steps
@@ -581,7 +722,9 @@ let pp_response ppf (r : response) =
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "requests %d, served %d (hits %d, misses %d), shed %d, degraded %d, \
-     rejected %d, invalidations %d, analyzed %d, queue peak %d"
-    s.requests s.served s.hits s.misses s.shed s.degraded s.rejected
-    s.invalidations s.analyzed s.queue_peak
+    "requests %d, served %d (hits %d, misses %d; strict %d, skip %d, \
+     affectible %d), shed %d, rescued %d, degraded %d, rejected %d, \
+     invalidations %d, analyzed %d, queue peak %d"
+    s.requests s.served s.hits s.misses s.served_strict s.served_skip
+    s.served_affectible s.shed s.rescued s.degraded s.rejected s.invalidations
+    s.analyzed s.queue_peak

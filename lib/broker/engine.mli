@@ -17,6 +17,19 @@
     a budget of fresh [Planner.analyze] calls — exceeding it degrades
     the request instead of stalling the loop.
 
+    {b The degradation ladder.} With a non-strict admission {e floor}
+    ([admission.floor], settable live via [Set_policy]), queue pressure
+    loosens the {e compliance level} requests are served at before any
+    submission is shed: depth within half the capacity serves
+    [Compliance.Strict], within three quarters at a middle [Skip_k]
+    rung, beyond that at the floor itself — and a [Serve] arriving at a
+    {e full} queue is {e rescued} (answered immediately, uncached, at
+    the floor level) instead of shed. Shedding is the last resort.
+    Security is never loosened: [Netcheck] runs strict at every level,
+    so a degraded verdict cannot admit a policy violation. The default
+    [floor = Strict] disables the ladder entirely — the broker behaves
+    exactly as earlier releases. See [docs/BROKER.md].
+
     Everything is deterministic: requests are processed in submission
     order, repository order is append/replace-in-place, and [Run]
     executions are driven by explicit seeds — replaying a
@@ -31,14 +44,23 @@ type admission = {
   plan_budget : int;
       (** fresh [Planner.analyze] calls allowed per cache-missing
           [Serve] before it degrades *)
+  floor : Compliance.level;
+      (** the weakest compliance level the degradation ladder may
+          serve at; [Strict] (the default) disables degradation *)
 }
 
 val default_admission : admission
-(** [{ queue_capacity = 16; plan_budget = 64 }] *)
+(** [{ queue_capacity = 16; plan_budget = 64; floor = Strict }] *)
 
-type policy_delta = { queue : int option; budget : int option }
+type policy_delta = {
+  queue : int option;
+  budget : int option;
+  floor : Compliance.level option;
+}
 (** A [Set_policy] payload: each [Some] field replaces the matching
-    admission field (clamped to ≥ 1), [None] leaves it alone. *)
+    admission field, [None] leaves it alone. A delta with [queue] or
+    [budget] below 1 is rejected whole ([Invalid_policy]) — never
+    clamped. *)
 
 (** {1 Requests and responses} *)
 
@@ -67,10 +89,19 @@ type reject =
   | Unknown_client of string
   | Unknown_location of string
   | Duplicate_location of string
+  | Invalid_policy of string
+      (** a [Set_policy] delta with an out-of-range field, named in the
+          message; the admission policy is left untouched *)
 
 type outcome =
-  | Served of { report : Planner.report; cached : bool }
-  | Degraded of { analyzed : int; enumerated : int }
+  | Served of {
+      report : Planner.report;
+      cached : bool;
+      level : Compliance.level;
+          (** the admission level the verdict holds at — equal to what
+              a cold planner run at the same level answers *)
+    }
+  | Degraded of { analyzed : int; enumerated : int; level : Compliance.level }
       (** the plan budget ran out after [analyzed] of [enumerated]
           candidate plans; nothing is cached *)
   | Rejected of reject
@@ -94,6 +125,12 @@ type stats = {
   mutable invalidations : int;  (** index entries dropped by mutations *)
   mutable analyzed : int;  (** fresh [Planner.analyze] calls *)
   mutable queue_peak : int;
+  mutable rescued : int;
+      (** full-queue [Serve]s answered at the floor level instead of
+          shed *)
+  mutable served_strict : int;  (** [Served] outcomes at [Strict] *)
+  mutable served_skip : int;  (** [Served] outcomes at some [Skip_k] *)
+  mutable served_affectible : int;  (** [Served] outcomes at [Affectible] *)
 }
 
 (** {1 The broker} *)
@@ -118,9 +155,22 @@ val clients : t -> (string * Hexpr.t) list
 
 val submit : t -> request -> response option
 (** Enqueue a request. [Some response] is returned {e only} when the
-    queue is full and the submission is shed ([Rejected Shed]) —
-    otherwise the request waits for {!step}/{!drain}. Mirrors
-    [broker.shed] / [broker.queue.depth] to [Obs.Metrics]. *)
+    queue is full: the submission is shed ([Rejected Shed]) — or, for a
+    [Serve] under a non-strict floor, {e rescued}: answered immediately
+    at the floor level, uncached, bumping [broker.rescued]. Otherwise
+    the request waits for {!step}/{!drain}. Mirrors [broker.shed] /
+    [broker.queue.depth] / [broker.admission.level] to [Obs.Metrics]. *)
+
+val ladder : t -> Compliance.level
+(** The admission level the next dequeued request would be processed
+    at, as a function of queue depth and the floor (see the module
+    header). Always [Strict] when [admission.floor] is [Strict]. *)
+
+val refresh_gauges : t -> unit
+(** Re-emit the [broker.queue.depth] and [broker.admission.level]
+    gauges from current state — recovery calls this so a freshly
+    restored broker does not report the crashed process's last
+    values. *)
 
 val step : t -> response option
 (** Process the oldest queued request, if any. Each processed request
@@ -147,37 +197,44 @@ val seq : t -> int
 (** The sequence number the next processed request will be answered
     with. *)
 
-val set_journal : t -> (seq:int -> request -> unit) option -> unit
+val set_journal :
+  t -> (seq:int -> level:Compliance.level -> request -> unit) option -> unit
 (** Install (or remove) the write-ahead hook. Each processed request
-    calls it with the sequence number it is about to be answered with,
-    {e before} [apply] mutates any state; an exception raised by the
-    hook (an injected crash, a full disk) propagates and the event is
-    never applied — the journal can lead the applied state by at most
-    the entry being written, never lag it. *)
+    calls it with the sequence number it is about to be answered with
+    and the admission level it is about to be processed at, {e before}
+    [apply] mutates any state; an exception raised by the hook (an
+    injected crash, a full disk) propagates and the event is never
+    applied — the journal can lead the applied state by at most the
+    entry being written, never lag it. The level must be journaled:
+    replay runs against an empty queue, where the ladder cannot
+    reproduce the original pressure. *)
 
-val served_clients : t -> string list
-(** Clients with a live index entry, sorted — what a snapshot records
-    so {!restore} knows which verdicts to rebuild. *)
+val served_clients : t -> (string * Compliance.level) list
+(** Clients with a live index entry and the level their verdict was
+    settled at, sorted — what a snapshot records so {!restore} knows
+    which verdicts to rebuild, and at which level. *)
 
 val restore :
   ?admission:admission ->
   sessions:(string * Hexpr.t) list ->
-  served:string list ->
+  served:(string * Compliance.level) list ->
   seq:int ->
   Network.repo ->
   t
 (** Rebuild a broker from snapshot data: [create] on the snapshot
     repository, re-open [sessions] in order, recompute an index entry
-    for every [served] client (unbudgeted — the snapshot only records
-    settled verdicts, and the oracle property makes the recomputation
-    byte-identical), and resume numbering at [seq]. The queue starts
-    empty: queued-but-unprocessed submissions are not durable. Raises
-    [Invalid_argument] on a served client without a session. *)
+    for every [served] client at its recorded level (unbudgeted — the
+    snapshot only records settled verdicts, and the oracle property
+    makes the recomputation byte-identical), and resume numbering at
+    [seq]. The queue starts empty: queued-but-unprocessed submissions
+    are not durable. Raises [Invalid_argument] on a served client
+    without a session. *)
 
-val replay : t -> seq:int -> request -> response
+val replay : t -> seq:int -> level:Compliance.level -> request -> response
 (** Process a journal entry during recovery: force the response
-    sequence number to the recorded [seq] and bypass the write-ahead
-    hook (a recovering broker must not re-journal what it reads). *)
+    sequence number to the recorded [seq], process at the recorded
+    [level], and bypass the write-ahead hook (a recovering broker must
+    not re-journal what it reads). *)
 
 val replay_shed : t -> seq:int -> request -> response
 (** Reproduce a journaled shed marker during recovery: restore the
@@ -187,15 +244,31 @@ val replay_shed : t -> seq:int -> request -> response
     response stream, so a recovered broker resumes numbering exactly
     where the crashed one stopped. *)
 
+val replay_rescue :
+  t -> seq:int -> level:Compliance.level -> request -> response
+(** Reproduce a journaled rescue marker during recovery: restore the
+    sequence number and re-run the floor-level uncached serve the
+    crashed broker answered with. The broker state at the rescue point
+    is a function of the applied prefix — which recovery has just
+    reconstructed in order — so the re-run answer is byte-identical.
+    Raises [Invalid_argument] on a non-[Serve] request (only [Serve]s
+    are ever rescued). *)
+
 (** {1 The cold oracle} *)
 
 module Oracle : sig
-  val serve : Network.repo -> client:string * Hexpr.t -> Index.verdict
-  (** What a from-scratch planner answers on this repository: the first
-      [Planner.enumerate]d plan whose verdict is [Ok], with no broker
-      cache involved. The broker's invalidation contract promises
-      [Serve] always equals this on the current repository — the
-      property test replays arbitrary interleavings against it. *)
+  val serve :
+    ?level:Compliance.level ->
+    Network.repo ->
+    client:string * Hexpr.t ->
+    Index.verdict
+  (** What a from-scratch planner answers on this repository at this
+      admission level (default [Strict]): the first [Planner.enumerate]d
+      plan whose verdict is [Ok], with no broker cache involved. The
+      broker's invalidation contract promises [Serve] at level [L]
+      always equals this at level [L] on the current repository — the
+      property test replays arbitrary interleavings against it, per
+      level. *)
 end
 
 val verdict_equal : Index.verdict -> Index.verdict -> bool

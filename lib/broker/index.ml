@@ -5,6 +5,7 @@ type verdict = Valid of Planner.report | No_plan
 type entry = {
   client : string;
   verdict : verdict;
+  level : Compliance.level;
   locs : string list;
   contracts : Contract.t list;
   policies : string list;

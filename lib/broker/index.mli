@@ -21,6 +21,10 @@ type verdict =
 type entry = {
   client : string;
   verdict : verdict;
+  level : Compliance.level;
+      (** the admission level the verdict was computed at — a cache hit
+          requires the serving level to match, so a verdict served at
+          level L always equals a cold Planner run asked at level L *)
   locs : string list;
       (** plan-bound service locations the analysis consulted
           (empty for [No_plan]) *)

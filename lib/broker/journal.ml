@@ -25,6 +25,13 @@ type entry = {
   shed : bool;
       (* a shed marker: the submission consumed a sequence number but
          was never applied (recorded at submit time, not write-ahead) *)
+  rescued : bool;
+      (* a rescue marker: a full-queue Serve answered immediately at
+         the floor level (recorded at submit time, like shed) *)
+  level : Core.Compliance.level;
+      (* the admission level the event was processed at — replay must
+         force it, since a recovering broker's queue is empty and the
+         ladder cannot reproduce the original pressure *)
   request : Engine.request;
 }
 
@@ -34,9 +41,21 @@ let pp_error ppf e =
   if e.line = 0 then Fmt.pf ppf "%s: %s" e.path e.msg
   else Fmt.pf ppf "%s:%d: %s" e.path e.line e.msg
 
-let encode ~hexpr_to_string { seq; submit; shed; request } =
+let encode ~hexpr_to_string { seq; submit; shed; rescued; level; request } =
   let payload = Script.request_line ~hexpr_to_string request in
-  let payload = if shed then "shed " ^ payload else payload in
+  (* the level token is emitted only when non-strict, so strict-floor
+     runs produce journals byte-identical to version-2 files written
+     before levels existed *)
+  let payload =
+    match level with
+    | Core.Compliance.Strict -> payload
+    | l -> "level " ^ Core.Compliance.level_to_string l ^ " " ^ payload
+  in
+  let payload =
+    if shed then "shed " ^ payload
+    else if rescued then "rescued " ^ payload
+    else payload
+  in
   let body = Printf.sprintf "%d %d %s" seq submit payload in
   Printf.sprintf "%d %08x %d %s" seq (checksum body) submit payload
 
@@ -61,14 +80,26 @@ let decode ~hexpr_of_string line =
               (Fmt.str "checksum mismatch (recorded %08x, computed %08x)" crc
                  want)
           else
-            let shed, payload =
+            (* optional markers, in emission order: [shed]/[rescued],
+               then [level L]. Absent tokens decode to the version-2
+               defaults (not shed, not rescued, strict). *)
+            let shed, rescued, rest =
               match rest with
-              | "shed" :: tail when tail <> [] -> (true, String.concat " " tail)
-              | _ -> (false, payload)
+              | "shed" :: tail when tail <> [] -> (true, false, tail)
+              | "rescued" :: tail when tail <> [] -> (false, true, tail)
+              | _ -> (false, false, rest)
             in
-            Result.map
-              (fun request -> { seq; submit; shed; request })
-              (Script.request_of_line ~hexpr_of_string payload))
+            let level_r, rest =
+              match rest with
+              | "level" :: l :: tail when tail <> [] ->
+                  (Core.Compliance.level_of_string l, tail)
+              | _ -> (Ok Core.Compliance.Strict, rest)
+            in
+            Result.bind level_r (fun level ->
+                Result.map
+                  (fun request -> { seq; submit; shed; rescued; level; request })
+                  (Script.request_of_line ~hexpr_of_string
+                     (String.concat " " rest))))
   | _ -> Error "malformed journal line (want 'SEQ CRC SUBMIT PAYLOAD')"
 
 (* ---- reading ---------------------------------------------------------- *)

@@ -16,7 +16,15 @@
     [shed ] is a {e shed marker}: the serve loop records a shed
     submission at submit time (it consumed a submission and a sequence
     number but was never applied), so recovery can skip it and restore
-    the response numbering.
+    the response numbering. A payload prefixed with [rescued ] is a
+    {e rescue marker}: a full-queue [Serve] answered immediately at
+    the floor level (also recorded at submit time); recovery re-runs
+    it with {!Engine.replay_rescue}. After the marker, an optional
+    [level L] token records the admission level the event was
+    processed at — emitted {e only} when non-strict, so a strict-floor
+    broker writes journals byte-identical to version-2 files from
+    before compliance levels existed, and those old files decode with
+    the obvious defaults (not shed, not rescued, strict).
 
     Torn-write semantics: every append writes one line, newline
     included, in a single flushed buffer. A final line {e missing its
@@ -31,6 +39,12 @@ type entry = {
   seq : int;  (** response sequence number *)
   submit : int;  (** index of the script submission that carried it *)
   shed : bool;  (** a shed marker — recorded, never applied *)
+  rescued : bool;
+      (** a rescue marker — a full-queue [Serve] answered at the floor
+          level, uncached; replayed with {!Engine.replay_rescue} *)
+  level : Core.Compliance.level;
+      (** the admission level the event was processed at ([Strict] for
+          shed markers and all pre-level journals) *)
   request : Engine.request;
 }
 

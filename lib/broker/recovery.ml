@@ -15,7 +15,7 @@ type snapshot = {
   admission : Engine.admission;
   repo : (string * Core.Hexpr.t) list;
   sessions : (string * Core.Hexpr.t) list;
-  served : string list;
+  served : (string * Core.Compliance.level) list;
 }
 
 let header_line = "susf-snapshot 1"
@@ -38,8 +38,14 @@ let render ~hexpr_to_string s =
   line "%s" header_line;
   line "upto %d" s.upto;
   line "seq %d" s.seq;
-  line "policy queue %d budget %d" s.admission.Engine.queue_capacity
-    s.admission.Engine.plan_budget;
+  (* the floor and per-entry level tokens are emitted only when
+     non-strict, so a strict-floor broker writes snapshots
+     byte-identical to version-1 files from before compliance levels *)
+  line "policy queue %d budget %d%s" s.admission.Engine.queue_capacity
+    s.admission.Engine.plan_budget
+    (match s.admission.Engine.floor with
+    | Core.Compliance.Strict -> ""
+    | f -> " floor " ^ Core.Compliance.level_to_string f);
   List.iter
     (fun (loc, service) ->
       line "%s"
@@ -50,7 +56,12 @@ let render ~hexpr_to_string s =
       line "%s"
         (Script.request_line ~hexpr_to_string (Engine.Open { client; body })))
     s.sessions;
-  List.iter (fun c -> line "served %s" c) s.served;
+  List.iter
+    (fun (c, l) ->
+      match l with
+      | Core.Compliance.Strict -> line "served %s" c
+      | l -> line "served %s %s" c (Core.Compliance.level_to_string l))
+    s.served;
   let body = Buffer.contents b in
   body ^ Printf.sprintf "end %08x\n" (Journal.checksum body)
 
@@ -127,12 +138,25 @@ let read ~hexpr_of_string path =
                     match int_of_string_opt n with
                     | Some n -> Ok (seq := Some n)
                     | None -> Error (Fmt.str "bad seq %S" n))
-                | [ "policy"; "queue"; q; "budget"; b ] -> (
-                    match (int_of_string_opt q, int_of_string_opt b) with
-                    | Some queue_capacity, Some plan_budget ->
-                        Ok (adm := Some { Engine.queue_capacity; plan_budget })
+                | "policy" :: "queue" :: q :: "budget" :: b :: floor_words -> (
+                    let floor =
+                      match floor_words with
+                      | [] -> Ok Core.Compliance.Strict
+                      | [ "floor"; f ] -> Core.Compliance.level_of_string f
+                      | _ -> Error "bad admission policy line"
+                    in
+                    match (int_of_string_opt q, int_of_string_opt b, floor) with
+                    | Some queue_capacity, Some plan_budget, Ok floor ->
+                        Ok
+                          (adm :=
+                             Some { Engine.queue_capacity; plan_budget; floor })
                     | _ -> Error "bad admission policy line")
-                | [ "served"; c ] -> Ok (served := c :: !served)
+                | [ "served"; c ] ->
+                    Ok (served := (c, Core.Compliance.Strict) :: !served)
+                | [ "served"; c; l ] -> (
+                    match Core.Compliance.level_of_string l with
+                    | Ok level -> Ok (served := (c, level) :: !served)
+                    | Error msg -> Error (Fmt.str "bad served level %S: %s" l msg))
                 | ("publish" | "open") :: _ -> (
                     match Script.request_of_line ~hexpr_of_string line with
                     | Ok (Engine.Publish { loc; service }) ->
@@ -235,9 +259,16 @@ let recover ~hexpr_of_string ?snapshot ?admission ~journal repo =
                         (if e.Journal.shed then
                            Engine.replay_shed t ~seq:e.Journal.seq
                              e.Journal.request
+                         else if e.Journal.rescued then
+                           Engine.replay_rescue t ~seq:e.Journal.seq
+                             ~level:e.Journal.level e.Journal.request
                          else
-                           Engine.replay t ~seq:e.Journal.seq e.Journal.request))
+                           Engine.replay t ~seq:e.Journal.seq
+                             ~level:e.Journal.level e.Journal.request))
                     suffix;
+                  (* the gauges carry the crashed process's last values
+                     (or nothing) — re-emit them from restored state *)
+                  Engine.refresh_gauges t;
                   let replayed = List.length suffix in
                   let sheds =
                     List.fold_left

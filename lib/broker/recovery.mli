@@ -24,7 +24,13 @@ type snapshot = {
   admission : Engine.admission;
   repo : (string * Core.Hexpr.t) list;
   sessions : (string * Core.Hexpr.t) list;
-  served : string list;  (** clients whose verdicts to rebuild *)
+  served : (string * Core.Compliance.level) list;
+      (** clients whose verdicts to rebuild, at the level each was
+          settled at (rendered as [served NAME [LEVEL]] — the level
+          token, like the policy line's [floor] token, is omitted when
+          strict, so strict-floor snapshots stay byte-identical to
+          pre-level files, and old files read back with strict
+          defaults) *)
 }
 
 val snapshot_of : Engine.t -> upto:int -> snapshot
@@ -77,9 +83,14 @@ val recover :
     {e final} journal line is not corruption: it is dropped and
     reported in the {!report}, and the restored state is the
     consistent prefix. Shed markers replay through
-    [Engine.replay_shed], so the recovered broker resumes response
-    numbering exactly where the crashed one stopped. Runs under a
-    [broker.recovery] span and bumps the [broker.recovery.*]
+    [Engine.replay_shed] and rescue markers through
+    [Engine.replay_rescue], so the recovered broker resumes response
+    numbering exactly where the crashed one stopped; every other entry
+    replays at its journaled level ([Engine.replay]). After the replay
+    the [broker.queue.depth] / [broker.admission.level] gauges are
+    re-emitted from the restored state ([Engine.refresh_gauges]) —
+    they must not carry the crashed process's last values. Runs under
+    a [broker.recovery] span and bumps the [broker.recovery.*]
     counters. *)
 
 val resume_script :

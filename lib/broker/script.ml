@@ -22,21 +22,31 @@ let name_and_source rest =
       else Some (name, src)
 
 let parse_policy words =
+  (* out-of-range values are rejected here, at parse time, so an
+     operator script fails with a FILE:LINE diagnostic instead of a
+     runtime [Invalid_policy] response mid-replay *)
+  let positive name n k =
+    match int_of_string_opt n with
+    | Some v when v >= 1 -> k v
+    | Some v -> Error (Fmt.str "bad %s %d (must be >= 1)" name v)
+    | None -> Error (Fmt.str "bad %s %S (want an integer)" name n)
+  in
   let rec go acc = function
     | [] -> Ok acc
-    | "queue" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some q -> go { acc with Engine.queue = Some q } rest
-        | None -> Error (Fmt.str "bad queue %S (want an integer)" n))
-    | "budget" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some b -> go { acc with Engine.budget = Some b } rest
-        | None -> Error (Fmt.str "bad budget %S (want an integer)" n))
-    | [ (("queue" | "budget") as w) ] ->
+    | "queue" :: n :: rest ->
+        positive "queue" n (fun q -> go { acc with Engine.queue = Some q } rest)
+    | "budget" :: n :: rest ->
+        positive "budget" n (fun b ->
+            go { acc with Engine.budget = Some b } rest)
+    | "floor" :: l :: rest -> (
+        match Core.Compliance.level_of_string l with
+        | Ok f -> go { acc with Engine.floor = Some f } rest
+        | Error msg -> Error (Fmt.str "bad floor %S: %s" l msg))
+    | [ (("queue" | "budget" | "floor") as w) ] ->
         Error (Fmt.str "%s needs a value" w)
     | w :: _ -> Error (Fmt.str "unknown policy field %S" w)
   in
-  go { Engine.queue = None; budget = None } words
+  go { Engine.queue = None; budget = None; floor = None } words
 
 let parse_line ~hexpr_of_string line =
   let line = String.trim (strip_comment line) in
@@ -136,12 +146,15 @@ let request_line ~hexpr_to_string (r : Engine.request) =
       Fmt.str "publish %s = %s" loc (h service)
   | Engine.Retract { loc } -> Fmt.str "retract %s" loc
   | Engine.Update { loc; service } -> Fmt.str "update %s = %s" loc (h service)
-  | Engine.Set_policy { queue; budget } ->
-      Fmt.str "policy%a%a"
+  | Engine.Set_policy { queue; budget; floor } ->
+      Fmt.str "policy%a%a%a"
         (Fmt.option (fun ppf -> Fmt.pf ppf " queue %d"))
         queue
         (Fmt.option (fun ppf -> Fmt.pf ppf " budget %d"))
         budget
+        (Fmt.option (fun ppf f ->
+             Fmt.pf ppf " floor %s" (Core.Compliance.level_to_string f)))
+        floor
 
 let request_of_line ~hexpr_of_string line =
   match parse_line ~hexpr_of_string line with

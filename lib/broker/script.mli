@@ -14,10 +14,15 @@
     publish s9 = req?.(cobo!.pay? (+) noav!)
     update s1 = ...      retract s2      close c1
     run c1 seed 7
-    policy queue 8 budget 3   # either field may be omitted
+    policy queue 8 budget 3 floor affectible   # any field may be omitted
     tick                      # process one queued request
     drain                     # process everything queued
     v}
+
+    [policy] values must be ≥ 1 ([queue]/[budget]) — out-of-range
+    values are rejected at parse time with a positioned diagnostic, not
+    clamped; [floor] takes a compliance level ([strict], [skip:K],
+    [affectible]).
 
     [open]/[publish]/[update] take a history expression after [=],
     parsed by the [hexpr_of_string] callback (the CLI passes

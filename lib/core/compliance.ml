@@ -1,3 +1,56 @@
+(* ---- loosened compliance levels --------------------------------------- *)
+
+type level = Strict | Skip_k of int | Affectible
+
+(* The sub-behaviour preorder is a total order on admissiveness here:
+   rank 0 admits exactly the strictly compliant pairs, rank k the pairs
+   with at most k reachable disagreement points (all of them avoidable),
+   and Affectible every pair some execution of which succeeds. *)
+let rank = function
+  | Strict -> 0
+  | Skip_k k -> max 0 k
+  | Affectible -> max_int
+
+let weaker_equal a b = rank a >= rank b
+
+let admits_measures level ~stuck ~successful =
+  match level with
+  | Strict -> stuck = 0
+  | Skip_k k -> stuck <= max 0 k && successful
+  | Affectible -> successful
+
+let level_to_string = function
+  | Strict -> "strict"
+  | Skip_k k -> Printf.sprintf "skip:%d" (max 0 k)
+  | Affectible -> "affectible"
+
+let level_of_string s =
+  match s with
+  | "strict" -> Ok Strict
+  | "affectible" -> Ok Affectible
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "skip" -> (
+          let n = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt n with
+          | Some k when k >= 0 -> Ok (Skip_k k)
+          | Some k -> Error (Fmt.str "negative skip level %d" k)
+          | None -> Error (Fmt.str "bad skip level %S (want 'skip:K')" n))
+      | _ ->
+          Error
+            (Fmt.str "unknown compliance level %S (want strict, skip:K or \
+                      affectible)" s))
+
+let pp_level ppf l = Fmt.string ppf (level_to_string l)
+
+let equal_level a b =
+  match (a, b) with
+  | Strict, Strict | Affectible, Affectible -> true
+  | Skip_k j, Skip_k k -> max 0 j = max 0 k
+  | _ -> false
+
+(* ---- the strict relation (paper Definition 4) ------------------------- *)
+
 let sync_successors c1 c2 =
   let t1 = Contract.transitions c1 and t2 = Contract.transitions c2 in
   List.concat_map

@@ -158,7 +158,7 @@ module STbl = Hashtbl.Make (struct
   let hash (comp, _) = hash_component comp
 end)
 
-let check_client ?universe repo plan (loc, h0) =
+let check_client ?universe ?(level = Compliance.Strict) repo plan (loc, h0) =
   Obs.Trace.with_span ~attrs:[ ("client", Obs.Trace.Str loc) ]
     "netcheck.check_client"
   @@ fun () ->
@@ -174,6 +174,23 @@ let check_client ?universe repo plan (loc, h0) =
   let q = Queue.create () in
   Queue.add start q;
   let transitions = ref 0 in
+  (* The loosened-level accounting, mirroring [Product.admits] at
+     network granularity: communication deadlocks are tolerated up to
+     the level's budget — [Skip_k k] forgives at most [max 0 k] stuck
+     configurations, [Affectible] any number — provided a completed
+     configuration stays reachable; security blocks and unplanned
+     requests are never tolerated, at any level, so no level ever
+     admits a policy violation. With the default [Strict] the budget is
+     zero and this is exactly the original check. *)
+  let stuck_budget =
+    match level with
+    | Compliance.Strict -> 0
+    | Compliance.Skip_k k -> max 0 k
+    | Compliance.Affectible -> max_int
+  in
+  let tolerated = ref 0 in
+  let first_tolerated = ref None in
+  let completion_seen = ref false in
   let rec trace_of st acc =
     match STbl.find parent st with
     | None -> acc
@@ -184,66 +201,98 @@ let check_client ?universe repo plan (loc, h0) =
       let states = STbl.length parent in
       Obs.Metrics.add "netcheck.states.explored" states;
       Obs.Metrics.add "netcheck.transitions.explored" !transitions;
-      Obs.Metrics.observe "netcheck.states.per_check" states
+      Obs.Metrics.observe "netcheck.states.per_check" states;
+      if !tolerated > 0 then
+        Obs.Metrics.add "netcheck.stuck.tolerated" !tolerated
     end;
     if Obs.Trace.active () then begin
       Obs.Trace.add_attr "states" (Obs.Trace.Int (STbl.length parent));
+      Obs.Trace.add_attr "level"
+        (Obs.Trace.Str (Compliance.level_to_string level));
+      if !tolerated > 0 then
+        Obs.Trace.add_attr "tolerated" (Obs.Trace.Int !tolerated);
       Obs.Trace.add_attr "valid"
         (Obs.Trace.Bool (match verdict with Valid _ -> true | Invalid _ -> false))
     end;
     verdict
   in
+  (* [`Fatal] ends the check; [`Tolerated] charges the budget and lets
+     the exploration continue past the wedge *)
+  let condemn st kind stuck_comp =
+    let stuck =
+      { client = loc; component = stuck_comp; kind; trace = trace_of st [] }
+    in
+    match kind with
+    | Communication when !tolerated < stuck_budget ->
+        incr tolerated;
+        if !first_tolerated = None then first_tolerated := Some stuck;
+        `Tolerated
+    | Communication | Security _ | Unplanned_request _ -> `Fatal stuck
+  in
   let rec bfs () =
     if Queue.is_empty q then
-      record (Valid { states = STbl.length parent; transitions = !transitions })
+      if !tolerated > 0 && not !completion_seen then
+        (* every maximal execution wedges: even the weakest level still
+           demands that the degraded network can complete *)
+        record (Invalid (Option.get !first_tolerated))
+      else
+        record
+          (Valid { states = STbl.length parent; transitions = !transitions })
     else
       let ((comp, abs) as st) = Queue.pop q in
-      if Network.terminated comp then bfs ()
-      else
-        match session_mismatch comp with
-        | Some stuck_comp ->
-            record
-              (Invalid
-                 {
-                   client = loc;
-                   component = stuck_comp;
-                   kind = Communication;
-                   trace = trace_of st [];
-                 })
-        | None ->
-      begin
-        let candidates = Network.component_moves repo plan comp in
-        let enabled, security_block =
-          List.fold_left
-            (fun (en, blocked_by) (g, items, comp') ->
-              match push_items abs items with
-              | Ok abs' -> ((g, (comp', abs')) :: en, blocked_by)
-              | Error p -> (en, Some p))
-            ([], None) candidates
-        in
-        if enabled = [] then
-          let kind =
-            match unplanned_requests repo plan comp with
-            | r :: _ -> Unplanned_request r
-            | [] -> (
-                match security_block with
-                | Some p -> Security p
-                | None -> Communication)
-          in
-          record
-            (Invalid { client = loc; component = comp; kind; trace = trace_of st [] })
-        else begin
-          List.iter
-            (fun (g, succ) ->
-              incr transitions;
-              if not (STbl.mem parent succ) then begin
-                STbl.replace parent succ (Some (g, st));
-                Queue.add succ q
-              end)
-            enabled;
-          bfs ()
-        end
+      if Network.terminated comp then begin
+        completion_seen := true;
+        bfs ()
       end
+      else
+        (* [charged]: this state already consumed a budget slot (a
+           tolerated mismatch), so a bare frontier must not be
+           condemned — and charged — a second time *)
+        let expand ~charged =
+          let candidates = Network.component_moves repo plan comp in
+          let enabled, security_block =
+            List.fold_left
+              (fun (en, blocked_by) (g, items, comp') ->
+                match push_items abs items with
+                | Ok abs' -> ((g, (comp', abs')) :: en, blocked_by)
+                | Error p -> (en, Some p))
+              ([], None) candidates
+          in
+          if enabled = [] then
+            if charged then bfs ()
+            else
+              let kind =
+                match unplanned_requests repo plan comp with
+                | r :: _ -> Unplanned_request r
+                | [] -> (
+                    match security_block with
+                    | Some p -> Security p
+                    | None -> Communication)
+              in
+              match condemn st kind comp with
+              | `Fatal stuck -> record (Invalid stuck)
+              | `Tolerated -> bfs ()
+          else begin
+            List.iter
+              (fun (g, succ) ->
+                incr transitions;
+                if not (STbl.mem parent succ) then begin
+                  STbl.replace parent succ (Some (g, st));
+                  Queue.add succ q
+                end)
+              enabled;
+            bfs ()
+          end
+        in
+        match session_mismatch comp with
+        | Some stuck_comp -> (
+            match condemn st Communication stuck_comp with
+            | `Fatal stuck -> record (Invalid stuck)
+            | `Tolerated ->
+                (* the unmatched internal choice is charged to the
+                   budget; branches that do synchronise stay live *)
+                expand ~charged:true)
+        | None -> expand ~charged:false
   in
   bfs ()
 
@@ -311,11 +360,11 @@ let failures ?universe ?(limit = 10) repo plan (loc, h0) =
   done;
   List.rev !found
 
-let check ?universe repo clients =
+let check ?universe ?level repo clients =
   let rec go acc = function
     | [] -> Valid acc
     | (plan, cl) :: rest -> (
-        match check_client ?universe repo plan cl with
+        match check_client ?universe ?level repo plan cl with
         | Valid s ->
             go { states = acc.states + s.states;
                  transitions = acc.transitions + s.transitions }

@@ -38,13 +38,24 @@ type verdict = Valid of stats | Invalid of stuck
 
 val check_client :
   ?universe:Usage.Policy.t list ->
+  ?level:Compliance.level ->
   Network.repo ->
   Plan.t ->
   string * Hexpr.t ->
   verdict
 (** Explore one client against the repository under the given plan. The
     universe defaults to every policy occurring in the client, the
-    repository, or the plan's reachable services. *)
+    repository, or the plan's reachable services.
+
+    [level] (default {!Compliance.Strict}) loosens the {e communication}
+    condition only, mirroring {!Product.admits} at network granularity:
+    [Skip_k k] tolerates up to [max 0 k] communication-stuck abstract
+    states, [Affectible] any number — in both cases provided a completed
+    configuration remains reachable, so the degraded network can still
+    finish. Security stucks and unplanned requests are fatal at {e
+    every} level: no admission level ever admits a policy violation.
+    With [Strict] the tolerance budget is zero and the check is exactly
+    the original one. *)
 
 val failures :
   ?universe:Usage.Policy.t list ->
@@ -59,11 +70,13 @@ val failures :
 
 val check :
   ?universe:Usage.Policy.t list ->
+  ?level:Compliance.level ->
   Network.repo ->
   (Plan.t * (string * Hexpr.t)) list ->
   verdict
 (** First failure among the clients (each with its own plan — the
-    paper's plan vector [~π]), or combined statistics. *)
+    paper's plan vector [~π]), or combined statistics. [level] is
+    threaded to each per-client {!check_client}. *)
 
 val explore_interleaved :
   ?limit:int ->

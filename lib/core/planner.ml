@@ -66,22 +66,24 @@ let reachable_sites repo plan (cloc, ch) =
   in
   go [] [] (open_sites cloc ch)
 
-let analyze ?cache repo ~client plan =
+let analyze ?cache ?(level = Compliance.Strict) repo ~client plan =
   Obs.Trace.with_span "planner.analyze" @@ fun () ->
   if Obs.Trace.active () then begin
     Obs.Trace.add_attr "client" (Obs.Trace.Str (fst client));
-    Obs.Trace.add_attr "plan" (Obs.Trace.Str (Fmt.str "%a" Plan.pp plan))
+    Obs.Trace.add_attr "plan" (Obs.Trace.Str (Fmt.str "%a" Plan.pp plan));
+    Obs.Trace.add_attr "level" (Obs.Trace.Str (Compliance.level_to_string level))
   end;
   Obs.Metrics.incr "planner.analyze.calls";
   let sites = reachable_sites repo plan client in
   if Obs.Metrics.active () then
     Obs.Metrics.observe "planner.sites.per_analyze" (List.length sites);
-  let counterexample body hs =
+  let survey body hs =
     (* project first: [Unprojectable] must escape per-site, so it is
-       never cached *)
+       never cached. The survey is level-independent, so one cache
+       entry answers every admission level. *)
     let cb = Contract.project body and cs = Contract.project hs in
     match cache with
-    | None -> Product.counterexample cb cs
+    | None -> Product.survey cb cs
     | Some tbl -> (
         let k = (Contract.id cb, Contract.id cs) in
         match Repr.Key.Pair_tbl.find_opt tbl k with
@@ -90,7 +92,7 @@ let analyze ?cache repo ~client plan =
             r
         | None ->
             Obs.Metrics.incr "planner.compliance_cache.misses";
-            let r = Product.counterexample cb cs in
+            let r = Product.survey cb cs in
             Repr.Key.Pair_tbl.replace tbl k r;
             r)
   in
@@ -104,17 +106,25 @@ let analyze ?cache repo ~client plan =
             match List.assoc_opt loc repo with
             | None -> Some (Unserved rid)
             | Some hs -> (
-                match counterexample s.body hs with
-                | Some ce ->
-                    Some (Not_compliant { rid; loc; counterexample = ce })
-                | None -> check_compliance rest
+                match survey s.body hs with
+                | sv when Product.admits level sv -> check_compliance rest
+                | sv -> (
+                    (* inadmissible at any level implies a reachable
+                       stuck state, so the counterexample exists *)
+                    match sv.Product.first_counterexample with
+                    | Some ce ->
+                        Some (Not_compliant { rid; loc; counterexample = ce })
+                    | None ->
+                        invalid_arg
+                          "Planner.analyze: inadmissible survey without \
+                           counterexample")
                 | exception Contract.Unprojectable why ->
                     Some (Outside_fragment { rid; loc; reason = why }))))
   in
   match check_compliance sites with
   | Some r -> { plan; verdict = Error r }
   | None -> (
-      match Netcheck.check_client repo plan client with
+      match Netcheck.check_client ~level repo plan client with
       | Netcheck.Valid stats -> { plan; verdict = Ok stats }
       | Netcheck.Invalid stuck -> { plan; verdict = Error (Insecure stuck) })
 

@@ -34,17 +34,22 @@ type reason =
 type report = { plan : Plan.t; verdict : (Netcheck.stats, reason) result }
 
 val analyze :
-  ?cache:Product.counterexample option Repr.Key.Pair_tbl.t ->
+  ?cache:Product.survey Repr.Key.Pair_tbl.t ->
+  ?level:Compliance.level ->
   Network.repo ->
   client:string * Hexpr.t ->
   Plan.t ->
   report
 (** Validate one plan: per-request compliance first (cheap, local), then
     the global security/progress exploration. [cache] memoises the
-    compliance verdicts across calls, keyed on the hash-consing ids of
-    the projected (client-body, service) contract pair — {!valid_plans}
-    shares one over the whole enumeration, and requests whose bodies
-    project to the same contracts share a single verdict. *)
+    per-pair {!Product.survey} across calls, keyed on the hash-consing
+    ids of the projected (client-body, service) contract pair —
+    {!valid_plans} shares one over the whole enumeration, requests whose
+    bodies project to the same contracts share a single survey, and one
+    cached survey answers {e every} admission level. [level] (default
+    [Strict]) loosens only the compliance side: the {!Netcheck}
+    security/progress exploration always runs strict, so a verdict
+    admitted at a weaker level can never hide a policy violation. *)
 
 val enumerate : Network.repo -> client:string * Hexpr.t -> Plan.t list
 (** All complete plans for the client: every reachable request bound to

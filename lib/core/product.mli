@@ -49,6 +49,29 @@ type counterexample = {
 val counterexample : Contract.t -> Contract.t -> counterexample option
 (** A shortest path into [F], if the contracts are not compliant. *)
 
+(** {1 The level survey} *)
+
+type survey = {
+  stuck_states : int;
+      (** distinct reachable stuck configurations (0 ⟺ strictly
+          compliant, Theorem 1) *)
+  successful : bool;
+      (** some maximal execution avoids every stuck configuration: a
+          client-terminated state is reachable, or the product has a
+          live loop. [stuck_states = 0] implies [successful]. *)
+  first_counterexample : counterexample option;
+      (** a shortest path into [F], present iff [stuck_states > 0] *)
+}
+
+val survey : Contract.t -> Contract.t -> survey
+(** One reachability pass computing the measures every
+    {!Compliance.level} is decided on — {!Planner.analyze} caches this
+    per hash-consed contract-id pair, so one survey answers all levels. *)
+
+val admits : Compliance.level -> survey -> bool
+(** [Compliance.admits_measures] on the survey's measures. At
+    [Strict] this coincides with {!compliant}. *)
+
 val pp_stuck_reason : stuck_reason Fmt.t
 val pp_counterexample : counterexample Fmt.t
 val pp_dot : t Fmt.t

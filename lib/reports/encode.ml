@@ -180,6 +180,15 @@ let runtime_event : Runtime.Engine.event -> Json.t =
           ("client", Json.String client);
           ("reason", Json.String reason);
         ]
+  | Runtime.Engine.Recovery
+      (Runtime.Engine.Rolled_back { rid; client; loc; depth }) ->
+      obj "rollback"
+        [
+          ("request", Json.Int rid);
+          ("client", Json.String client);
+          ("loc", Json.String loc);
+          ("depth", Json.Int depth);
+        ]
 
 let runtime_report (r : Runtime.Engine.report) =
   Json.Obj
@@ -189,6 +198,7 @@ let runtime_report (r : Runtime.Engine.report) =
       ("faults_injected", Json.Int r.Runtime.Engine.faults_injected);
       ("retries", Json.Int r.Runtime.Engine.retries);
       ("rebinds", Json.Int r.Runtime.Engine.rebinds);
+      ("rollbacks", Json.Int r.Runtime.Engine.rollbacks);
       ( "events",
         Json.List
           (List.map
@@ -210,12 +220,20 @@ let violation (v : Core.Validity.violation) =
 let broker_outcome : Broker.outcome -> Json.t =
   let obj kind fields = Json.Obj (("kind", Json.String kind) :: fields) in
   function
-  | Broker.Served { report; cached } ->
+  | Broker.Served { report; cached; level } ->
       obj "served"
-        [ ("cached", Json.Bool cached); ("report", planner_report report) ]
-  | Broker.Degraded { analyzed; enumerated } ->
+        [
+          ("cached", Json.Bool cached);
+          ("level", Json.String (Core.Compliance.level_to_string level));
+          ("report", planner_report report);
+        ]
+  | Broker.Degraded { analyzed; enumerated; level } ->
       obj "degraded"
-        [ ("analyzed", Json.Int analyzed); ("enumerated", Json.Int enumerated) ]
+        [
+          ("analyzed", Json.Int analyzed);
+          ("enumerated", Json.Int enumerated);
+          ("level", Json.String (Core.Compliance.level_to_string level));
+        ]
   | Broker.Rejected reject ->
       obj "rejected"
         [
@@ -227,7 +245,8 @@ let broker_outcome : Broker.outcome -> Json.t =
               | Broker.Not_served _ -> "not-served"
               | Broker.Unknown_client _ -> "unknown-client"
               | Broker.Unknown_location _ -> "unknown-location"
-              | Broker.Duplicate_location _ -> "duplicate-location") );
+              | Broker.Duplicate_location _ -> "duplicate-location"
+              | Broker.Invalid_policy _ -> "invalid-policy") );
         ]
   | Broker.Ran { completed; steps } ->
       obj "ran" [ ("completed", Json.Bool completed); ("steps", Json.Int steps) ]
@@ -249,6 +268,10 @@ let broker_stats (s : Broker.stats) =
       ("hits", Json.Int s.Broker.hits);
       ("misses", Json.Int s.Broker.misses);
       ("shed", Json.Int s.Broker.shed);
+      ("rescued", Json.Int s.Broker.rescued);
+      ("served_strict", Json.Int s.Broker.served_strict);
+      ("served_skip", Json.Int s.Broker.served_skip);
+      ("served_affectible", Json.Int s.Broker.served_affectible);
       ("degraded", Json.Int s.Broker.degraded);
       ("rejected", Json.Int s.Broker.rejected);
       ("invalidations", Json.Int s.Broker.invalidations);

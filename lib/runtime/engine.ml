@@ -17,6 +17,7 @@ type recovery_event =
       resume_at : int;
     }
   | Gave_up of { rid : int; client : string; reason : string }
+  | Rolled_back of { rid : int; client : string; loc : string; depth : int }
 
 type event = Fault of fault_event | Recovery of recovery_event
 
@@ -26,6 +27,7 @@ type report = {
   faults_injected : int;
   retries : int;
   rebinds : int;
+  rollbacks : int;
 }
 
 (* A checkpoint taken at [open_r]: the whole client record (component,
@@ -49,6 +51,7 @@ type cstate = {
   mutable sessions : session list;  (* innermost first *)
   mutable status : status;
   mutable attempts : (int * int) list;  (* rid -> times (re)opened after failure *)
+  mutable rolled_back : int;  (* wedge-driven retractions spent (Affectible) *)
 }
 
 let label_locations : Network.glabel -> string list = function
@@ -64,8 +67,8 @@ let label_locations : Network.glabel -> string list = function
   | Network.L_abort (_, lc, ls) -> [ lc; ls ]
 
 let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
-    ?(seed = 0) ?(fresh_caches = true) repo clients (sched : Simulate.scheduler)
-    =
+    ?(seed = 0) ?(fresh_caches = true) ?(level = Compliance.Strict)
+    ?(retraction_budget = 3) repo clients (sched : Simulate.scheduler) =
   Obs.Trace.with_span "runtime.run" @@ fun () ->
   (* runs are cache epochs: drop the representation layer's memo tables
      (interned contracts keep their ids — see Repr.Cache) so one
@@ -99,6 +102,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
           sessions = [];
           status = Running;
           attempts = [];
+          rolled_back = 0;
         })
       clients
   in
@@ -111,6 +115,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
   let sched_steps = ref 0 in
   let trace = ref [] and journal = ref [] in
   let faults_injected = ref 0 and retries = ref 0 and rebinds = ref 0 in
+  let rollbacks = ref 0 in
   let record ev = journal := (!now, ev) :: !journal in
   let mark g = trace := (g, cfg ()) :: !trace in
 
@@ -295,6 +300,52 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
       states
   in
 
+  (* Reversible sessions under [Affectible] admission: a Running,
+     non-terminated client inside at least one session, with no move
+     available anywhere, is *wedged* — it took an execution branch the
+     (loosened) static check did not rule out. Retract the innermost
+     session: roll the client back to its [open]-time checkpoint
+     (monitor included, via [abort]) and let the retry take another
+     branch. The budget bounds the retraction count per client; once it
+     is spent the client gives up, so a wedge degrades ([Degraded])
+     rather than hard-failing ([Stuck]). *)
+  let try_rollback () =
+    match
+      List.find_opt
+        (fun cs ->
+          (match cs.status with Running -> true | _ -> false)
+          && (not (Network.terminated cs.cl.Network.comp))
+          && cs.sessions <> [])
+        states
+    with
+    | None -> false
+    | Some cs ->
+        let s = List.hd cs.sessions in
+        let rid = s.req.Hexpr.rid in
+        if cs.rolled_back >= retraction_budget then begin
+          give_up cs rid
+            (Printf.sprintf "request %d: retraction budget exhausted" rid);
+          true
+        end
+        else begin
+          Obs.Trace.with_span "runtime.rollback" (fun () ->
+              if Obs.Trace.active () then begin
+                Obs.Trace.add_attr "client" (Obs.Trace.Str cs.name);
+                Obs.Trace.add_attr "rid" (Obs.Trace.Int rid)
+              end;
+              let depth = List.length cs.sessions in
+              cs.rolled_back <- cs.rolled_back + 1;
+              incr rollbacks;
+              Obs.Metrics.incr "runtime.rollbacks";
+              Obs.Metrics.observe "runtime.rollback.depth" depth;
+              record
+                (Recovery
+                   (Rolled_back { rid; client = cs.name; loc = s.bound; depth }));
+              abort cs s ~reason:"wedged under affectible admission");
+          true
+        end
+  in
+
   let finish outcome =
     {
       trace = { Simulate.steps = List.rev !trace; final = cfg (); outcome };
@@ -302,6 +353,7 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
       faults_injected = !faults_injected;
       retries = !retries;
       rebinds = !rebinds;
+      rollbacks = !rollbacks;
     }
   in
   let outcome_now () =
@@ -406,6 +458,10 @@ let run ?(max_steps = 1000) ?(supervisor = Supervisor.default) ?(faults = [])
             incr now;
             loop ()
           end
+          else if level = Compliance.Affectible && try_rollback () then begin
+            incr now;
+            loop ()
+          end
           else finish (outcome_now ())
         end
         else
@@ -464,11 +520,16 @@ let pp_event ppf = function
         client rid loc attempt resume_at
   | Recovery (Gave_up { rid; client; reason }) ->
       Fmt.pf ppf "recovery: %s gave up on request %d: %s" client rid reason
+  | Recovery (Rolled_back { rid; client; loc; depth }) ->
+      Fmt.pf ppf
+        "recovery: %s rolled back wedged session %d with %s (depth %d)" client
+        rid loc depth
 
 let pp_report ppf r =
   List.iter (fun (step, ev) -> Fmt.pf ppf "%4d. %a@." step pp_event ev) r.events;
   Fmt.pf ppf
-    "%d faults injected, %d retries, %d rebinds; %d steps; outcome: %a@."
+    "%d faults injected, %d retries, %d rebinds%s; %d steps; outcome: %a@."
     r.faults_injected r.retries r.rebinds
+    (if r.rollbacks > 0 then Fmt.str ", %d rollbacks" r.rollbacks else "")
     (List.length r.trace.Simulate.steps)
     Simulate.pp_outcome r.trace.Simulate.outcome

@@ -20,7 +20,15 @@
       and resumes from the client's residual;
     - when recovery is exhausted it degrades gracefully: the outcome is
       {!Core.Simulate.Degraded} — other clients complete, the abandoned
-      ones are reported with a reason — never a bare [Stuck].
+      ones are reported with a reason — never a bare [Stuck];
+    - under [~level:Affectible] admission, sessions become fully
+      {e reversible}: a client wedged inside a session (no move
+      available anywhere, yet not terminated — an execution branch the
+      loosened static check did not rule out) retracts the innermost
+      session back to its [open]-time checkpoint and retries, up to
+      [retraction_budget] times per client; a spent budget gives the
+      client up ([Degraded]), so a retractable session never ends in a
+      hard [Stuck].
 
     With an empty fault specification and default supervision, [run] is
     observationally identical to {!Core.Simulate.run} (property-tested
@@ -46,6 +54,9 @@ type recovery_event =
       resume_at : int;  (** backoff: first step the re-open may run *)
     }
   | Gave_up of { rid : int; client : string; reason : string }
+  | Rolled_back of { rid : int; client : string; loc : string; depth : int }
+      (** a wedged session was retracted to its checkpoint; [depth] is
+          the client's open-session nesting depth at the retraction *)
 
 type event = Fault of fault_event | Recovery of recovery_event
 
@@ -57,6 +68,7 @@ type report = {
   faults_injected : int;
   retries : int;  (** sessions re-opened (same service or substitute) *)
   rebinds : int;  (** failovers to a substitute service *)
+  rollbacks : int;  (** wedge-driven session retractions (Affectible) *)
 }
 
 val run :
@@ -65,6 +77,8 @@ val run :
   ?faults:Faults.spec ->
   ?seed:int ->
   ?fresh_caches:bool ->
+  ?level:Compliance.level ->
+  ?retraction_budget:int ->
   Network.repo ->
   (Plan.t * (string * Hexpr.t)) list ->
   Simulate.scheduler ->
@@ -78,7 +92,14 @@ val run :
     [fresh_caches] (default [true]) makes the run a cache epoch by
     calling [Repr.Cache.clear_all] on entry. Long-lived hosts that
     manage cache lifetime themselves (the orchestration broker) pass
-    [false] so an embedded run does not wipe their warm memo tables. *)
+    [false] so an embedded run does not wipe their warm memo tables.
+
+    [level] (default [Strict]) is the admission level the clients were
+    served at. Only [Affectible] changes the engine's behaviour: it
+    arms wedge-driven session retraction (see the module header),
+    bounded by [retraction_budget] (default 3) retractions per client.
+    Each retraction runs under a [runtime.rollback] span and counts in
+    [runtime.rollbacks] / [runtime.rollback.depth]. *)
 
 val completed : report -> bool
 val pp_event : event Fmt.t

@@ -1,0 +1,39 @@
+open Core
+
+(* Req.(Avail.Fee! + NoAv) — after [avail] the client wants to pay a
+   fee, which the loose supplier never collects. Branches are stored
+   sorted by label (see {!Core.Hexpr.branch}), so [avail] enumerates
+   before [noav]: the first-choice scheduler deterministically takes
+   the wedging branch. *)
+let client_body =
+  Hexpr.select
+    [
+      ( "req",
+        Hexpr.branch [ ("avail", Hexpr.send "fee"); ("noav", Hexpr.nil) ] );
+    ]
+
+let rid = 9
+let client = Hexpr.open_ ~rid client_body
+
+(* Req.(Avail.Pay? ⊕ NoAv) — on [avail] it waits for a *pay* the client
+   never sends: the [avail] branch wedges, the [noav] branch
+   completes. *)
+let loose_service =
+  Hexpr.branch
+    [
+      ( "req",
+        Hexpr.select [ ("avail", Hexpr.recv "pay"); ("noav", Hexpr.nil) ] );
+    ]
+
+(* Req.(Avail.Fee? ⊕ NoAv) — collects the fee the client offers; both
+   branches complete, so this one is compliant even strictly. *)
+let sound_service =
+  Hexpr.branch
+    [
+      ( "req",
+        Hexpr.select [ ("avail", Hexpr.recv "fee"); ("noav", Hexpr.nil) ] );
+    ]
+
+let repo = [ ("ls", loose_service) ]
+let repo_with_sound = [ ("ls", loose_service); ("ss", sound_service) ]
+let plan = Plan.of_list [ (rid, "ls") ]

@@ -156,7 +156,12 @@ let test_relevant_publish_invalidates () =
 let test_shedding () =
   let b =
     Broker.create
-      ~admission:{ Broker.queue_capacity = 2; plan_budget = 64 }
+      ~admission:
+        {
+          Broker.queue_capacity = 2;
+          plan_budget = 64;
+          floor = Compliance.Strict;
+        }
       Scenarios.Churn.repo
   in
   ignore (open_c1 b);
@@ -175,22 +180,255 @@ let test_shedding () =
 let test_degradation () =
   let b =
     Broker.create
-      ~admission:{ Broker.queue_capacity = 16; plan_budget = 1 }
+      ~admission:
+        {
+          Broker.queue_capacity = 16;
+          plan_budget = 1;
+          floor = Compliance.Strict;
+        }
       Scenarios.Churn.repo
   in
   ignore (open_c1 b);
   (match outcome b (Broker.Serve { client = "c1" }) with
-  | Broker.Degraded { analyzed; enumerated } ->
+  | Broker.Degraded { analyzed; enumerated; _ } ->
       Alcotest.(check int) "budget spent" 1 analyzed;
       Alcotest.(check bool) "more candidates existed" true (enumerated > 1)
   | o -> Alcotest.failf "expected Degraded, got %a" Broker.pp_outcome o);
   Alcotest.(check int) "nothing cached" 0 (Broker.index_size b);
   (* raising the budget un-degrades the same request *)
-  ignore (outcome b (Broker.Set_policy { queue = None; budget = Some 64 }));
+  ignore
+    (outcome b
+       (Broker.Set_policy { queue = None; budget = Some 64; floor = None }));
   check_served ~cached:false "served once the budget allows"
     (outcome b (Broker.Serve { client = "c1" }));
   Alcotest.(check int) "one degradation recorded" 1
     (Broker.stats b).Broker.degraded
+
+(* ------------------------------------------------------------------ *)
+(* Set_policy validation: out-of-range deltas are rejected loudly and
+   leave the policy untouched — no silent clamping. *)
+
+let test_set_policy_validation () =
+  let b = Broker.create Scenarios.Churn.repo in
+  let before = Broker.admission b in
+  let rejects msg r =
+    match outcome b r with
+    | Broker.Rejected (Broker.Invalid_policy m) ->
+        Alcotest.(check bool)
+          (Fmt.str "%s names the bound (got %S)" msg m)
+          true
+          (Astring.String.is_infix ~affix:">= 1" m)
+    | o ->
+        Alcotest.failf "%s: expected Invalid_policy, got %a" msg
+          Broker.pp_outcome o
+  in
+  rejects "zero queue"
+    (Broker.Set_policy { queue = Some 0; budget = None; floor = None });
+  rejects "negative budget"
+    (Broker.Set_policy { queue = None; budget = Some (-3); floor = None });
+  rejects "both out of range"
+    (Broker.Set_policy { queue = Some (-1); budget = Some 0; floor = None });
+  let after = Broker.admission b in
+  Alcotest.(check (pair int int))
+    "policy untouched after rejection"
+    (before.Broker.queue_capacity, before.Broker.plan_budget)
+    (after.Broker.queue_capacity, after.Broker.plan_budget);
+  (match
+     outcome b
+       (Broker.Set_policy
+          {
+            queue = Some 7;
+            budget = Some 2;
+            floor = Some Compliance.Affectible;
+          })
+   with
+  | Broker.Ack -> ()
+  | o -> Alcotest.failf "valid delta: %a" Broker.pp_outcome o);
+  let a = Broker.admission b in
+  Alcotest.(check (pair int int))
+    "valid delta applies" (7, 2)
+    (a.Broker.queue_capacity, a.Broker.plan_budget);
+  Alcotest.(check string)
+    "floor applies" "affectible"
+    (Compliance.level_to_string a.Broker.floor)
+
+(* ------------------------------------------------------------------ *)
+(* The degradation ladder *)
+
+let burst_admission floor =
+  { Broker.queue_capacity = 5; plan_budget = 64; floor }
+
+(* submit [n] serves for c1 without draining; return the full-queue
+   responses (sheds or rescues) *)
+let overload b n =
+  let immediate = ref [] in
+  for _ = 1 to n do
+    match Broker.submit b (Broker.Serve { client = "c1" }) with
+    | Some r -> immediate := r :: !immediate
+    | None -> ()
+  done;
+  List.rev !immediate
+
+let served_level msg o =
+  match o with
+  | Broker.Served { level; _ } -> Compliance.level_to_string level
+  | o -> Alcotest.failf "%s: expected Served, got %a" msg Broker.pp_outcome o
+
+let test_ladder_rescue () =
+  (* strict floor: the ladder is pinned and a full queue sheds, exactly
+     the pre-ladder behaviour *)
+  let strict =
+    Broker.create
+      ~admission:(burst_admission Compliance.Strict)
+      Scenarios.Churn.repo
+  in
+  ignore (open_c1 strict);
+  let immediate = overload strict 8 in
+  Alcotest.(check int) "strict floor sheds past capacity" 3
+    (List.length immediate);
+  List.iter
+    (fun (r : Broker.response) ->
+      match r.Broker.outcome with
+      | Broker.Rejected Broker.Shed -> ()
+      | o -> Alcotest.failf "expected Shed, got %a" Broker.pp_outcome o)
+    immediate;
+  List.iter
+    (fun (r : Broker.response) ->
+      Alcotest.(check string) "queued serves process strictly" "strict"
+        (served_level "strict drain" r.Broker.outcome))
+    (Broker.drain strict);
+  let strict_shed = (Broker.stats strict).Broker.shed in
+  Alcotest.(check int) "strict floor: three shed" 3 strict_shed;
+  (* affectible floor, same burst: the full-queue serves are rescued —
+     answered immediately at the floor — and the queued ones process at
+     pressure-dependent rungs on the way down *)
+  let b =
+    Broker.create
+      ~admission:(burst_admission Compliance.Affectible)
+      Scenarios.Churn.repo
+  in
+  ignore (open_c1 b);
+  let body = List.assoc "c1" (Broker.clients b) in
+  let immediate = overload b 8 in
+  Alcotest.(check int) "same burst, three rescued" 3 (List.length immediate);
+  List.iter
+    (fun (r : Broker.response) ->
+      match r.Broker.outcome with
+      | Broker.Served { report; level; cached } ->
+          Alcotest.(check string) "rescued at the floor" "affectible"
+            (Compliance.level_to_string level);
+          Alcotest.(check bool) "rescues are uncached" false cached;
+          Alcotest.(check bool) "rescue = cold oracle at the floor" true
+            (Broker.verdict_equal (Broker.Index.Valid report)
+               (Broker.Oracle.serve ~level:Compliance.Affectible
+                  (Broker.repo b) ~client:("c1", body)))
+      | o -> Alcotest.failf "expected a rescue, got %a" Broker.pp_outcome o)
+    immediate;
+  (* drain: depth 4 → affectible, depth 3 → the skip middle rung,
+     depth ≤ 2 → strict again *)
+  Alcotest.(check (list string))
+    "ladder rungs on the way down"
+    [ "affectible"; "skip:1"; "strict"; "strict"; "strict" ]
+    (List.map
+       (fun (r : Broker.response) ->
+         served_level "ladder drain" r.Broker.outcome)
+       (Broker.drain b));
+  let st = Broker.stats b in
+  Alcotest.(check int) "nothing shed under the loosened floor" 0
+    st.Broker.shed;
+  Alcotest.(check int) "rescues counted" 3 st.Broker.rescued;
+  Alcotest.(check bool) "shed rate strictly below the strict-only run"
+    true
+    (st.Broker.shed < strict_shed);
+  Alcotest.(check int) "level mix: strict serves" 3 st.Broker.served_strict;
+  Alcotest.(check int) "level mix: skip serves" 1 st.Broker.served_skip;
+  Alcotest.(check int) "level mix: affectible serves (incl. rescues)" 4
+    st.Broker.served_affectible
+
+(* ------------------------------------------------------------------ *)
+(* Loosened levels change answers; the index is level-aware *)
+
+let loose_binding msg (r : Core.Planner.report) =
+  match List.assoc_opt Scenarios.Loose.rid (Core.Plan.bindings r.Core.Planner.plan) with
+  | Some loc -> loc
+  | None -> Alcotest.failf "%s: request %d unbound" msg Scenarios.Loose.rid
+
+let test_loose_oracle_levels () =
+  let client = ("c", Scenarios.Loose.client) in
+  (match Broker.Oracle.serve Scenarios.Loose.repo ~client with
+  | Broker.Index.No_plan -> ()
+  | Broker.Index.Valid _ ->
+      Alcotest.fail "strict admits the loose supplier");
+  let valid_at repo level expect =
+    match Broker.Oracle.serve ~level repo ~client with
+    | Broker.Index.Valid r ->
+        Alcotest.(check string)
+          (Fmt.str "binding at %s" (Compliance.level_to_string level))
+          expect
+          (loose_binding "oracle" r)
+    | Broker.Index.No_plan ->
+        Alcotest.failf "no plan at %s" (Compliance.level_to_string level)
+  in
+  valid_at Scenarios.Loose.repo (Compliance.Skip_k 1) "ls";
+  valid_at Scenarios.Loose.repo Compliance.Affectible "ls";
+  (* skip-0 is strict by another name: still no plan *)
+  (match Broker.Oracle.serve ~level:(Compliance.Skip_k 0) Scenarios.Loose.repo ~client with
+  | Broker.Index.No_plan -> ()
+  | Broker.Index.Valid _ -> Alcotest.fail "skip:0 admits what strict rejects");
+  (* with a sound supplier behind the loose one, strict skips to it
+     while the loosened levels stop at the first (loose) candidate *)
+  valid_at Scenarios.Loose.repo_with_sound Compliance.Strict "ss";
+  valid_at Scenarios.Loose.repo_with_sound (Compliance.Skip_k 1) "ls";
+  valid_at Scenarios.Loose.repo_with_sound Compliance.Affectible "ls"
+
+let test_level_aware_cache () =
+  let b =
+    Broker.create
+      ~admission:(burst_admission (Compliance.Skip_k 1))
+      Scenarios.Loose.repo_with_sound
+  in
+  (match
+     outcome b (Broker.Open { client = "c"; body = Scenarios.Loose.client })
+   with
+  | Broker.Ack -> ()
+  | o -> Alcotest.failf "open: %a" Broker.pp_outcome o);
+  let bindings = ref [] in
+  let record (r : Broker.response) =
+    match r.Broker.outcome with
+    | Broker.Served { report; level; cached } ->
+        bindings :=
+          ( Compliance.level_to_string level,
+            loose_binding "serve" report,
+            cached )
+          :: !bindings
+    | o -> Alcotest.failf "expected Served, got %a" Broker.pp_outcome o
+  in
+  let immediate = ref [] in
+  for _ = 1 to 6 do
+    match Broker.submit b (Broker.Serve { client = "c" }) with
+    | Some r -> immediate := r :: !immediate
+    | None -> ()
+  done;
+  List.iter record (List.rev !immediate);
+  List.iter record (Broker.drain b);
+  (* the rescue and the high-pressure serves answer [ls] at skip:1;
+     once pressure subsides the same client re-settles strictly on
+     [ss] — and each level change is a miss, each repeat a hit *)
+  Alcotest.(check (list (triple string string bool)))
+    "per-level answers and cache behaviour"
+    [
+      ("skip:1", "ls", false) (* rescue: uncached *);
+      ("skip:1", "ls", false) (* first queued serve: miss, cached *);
+      ("skip:1", "ls", true) (* same level: hit *);
+      ("strict", "ss", false) (* level change: miss, re-settled *);
+      ("strict", "ss", true);
+      ("strict", "ss", true);
+    ]
+    (List.rev !bindings);
+  let st = Broker.stats b in
+  Alcotest.(check (pair int int)) "misses per level change, hits on repeats"
+    (3, 3)
+    (st.Broker.misses, st.Broker.hits)
 
 (* ------------------------------------------------------------------ *)
 (* Sessions *)
@@ -250,13 +488,16 @@ let test_script_parse () =
      retract s9\n\
      run c1 seed 7\n\
      policy queue 8 budget 3\n\
+     policy floor skip:2\n\
+     policy queue 4 budget 2 floor affectible\n\
+     policy floor strict\n\
      tick\n\
      drain\n\
      close c1\n"
   in
   match Broker.Script.parse ~hexpr_of_string text with
   | Error e -> Alcotest.failf "parse failed: %s" e
-  | Ok items -> Alcotest.(check int) "all lines parsed" 10 (List.length items)
+  | Ok items -> Alcotest.(check int) "all lines parsed" 13 (List.length items)
 
 let test_script_errors () =
   let fails text expected_line =
@@ -274,6 +515,11 @@ let test_script_errors () =
   fails "open c1 = BAD\n" 1;
   fails "serve\n" 1;
   fails "policy quux 3\n" 1;
+  (* out-of-range policy values fail at parse time, with a position —
+     not silently clamped, not deferred to a mid-replay rejection *)
+  fails "policy queue 0\n" 1;
+  fails "tick\npolicy budget -2\n" 2;
+  fails "policy floor bogus\n" 1;
   fails "# comment\n\nrun c1 seed x\n" 3
 
 let test_script_error_tokens () =
@@ -293,6 +539,10 @@ let test_script_error_tokens () =
   mentions "policy quux 3\n" "quux";
   mentions "policy queue\n" "queue needs a value";
   mentions "policy queue many\n" "many";
+  mentions "policy queue 0\n" ">= 1";
+  mentions "policy budget -2\n" ">= 1";
+  mentions "policy floor\n" "floor needs a value";
+  mentions "policy floor bogus\n" "bogus";
   mentions "run c1 seed x\n" "\"x\"";
   mentions "open c1 = BAD\n" "unparsable";
   mentions "serve a b\n" "serve NAME";
@@ -316,6 +566,13 @@ let suite =
     Alcotest.test_case "queue sheds past capacity" `Quick test_shedding;
     Alcotest.test_case "plan budget degrades, policy raises it" `Quick
       test_degradation;
+    Alcotest.test_case "out-of-range policy deltas rejected, not clamped"
+      `Quick test_set_policy_validation;
+    Alcotest.test_case "ladder rescues full-queue serves at the floor" `Quick
+      test_ladder_rescue;
+    Alcotest.test_case "oracle answers per level on the loose scenario"
+      `Quick test_loose_oracle_levels;
+    Alcotest.test_case "index is level-aware" `Quick test_level_aware_cache;
     Alcotest.test_case "session lifecycle" `Quick test_sessions;
     Alcotest.test_case "repository guards" `Quick test_repository_guards;
     Alcotest.test_case "script parses every verb" `Quick test_script_parse;

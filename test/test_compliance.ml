@@ -189,6 +189,90 @@ let prop_nil_always_compliant =
   QCheck.Test.make ~name:"terminated client complies with everything" ~count:200
     Testkit.Generators.contract_arb (fun s -> Product.compliant Contract.nil s)
 
+(* --- Loosened compliance: the graceful-degradation ladder ---
+   The levels are decided on [Product.survey]'s two measures; these
+   properties pin the ladder's shape on the random contract corpus. *)
+
+let contract_pair =
+  QCheck.pair Testkit.Generators.contract_arb Testkit.Generators.contract_arb
+
+let prop_skip0_is_strict =
+  QCheck.Test.make ~name:"skip-0 admits exactly what strict admits" ~count:300
+    contract_pair
+    (fun (c, s) ->
+      let sv = Product.survey c s in
+      Product.admits (Compliance.Skip_k 0) sv
+      = Product.admits Compliance.Strict sv)
+
+let prop_strict_admits_iff_compliant =
+  QCheck.Test.make
+    ~name:"strict admission = Definition 4 compliance (survey agrees)"
+    ~count:300 contract_pair
+    (fun (c, s) ->
+      Product.admits Compliance.Strict (Product.survey c s)
+      = Product.compliant c s)
+
+let level_arb =
+  QCheck.make
+    ~print:Compliance.level_to_string
+    QCheck.Gen.(
+      oneof
+        [
+          return Compliance.Strict;
+          map (fun k -> Compliance.Skip_k k) (int_bound 3);
+          return Compliance.Affectible;
+        ])
+
+let prop_ladder_monotone =
+  QCheck.Test.make
+    ~name:"admission is monotone along the sub-behaviour preorder"
+    ~count:400
+    (QCheck.pair (QCheck.pair level_arb level_arb) contract_pair)
+    (fun ((weaker, stronger), (c, s)) ->
+      QCheck.assume (Compliance.weaker_equal weaker stronger);
+      let sv = Product.survey c s in
+      (not (Product.admits stronger sv)) || Product.admits weaker sv)
+
+let prop_affectible_is_success =
+  QCheck.Test.make
+    ~name:"affectible admits exactly the successful products" ~count:300
+    contract_pair
+    (fun (c, s) ->
+      let sv = Product.survey c s in
+      Product.admits Compliance.Affectible sv = sv.Product.successful)
+
+(* Security is outside the ladder: a plan rejected for a policy
+   violation is rejected at every level — loosening only forgives
+   communication wedges, never the monitor. *)
+let test_no_level_admits_violation () =
+  List.iter
+    (fun level ->
+      match
+        Netcheck.check_client ~level Scenarios.Hotel.repo
+          Scenarios.Hotel.plan2_s3
+          ("c2", Scenarios.Hotel.client2)
+      with
+      | Netcheck.Valid _ ->
+          Alcotest.failf "%s admits the black-listed plan"
+            (Compliance.level_to_string level)
+      | Netcheck.Invalid stuck -> (
+          match stuck.Netcheck.kind with
+          | Netcheck.Security p ->
+              Alcotest.(check string)
+                (Fmt.str "%s still blames phi2"
+                   (Compliance.level_to_string level))
+                (Usage.Policy.id Scenarios.Hotel.phi2)
+                (Usage.Policy.id p)
+          | _ ->
+              Alcotest.failf "%s: expected a security stuckness"
+                (Compliance.level_to_string level)))
+    [
+      Compliance.Strict;
+      Compliance.Skip_k 0;
+      Compliance.Skip_k 3;
+      Compliance.Affectible;
+    ]
+
 let suite =
   [
     Alcotest.test_case "simple pairs" `Quick test_simple_pairs;
@@ -205,4 +289,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_theorem2;
     QCheck_alcotest.to_alcotest prop_counterexample_iff_noncompliant;
     QCheck_alcotest.to_alcotest prop_nil_always_compliant;
+    QCheck_alcotest.to_alcotest prop_skip0_is_strict;
+    QCheck_alcotest.to_alcotest prop_strict_admits_iff_compliant;
+    QCheck_alcotest.to_alcotest prop_ladder_monotone;
+    QCheck_alcotest.to_alcotest prop_affectible_is_success;
+    Alcotest.test_case "no level admits a policy violation" `Quick
+      test_no_level_admits_violation;
   ]

@@ -31,9 +31,9 @@ let req_equal a b =
   | Broker.Run { client = a; seed = sa }, Broker.Run { client = b; seed = sb }
     ->
       a = b && sa = sb
-  | Broker.Set_policy { queue = qa; budget = ba },
-    Broker.Set_policy { queue = qb; budget = bb } ->
-      qa = qb && ba = bb
+  | Broker.Set_policy { queue = qa; budget = ba; floor = fa },
+    Broker.Set_policy { queue = qb; budget = bb; floor = fb } ->
+      qa = qb && ba = bb && fa = fb
   | _ -> false
 
 let sample_requests () =
@@ -51,9 +51,11 @@ let sample_requests () =
       { loc = "s1"; service = List.assoc "s1" Scenarios.Churn.repo };
     Broker.Retract { loc = "s4" };
     Broker.Close { client = "c1" };
-    Broker.Set_policy { queue = Some 8; budget = Some 3 };
-    Broker.Set_policy { queue = None; budget = Some 2 };
-    Broker.Set_policy { queue = None; budget = None };
+    Broker.Set_policy { queue = Some 8; budget = Some 3; floor = None };
+    Broker.Set_policy
+      { queue = None; budget = Some 2; floor = Some (Compliance.Skip_k 2) };
+    Broker.Set_policy
+      { queue = None; budget = None; floor = Some Compliance.Affectible };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -88,14 +90,21 @@ let test_journal_roundtrip () =
   let path = tmpfile () in
   let entries =
     (* non-contiguous seqs (a library user may journal only processed
-       events, so gaps are legal — only monotonicity is checked) and a
-       sprinkling of shed markers, which must round trip too *)
+       events, so gaps are legal — only monotonicity is checked), a
+       sprinkling of shed and rescue markers, and non-strict levels —
+       all of which must round trip too *)
     List.mapi
       (fun i r ->
         {
           Broker.Journal.seq = (i * 2) + 1;
           submit = i;
           shed = i mod 3 = 2;
+          rescued = i mod 3 = 1;
+          level =
+            (match i mod 4 with
+            | 1 -> Compliance.Skip_k 1
+            | 2 -> Compliance.Affectible
+            | _ -> Compliance.Strict);
           request = r;
         })
       (sample_requests ())
@@ -111,6 +120,11 @@ let test_journal_roundtrip () =
       Alcotest.(check int) "submit" a.Broker.Journal.submit
         b.Broker.Journal.submit;
       Alcotest.(check bool) "shed" a.Broker.Journal.shed b.Broker.Journal.shed;
+      Alcotest.(check bool) "rescued" a.Broker.Journal.rescued
+        b.Broker.Journal.rescued;
+      Alcotest.(check string) "level"
+        (Compliance.level_to_string a.Broker.Journal.level)
+        (Compliance.level_to_string b.Broker.Journal.level);
       Alcotest.(check bool) "request" true
         (req_equal a.Broker.Journal.request b.Broker.Journal.request))
     entries got;
@@ -122,7 +136,14 @@ let test_torn_tail () =
   let entries =
     List.mapi
       (fun i r ->
-        { Broker.Journal.seq = i; submit = i; shed = false; request = r })
+        {
+          Broker.Journal.seq = i;
+          submit = i;
+          shed = false;
+          rescued = false;
+          level = Compliance.Strict;
+          request = r;
+        })
       reqs
   in
   let w = Broker.Journal.create ~hexpr_to_string path in
@@ -141,6 +162,8 @@ let test_torn_tail () =
       Broker.Journal.seq = 99;
       submit = 99;
       shed = false;
+      rescued = false;
+      level = Compliance.Strict;
       request = Broker.Serve { client = "c2" };
     };
   Broker.Journal.close w;
@@ -161,7 +184,14 @@ let test_corruption_rejected () =
           (Astring.String.is_infix ~affix:infix e.Broker.Journal.msg)
   in
   let entry i r =
-    { Broker.Journal.seq = i; submit = i; shed = false; request = r }
+    {
+      Broker.Journal.seq = i;
+      submit = i;
+      shed = false;
+      rescued = false;
+      level = Compliance.Strict;
+      request = r;
+    }
   in
   let path = tmpfile () in
   (* bad header *)
@@ -249,8 +279,13 @@ let test_snapshot_roundtrip () =
         "sessions"
         (List.map fst s.Broker.Recovery.sessions)
         (List.map fst s'.Broker.Recovery.sessions);
-      Alcotest.(check (list string))
-        "served" s.Broker.Recovery.served s'.Broker.Recovery.served);
+      let rendered =
+        List.map (fun (c, l) -> (c, Compliance.level_to_string l))
+      in
+      Alcotest.(check (list (pair string string)))
+        "served"
+        (rendered s.Broker.Recovery.served)
+        (rendered s'.Broker.Recovery.served));
   Sys.remove path
 
 let test_snapshot_corruption_rejected () =
@@ -300,9 +335,16 @@ let journaled_run reqs =
   let n = ref 0 in
   Broker.set_journal b
     (Some
-       (fun ~seq request ->
+       (fun ~seq ~level request ->
          Broker.Journal.append w
-           { Broker.Journal.seq; submit = !n; shed = false; request };
+           {
+             Broker.Journal.seq;
+             submit = !n;
+             shed = false;
+             rescued = false;
+             level;
+             request;
+           };
          incr n));
   let responses = List.map (Broker.process b) reqs in
   Broker.Journal.close w;
@@ -451,7 +493,14 @@ let prop_chaos_recovery =
 let test_resume_script () =
   let sub c = Broker.Script.Submit (Broker.Serve { client = c }) in
   let entry ?(shed = false) ~seq ~submit c =
-    { Broker.Journal.seq; submit; shed; request = Broker.Serve { client = c } }
+    {
+      Broker.Journal.seq;
+      submit;
+      shed;
+      rescued = false;
+      level = Compliance.Strict;
+      request = Broker.Serve { client = c };
+    }
   in
   let render_items items =
     String.concat "; "
@@ -507,7 +556,8 @@ let test_resume_script () =
    still queued at the crash — the crashed run's responses followed by
    the resumed run's must equal the uninterrupted run byte-for-byte,
    sequence numbers included. *)
-let shed_admission = { Broker.queue_capacity = 1; plan_budget = 64 }
+let shed_admission =
+  { Broker.queue_capacity = 1; plan_budget = 64; floor = Compliance.Strict }
 
 let shed_script () =
   let client n = List.assoc n Scenarios.Churn.clients in
@@ -543,7 +593,7 @@ let drive ?crash_at broker w indexed =
   let accepted = ref 0 in
   Broker.set_journal broker
     (Some
-       (fun ~seq request ->
+       (fun ~seq ~level request ->
          (match crash_at with
          | Some k when !accepted = k -> raise Crash
          | _ -> ());
@@ -552,6 +602,8 @@ let drive ?crash_at broker w indexed =
              Broker.Journal.seq;
              submit = Queue.pop pending;
              shed = false;
+             rescued = false;
+             level;
              request;
            };
          incr accepted));
@@ -563,11 +615,23 @@ let drive ?crash_at broker w indexed =
              match Broker.submit broker r with
              | None -> Queue.add i pending
              | Some resp ->
+                 (* mirror the susf serve loop: a full-queue answer is
+                    either a shed or — under a loosened floor — an
+                    immediate rescue, journaled at submit time *)
+                 let shed =
+                   match resp.Broker.outcome with
+                   | Broker.Rejected Broker.Shed -> true
+                   | _ -> false
+                 in
                  Broker.Journal.append w
                    {
                      Broker.Journal.seq = resp.Broker.seq;
                      submit = i;
-                     shed = true;
+                     shed;
+                     rescued = not shed;
+                     level =
+                       (if shed then Compliance.Strict
+                        else (Broker.admission broker).Broker.floor);
                      request = r;
                    };
                  push resp)
@@ -630,6 +694,108 @@ let test_shed_crash_resume () =
     Sys.remove jpath
   done
 
+(* Satellite: the same crash-at-every-prefix discipline, but crashing
+   mid level-transition. The script lowers the admission floor twice
+   via [Set_policy] while the queue is overloaded, so the journal holds
+   rescue markers (answered immediately at the floor level) and
+   non-strict levels on processed events. Recovery must replay both
+   byte-identically no matter where the crash lands — including between
+   a floor change being submitted and being processed. *)
+let degraded_admission =
+  { Broker.queue_capacity = 1; plan_budget = 64; floor = Compliance.Strict }
+
+let degraded_script () =
+  let client n = List.assoc n Scenarios.Churn.clients in
+  let open Broker.Script in
+  [
+    Submit (Broker.Open { client = "c1"; body = client "c1" });
+    Tick;
+    Submit (Broker.Open { client = "c2"; body = client "c2" });
+    Tick;
+    Submit
+      (Broker.Set_policy
+         { queue = None; budget = None; floor = Some (Compliance.Skip_k 1) });
+    Tick;
+    Submit (Broker.Serve { client = "c1" });
+    (* rescued at skip:1 — the queue is full with the serve above *)
+    Submit (Broker.Serve { client = "c2" });
+    Tick;
+    Submit
+      (Broker.Set_policy
+         { queue = None; budget = None; floor = Some Compliance.Affectible });
+    (* rescued while the affectible floor is still queued: the rescue
+       happens at the *current* floor, skip:1 — the transition window *)
+    Submit (Broker.Serve { client = "c1" });
+    Tick;
+    Submit (Broker.Serve { client = "c2" });
+    Drain;
+  ]
+
+let test_degraded_crash_resume () =
+  let items = degraded_script () in
+  let indexed =
+    match Broker.Recovery.resume_script ~hexpr_to_string ~covered:[] items with
+    | Ok l -> l
+    | Error msg -> Alcotest.fail msg
+  in
+  let upath = tmpfile () in
+  let uw = Broker.Journal.create ~hexpr_to_string upath in
+  let ub = Broker.create ~admission:degraded_admission Scenarios.Churn.repo in
+  let all = drive ub uw indexed in
+  Broker.Journal.close uw;
+  let uentries = (read_ok upath).Broker.Journal.entries in
+  Sys.remove upath;
+  let processed =
+    List.length
+      (List.filter
+         (fun (e : Broker.Journal.entry) -> not (e.shed || e.rescued))
+         uentries)
+  in
+  (* the workload must actually rescue and change level, or this test
+     proves nothing *)
+  Alcotest.(check bool) "workload rescues" true
+    (List.exists
+       (fun (e : Broker.Journal.entry) -> e.Broker.Journal.rescued)
+       uentries);
+  Alcotest.(check bool) "workload leaves strict" true
+    (List.exists
+       (fun (e : Broker.Journal.entry) ->
+         e.Broker.Journal.level <> Compliance.Strict)
+       uentries);
+  Alcotest.(check bool) "nothing sheds once the floor loosens" false
+    (List.exists
+       (fun (e : Broker.Journal.entry) -> e.Broker.Journal.shed)
+       uentries);
+  for k = 0 to processed do
+    let jpath = tmpfile () in
+    let w = Broker.Journal.create ~hexpr_to_string jpath in
+    let b = Broker.create ~admission:degraded_admission Scenarios.Churn.repo in
+    let pre = drive ~crash_at:k b w indexed in
+    Broker.Journal.close w;
+    (match
+       Broker.Recovery.recover ~hexpr_of_string ~admission:degraded_admission
+         ~journal:jpath Scenarios.Churn.repo
+     with
+    | Error msg -> Alcotest.failf "recover at k=%d: %s" k msg
+    | Ok (rb, report) -> (
+        match
+          Broker.Recovery.resume_script ~hexpr_to_string
+            ~covered:report.Broker.Recovery.events items
+        with
+        | Error msg -> Alcotest.failf "resume at k=%d: %s" k msg
+        | Ok rest ->
+            let w2 =
+              Broker.Journal.create ~hexpr_to_string ~append:true jpath
+            in
+            let post = drive rb w2 rest in
+            Broker.Journal.close w2;
+            Alcotest.(check string)
+              (Fmt.str "k=%d crashed mid-transition equals uninterrupted" k)
+              (render all)
+              (render (pre @ post))));
+    Sys.remove jpath
+  done
+
 let suite =
   [
     Alcotest.test_case "request codec round trips" `Quick test_codec_roundtrip;
@@ -649,5 +815,7 @@ let suite =
       `Quick test_resume_script;
     Alcotest.test_case "shedding run crashes and resumes byte-identically"
       `Quick test_shed_crash_resume;
+    Alcotest.test_case "crash mid level-transition recovers byte-identically"
+      `Quick test_degraded_crash_resume;
     QCheck_alcotest.to_alcotest prop_chaos_recovery;
   ]

@@ -156,6 +156,93 @@ let test_retry_budget_zero_degrades () =
   | Simulate.Degraded _ -> ()
   | o -> Alcotest.failf "expected Degraded with 0 retries, got %a" Simulate.pp_outcome o
 
+(* -- reversible sessions: wedges retract under affectible ---------- *)
+
+(* The loose scenario: the statically-loosened [avail] branch wedges at
+   run time (the client pays a fee nobody collects), the [noav] branch
+   completes. Branch labels sort alphabetically, so [Simulate.first]
+   always drives the service into [avail]. *)
+let loose_clients =
+  [ (Scenarios.Loose.plan, ("c", Scenarios.Loose.client)) ]
+
+let test_wedge_strict_is_stuck () =
+  let r = Runtime.Engine.run Scenarios.Loose.repo loose_clients Simulate.first in
+  (match r.Runtime.Engine.trace.Simulate.outcome with
+  | Simulate.Stuck _ -> ()
+  | o ->
+      Alcotest.failf "expected Stuck under strict admission, got %a"
+        Simulate.pp_outcome o);
+  Alcotest.(check int) "strict never retracts" 0 r.Runtime.Engine.rollbacks
+
+let test_wedge_budget_bounds_retraction () =
+  (* every retry wedges again, so the retraction budget is spent to the
+     last slot and the client degrades — never a hard [Stuck]. The
+     supervisor is loosened so the retraction budget, not the circuit
+     breaker, is the binding constraint. *)
+  let supervisor =
+    { Runtime.Supervisor.default with max_retries = 10; breaker_threshold = 10 }
+  in
+  let r =
+    Runtime.Engine.run ~supervisor ~level:Compliance.Affectible
+      Scenarios.Loose.repo loose_clients Simulate.first
+  in
+  (match r.Runtime.Engine.trace.Simulate.outcome with
+  | Simulate.Degraded { abandoned = [ ("c", why) ]; _ } ->
+      Alcotest.(check bool)
+        (Fmt.str "abandoned for the retraction budget (got %S)" why)
+        true
+        (Astring.String.is_infix ~affix:"retraction budget exhausted" why)
+  | o ->
+      Alcotest.failf "expected Degraded once the budget is spent, got %a"
+        Simulate.pp_outcome o);
+  Alcotest.(check int) "default budget fully spent" 3
+    r.Runtime.Engine.rollbacks;
+  Alcotest.(check bool) "history still valid" true
+    (histories_valid r.Runtime.Engine.trace.Simulate.final)
+
+let test_wedge_zero_budget_degrades_immediately () =
+  let r =
+    Runtime.Engine.run ~level:Compliance.Affectible ~retraction_budget:0
+      Scenarios.Loose.repo loose_clients Simulate.first
+  in
+  (match r.Runtime.Engine.trace.Simulate.outcome with
+  | Simulate.Degraded _ -> ()
+  | o ->
+      Alcotest.failf "expected Degraded with budget 0, got %a"
+        Simulate.pp_outcome o);
+  Alcotest.(check int) "no retraction performed" 0 r.Runtime.Engine.rollbacks
+
+let test_wedge_affectible_never_hard_fails () =
+  (* the acceptance sweep: random schedulers, seeded faults on the
+     session's channels — under affectible admission a retractable
+     session never ends in a hard failure, and some runs complete
+     precisely because a wedge was rolled back *)
+  let completed_after_rollback = ref 0 and total_rollbacks = ref 0 in
+  for seed = 1 to 40 do
+    let faults =
+      [ Faults.rate 0.05 (Faults.Drop "req"); Faults.rate 0.05 (Faults.Delay ("fee", 2)) ]
+    in
+    let r =
+      Runtime.Engine.run ~level:Compliance.Affectible ~faults ~seed
+        Scenarios.Loose.repo loose_clients (Simulate.random ~seed)
+    in
+    total_rollbacks := !total_rollbacks + r.Runtime.Engine.rollbacks;
+    (match r.Runtime.Engine.trace.Simulate.outcome with
+    | Simulate.Stuck _ ->
+        Alcotest.failf "seed %d: hard failure under affectible admission" seed
+    | Simulate.Completed ->
+        if r.Runtime.Engine.rollbacks > 0 then incr completed_after_rollback
+    | Simulate.Degraded _ | Simulate.Out_of_fuel | Simulate.Stopped -> ());
+    Alcotest.(check bool)
+      (Printf.sprintf "histories valid, seed %d" seed)
+      true
+      (histories_valid r.Runtime.Engine.trace.Simulate.final)
+  done;
+  Alcotest.(check bool) "wedges were actually retracted" true
+    (!total_rollbacks > 0);
+  Alcotest.(check bool) "some runs complete only thanks to a rollback" true
+    (!completed_after_rollback > 0)
+
 (* -- fault spec parsing -------------------------------------------- *)
 
 let test_parse_spec () =
@@ -223,6 +310,14 @@ let suite =
       test_no_substitute_degrades;
     Alcotest.test_case "retry budget 0 degrades" `Quick
       test_retry_budget_zero_degrades;
+    Alcotest.test_case "wedged session: strict is stuck" `Quick
+      test_wedge_strict_is_stuck;
+    Alcotest.test_case "retraction budget bounds rollbacks, then degrades"
+      `Quick test_wedge_budget_bounds_retraction;
+    Alcotest.test_case "retraction budget 0 degrades immediately" `Quick
+      test_wedge_zero_budget_degrades_immediately;
+    Alcotest.test_case "affectible sessions never hard-fail under faults"
+      `Quick test_wedge_affectible_never_hard_fails;
     Alcotest.test_case "fault spec parsing" `Quick test_parse_spec;
     Alcotest.test_case "fault spec round-trip" `Quick test_parse_roundtrip;
     Alcotest.test_case "circuit breaker" `Quick test_breaker;
