@@ -1023,7 +1023,10 @@ let serve_cmd =
                           otherwise --recover would re-submit it. Shed
                           and rescued markers are distinguished so
                           recovery can re-run the rescue's floor-level
-                          serve *)
+                          serve. The floor is read from the broker, not
+                          the CLI: [policy floor LEVEL] can have changed
+                          it since startup, and the rescue was answered
+                          at the live value *)
                        let shed =
                          match resp.Broker.outcome with
                          | Broker.Rejected Broker.Shed -> true
@@ -1039,7 +1042,7 @@ let serve_cmd =
                                rescued = not shed;
                                level =
                                  (if shed then Core.Compliance.Strict
-                                  else floor);
+                                  else (Broker.admission broker).Broker.floor);
                                request = r;
                              };
                            incr logged)

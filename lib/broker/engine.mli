@@ -25,8 +25,10 @@
     rung, beyond that at the floor itself — and a [Serve] arriving at a
     {e full} queue is {e rescued} (answered immediately, uncached, at
     the floor level) instead of shed. Shedding is the last resort.
-    Security is never loosened: [Netcheck] runs strict at every level,
-    so a degraded verdict cannot admit a policy violation. The default
+    Security is never loosened: a weaker level relaxes only the
+    communication-stuck tolerance of [Netcheck]'s exploration — its
+    security conditions stay fatal at every level, so a degraded
+    verdict cannot admit a policy violation. The default
     [floor = Strict] disables the ladder entirely — the broker behaves
     exactly as earlier releases. See [docs/BROKER.md].
 

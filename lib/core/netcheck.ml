@@ -246,8 +246,11 @@ let check_client ?universe ?(level = Compliance.Strict) repo plan (loc, h0) =
       end
       else
         (* [charged]: this state already consumed a budget slot (a
-           tolerated mismatch), so a bare frontier must not be
-           condemned — and charged — a second time *)
+           tolerated mismatch), so a communication-bare frontier must
+           not be condemned — and charged — a second time. The kind is
+           still classified: a security block or unplanned request at a
+           charged state is fatal at every level, never absorbed into
+           the communication budget *)
         let expand ~charged =
           let candidates = Network.component_moves repo plan comp in
           let enabled, security_block =
@@ -259,19 +262,20 @@ let check_client ?universe ?(level = Compliance.Strict) repo plan (loc, h0) =
               ([], None) candidates
           in
           if enabled = [] then
-            if charged then bfs ()
-            else
-              let kind =
-                match unplanned_requests repo plan comp with
-                | r :: _ -> Unplanned_request r
-                | [] -> (
-                    match security_block with
-                    | Some p -> Security p
-                    | None -> Communication)
-              in
-              match condemn st kind comp with
-              | `Fatal stuck -> record (Invalid stuck)
-              | `Tolerated -> bfs ()
+            let kind =
+              match unplanned_requests repo plan comp with
+              | r :: _ -> Unplanned_request r
+              | [] -> (
+                  match security_block with
+                  | Some p -> Security p
+                  | None -> Communication)
+            in
+            match kind with
+            | Communication when charged -> bfs ()
+            | _ -> (
+                match condemn st kind comp with
+                | `Fatal stuck -> record (Invalid stuck)
+                | `Tolerated -> bfs ())
           else begin
             List.iter
               (fun (g, succ) ->

@@ -50,10 +50,16 @@ val check_client :
     [level] (default {!Compliance.Strict}) loosens the {e communication}
     condition only, mirroring {!Product.admits} at network granularity:
     [Skip_k k] tolerates up to [max 0 k] communication-stuck abstract
-    states, [Affectible] any number — in both cases provided a completed
-    configuration remains reachable, so the degraded network can still
-    finish. Security stucks and unplanned requests are fatal at {e
-    every} level: no admission level ever admits a policy violation.
+    states, [Affectible] any number — in both cases provided a {e
+    terminated} configuration remains reachable, so the degraded
+    network can still finish. This completion criterion is
+    intentionally stricter than {!Product.survey}'s per-pair
+    [successful] (which also accepts a live loop): at network
+    granularity a tolerated wedge means some execution was written off,
+    and the remaining ones must demonstrably complete — a perpetually
+    live network that can never terminate is [Invalid] under any
+    loosened level. Security stucks and unplanned requests are fatal at
+    {e every} level: no admission level ever admits a policy violation.
     With [Strict] the tolerance budget is zero and the check is exactly
     the original one. *)
 

@@ -47,8 +47,10 @@ val analyze :
     {!valid_plans} shares one over the whole enumeration, requests whose
     bodies project to the same contracts share a single survey, and one
     cached survey answers {e every} admission level. [level] (default
-    [Strict]) loosens only the compliance side: the {!Netcheck}
-    security/progress exploration always runs strict, so a verdict
+    [Strict]) is threaded to both the per-request compliance check and
+    the {!Netcheck} exploration, but only their communication-stuck
+    tolerance loosens: the security conditions (security stucks,
+    unplanned requests) stay fatal at every level, so a verdict
     admitted at a weaker level can never hide a policy violation. *)
 
 val enumerate : Network.repo -> client:string * Hexpr.t -> Plan.t list

@@ -58,7 +58,11 @@ type survey = {
   successful : bool;
       (** some maximal execution avoids every stuck configuration: a
           client-terminated state is reachable, or the product has a
-          live loop. [stuck_states = 0] implies [successful]. *)
+          live loop. [stuck_states = 0] implies [successful]. Note the
+          deliberate asymmetry with [Netcheck]: there, a loosened level
+          tolerates wedges only while a {e terminated} configuration
+          stays reachable — a live loop does not count as completion at
+          network granularity (see [Netcheck.check_client]). *)
   first_counterexample : counterexample option;
       (** a shortest path into [F], present iff [stuck_states > 0] *)
 }

@@ -119,6 +119,66 @@ let test_serve_crash_recovery () =
        [ "serve"; hotel; "--script"; churn_script; "--journal"; "crash.journal";
          "--force" ])
 
+(* Regression: a rescue journaled after a live [policy floor LEVEL]
+   change must record the broker's floor at rescue time, not the
+   startup --floor value. Recovery re-runs the rescue at the journaled
+   level, so a stale level shifts the recovered broker's
+   strict/skip/affectible outcome mix away from the uninterrupted
+   run's. *)
+let test_serve_rescue_floor_change () =
+  let read f = In_channel.with_open_text f In_channel.input_all in
+  let out args file =
+    Sys.command
+      (Filename.quote_command susf args ^ " > " ^ file ^ " 2> /dev/null")
+  in
+  let response_lines f =
+    read f |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "" && l.[0] = '[')
+  in
+  (* the "strict A, skip B, affectible C" slice of the stats line *)
+  let served_mix f =
+    let line =
+      read f |> String.split_on_char '\n'
+      |> List.find_opt (fun l -> Astring.String.is_prefix ~affix:"-- " l)
+      |> Option.value ~default:""
+    in
+    match Astring.String.cut ~sep:"; " line with
+    | Some (_, rest) ->
+        Option.fold ~none:rest ~some:fst (Astring.String.cut ~sep:")" rest)
+    | None -> line
+  in
+  let script =
+    write_log "rescue.script"
+      "open c1 = open(1: phi({s1},45,100)){ req!.(cobo?.pay! + noav?) }\n\
+       tick\n\
+       policy floor affectible\n\
+       tick\n\
+       serve c1\n\
+       serve c1\n\
+       drain\n"
+  in
+  let base =
+    [ "serve"; hotel; "--script"; script; "--queue"; "1"; "--floor"; "skip:1" ]
+  in
+  Alcotest.(check int) "uninterrupted run" 0 (out base "rfull.txt");
+  (* the workload must rescue at the script-set floor (not the startup
+     one), or this test proves nothing *)
+  Alcotest.(check string) "rescued at the live floor"
+    "strict 1, skip 0, affectible 1" (served_mix "rfull.txt");
+  Alcotest.(check int) "crashed run exits 3" 3
+    (out
+       (base @ [ "--journal"; "rescue.journal"; "--faults"; "crash@2" ])
+       "rpre.txt");
+  Alcotest.(check int) "recovery resumes" 0
+    (out (base @ [ "--recover"; "--journal"; "rescue.journal" ]) "rpost.txt");
+  let full = response_lines "rfull.txt" and pre = response_lines "rpre.txt" in
+  Alcotest.(check (list string))
+    "post-recovery responses equal the uninterrupted run's tail"
+    (List.filteri (fun i _ -> i >= List.length pre) full)
+    (response_lines "rpost.txt");
+  Alcotest.(check string) "recovery replays the rescue at the journaled floor"
+    (served_mix "rfull.txt") (served_mix "rpost.txt")
+
 let test_serve_script_diagnostics () =
   let bad = write_log "bad.script" "serve c1\nfrobnicate c1\n" in
   let code =
@@ -144,6 +204,8 @@ let suite =
     Alcotest.test_case "serve obs and json outputs" `Quick test_serve_outputs;
     Alcotest.test_case "serve crash, guard, and recovery" `Quick
       test_serve_crash_recovery;
+    Alcotest.test_case "serve rescue after live floor change" `Quick
+      test_serve_rescue_floor_change;
     Alcotest.test_case "serve script diagnostics" `Quick
       test_serve_script_diagnostics;
     Alcotest.test_case "check invalid plan" `Quick

@@ -273,6 +273,46 @@ let test_no_level_admits_violation () =
       Compliance.Affectible;
     ]
 
+(* The charged-frontier case: a tolerated session mismatch whose state
+   has no enabled moves left must still classify the block — a security
+   block there is fatal at every level, never silently absorbed into
+   the communication budget. The client opens [s] under a never-"bad"
+   policy and either terminates cleanly or wedges on the forbidden
+   event, while [s] opens a nested session that settles on a mismatched
+   frontier (a! vs b?): at the charged mismatch state the only
+   candidate move is the client's policy-blocked event, and the clean
+   branch still completes — so absorbing the block would wrongly
+   return [Valid]. *)
+let test_charged_security_still_fatal () =
+  let bad = Usage.Policy_lib.instantiate0 (Usage.Policy_lib.never "bad") in
+  let client =
+    Hexpr.open_ ~rid:1 ~policy:bad (Hexpr.choice (Hexpr.ev "bad") Hexpr.nil)
+  in
+  let repo =
+    [
+      ("s", Hexpr.open_ ~rid:2 (Hexpr.select [ ("a", Hexpr.nil) ]));
+      ("t", Hexpr.branch [ ("b", Hexpr.nil) ]);
+    ]
+  in
+  let plan = Plan.of_list [ (1, "s"); (2, "t") ] in
+  List.iter
+    (fun level ->
+      match Netcheck.check_client ~level repo plan ("c", client) with
+      | Netcheck.Valid _ ->
+          Alcotest.failf "%s absorbed the security block into the budget"
+            (Compliance.level_to_string level)
+      | Netcheck.Invalid stuck -> (
+          match stuck.Netcheck.kind with
+          | Netcheck.Security p ->
+              Alcotest.(check string)
+                (Fmt.str "%s blames the never-bad policy"
+                   (Compliance.level_to_string level))
+                (Usage.Policy.id bad) (Usage.Policy.id p)
+          | _ ->
+              Alcotest.failf "%s: expected a security stuckness"
+                (Compliance.level_to_string level)))
+    [ Compliance.Skip_k 3; Compliance.Affectible ]
+
 let suite =
   [
     Alcotest.test_case "simple pairs" `Quick test_simple_pairs;
@@ -295,4 +335,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_affectible_is_success;
     Alcotest.test_case "no level admits a policy violation" `Quick
       test_no_level_admits_violation;
+    Alcotest.test_case "charged frontier keeps security fatal" `Quick
+      test_charged_security_still_fatal;
   ]
