@@ -810,6 +810,201 @@ let b9_recovery () =
     "post-recovery serve mismatches vs the uninterrupted broker"
 
 (* ------------------------------------------------------------------ *)
+
+(* B10 — the sharded broker: sustained events/sec and p99 latency vs
+   shard count on the B8 churn workload, driven closed-loop (each ack
+   chains the stream's next submission, so up to one request per stream
+   is in flight — no driver threads, the worker domains do all the
+   work). Every shard journals with a group-commit batch; afterwards
+   each journal is replayed against a fresh engine and every
+   acknowledged response must come back byte-identical, with every
+   replayed verdict matching the cold oracle at its recorded level —
+   throughput never buys back correctness. *)
+let b10_sharded () =
+  section "B10: sharded broker events/sec vs shard count (group commit)";
+  let automata = [ ("phi", Usage.Policy_lib.hotel) ] in
+  let hexpr_of_string = Syntax.Parser.hexpr_of_string ~automata in
+  let hexpr_to_string = Core.Hexpr.to_string in
+  (* 16 clients spread the session space across the shards; bodies
+     cycle through the churn scenario's three *)
+  let clients =
+    List.init 16 (fun i ->
+        let name, body = List.nth Scenarios.Churn.clients (i mod 3) in
+        (Printf.sprintf "%s_x%d" name i, body))
+  in
+  let profile =
+    {
+      (Testkit.Workload.default ~clients ~spares:Scenarios.Churn.spares
+         ~noise:Scenarios.Churn.noise)
+      with
+      Testkit.Workload.seed = !seed;
+      requests = scaled 3000;
+      hot = 0.0;
+    }
+  in
+  let streams, counts = Testkit.Workload.concurrent ~streams:16 profile in
+  let total = Array.fold_left (fun a s -> a + List.length s) 0 streams in
+  pf "  workload: %d requests on %d streams (%d serves, %d publish/retract)@."
+    total (Array.length streams) counts.Testkit.Workload.serves
+    (counts.Testkit.Workload.publishes + counts.Testkit.Workload.retracts);
+  (* closed loop bounds in-flight work at one per stream, so a queue of
+     64 never sheds: the measurement is pure serving throughput *)
+  let admission =
+    {
+      Broker.queue_capacity = 64;
+      plan_budget = 64;
+      floor = Core.Compliance.Strict;
+    }
+  in
+  let flush_count () =
+    match
+      List.assoc_opt "broker.journal.group_commit.flushes"
+        (Obs.Metrics.snapshot ()).Obs.Metrics.counters
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  let run_config ?(batch = 16) nshards =
+    let paths =
+      Array.init nshards (fun _ -> Filename.temp_file "susf-b10" ".journal")
+    in
+    let flushes0 = flush_count () in
+    let pool =
+      Broker.Shard.create ~admission
+        ~journal:(fun i ->
+          Broker.Journal.create ~hexpr_to_string ~batch paths.(i))
+        ~shards:nshards Scenarios.Churn.repo
+    in
+    let acked = Atomic.make 0 in
+    let lock = Mutex.create () in
+    let collected = ref [] in
+    let lats = Array.make (max 1 total) 0.0 in
+    let t0 = Unix.gettimeofday () in
+    let rec launch = function
+      | [] -> ()
+      | r :: rest ->
+          let sent = Unix.gettimeofday () in
+          Broker.Shard.submit pool r ~callback:(fun ~shard resp ->
+              let i = Atomic.fetch_and_add acked 1 in
+              lats.(i) <- Unix.gettimeofday () -. sent;
+              Mutex.lock lock;
+              collected := (shard, resp) :: !collected;
+              Mutex.unlock lock;
+              launch rest)
+    in
+    Array.iter launch streams;
+    while Atomic.get acked < total do
+      Unix.sleepf 0.0002
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Broker.Shard.stop pool;
+    let rate = float_of_int total /. dt in
+    Array.sort compare lats;
+    let p99_ms = lats.(max 0 ((total * 99 / 100) - 1)) *. 1000.0 in
+    (* replay each shard's journal and hold every ack against it *)
+    let replay_mism = ref 0 and oracle_mism = ref 0 in
+    let rendered =
+      Array.map
+        (fun path ->
+          let entries =
+            match Broker.Journal.read ~hexpr_of_string path with
+            | Ok r -> r.Broker.Journal.entries
+            | Error e ->
+                failwith (Fmt.str "b10: %a" Broker.Journal.pp_error e)
+          in
+          let fresh = Broker.create ~admission Scenarios.Churn.repo in
+          let tbl = Hashtbl.create 64 in
+          List.iter
+            (fun (e : Broker.Journal.entry) ->
+              let resp =
+                if e.shed then Broker.replay_shed fresh ~seq:e.seq e.request
+                else if e.rescued then
+                  Broker.replay_rescue fresh ~seq:e.seq ~level:e.level
+                    e.request
+                else Broker.replay fresh ~seq:e.seq ~level:e.level e.request
+              in
+              Hashtbl.replace tbl resp.Broker.seq
+                (Fmt.str "%a" Broker.pp_response resp))
+            entries;
+          List.iter
+            (fun (client, level) ->
+              match List.assoc_opt client (Broker.clients fresh) with
+              | None -> ()
+              | Some body -> (
+                  let expect =
+                    Broker.Oracle.serve ~level (Broker.repo fresh)
+                      ~client:(client, body)
+                  in
+                  match Broker.cached_verdict fresh client with
+                  | Some (v, _) when Broker.verdict_equal v expect -> ()
+                  | _ -> incr oracle_mism))
+            (Broker.served_clients fresh);
+          tbl)
+        paths
+    in
+    List.iter
+      (fun (shard, (resp : Broker.response)) ->
+        match Hashtbl.find_opt rendered.(shard) resp.Broker.seq with
+        | Some s when String.equal s (Fmt.str "%a" Broker.pp_response resp)
+          ->
+            ()
+        | _ -> incr replay_mism)
+      !collected;
+    Array.iter Sys.remove paths;
+    let flushes = flush_count () - flushes0 in
+    pf
+      "  %d shard%s batch %-2d | %8.0f events/s | p99 %6.2f ms | replay \
+       mismatches %d, oracle mismatches %d@."
+      nshards
+      (if nshards = 1 then " " else "s")
+      batch rate p99_ms !replay_mism !oracle_mism;
+    Obs.Metrics.set
+      (Printf.sprintf "b10.shards%d.events_per_sec" nshards)
+      (int_of_float rate);
+    Obs.Metrics.set
+      (Printf.sprintf "b10.shards%d.p99_us" nshards)
+      (int_of_float (p99_ms *. 1000.0));
+    (rate, !replay_mism + !oracle_mism, flushes)
+  in
+  let results = List.map (fun n -> (n, run_config n)) [ 1; 2; 4; 8 ] in
+  let mism = List.fold_left (fun a (_, (_, m, _)) -> a + m) 0 results in
+  check_line ~expected:"0" ~got:(string_of_int mism)
+    "shard-merge replay + per-level oracle mismatches, all shard counts";
+  let rate_of n =
+    match List.assoc_opt n results with Some (r, _, _) -> r | None -> 0.0
+  in
+  let speedup = rate_of 4 /. rate_of 1 in
+  Obs.Metrics.set "b10.speedup_4v1.pct" (int_of_float (speedup *. 100.0));
+  let cores = Domain.recommended_domain_count () in
+  if cores >= 4 then
+    check_line ~expected:"true"
+      ~got:(string_of_bool (speedup >= 2.0))
+      (Printf.sprintf "4 shards sustain >= 2x the 1-shard rate (%.2fx)"
+         speedup)
+  else
+    (* worker domains time-slice one core: sharding cannot buy
+       wall-clock here, so the scaling ratio is recorded but a >= 2x
+       gate would only measure the scheduler *)
+    pf
+      "  4-shard speedup %.2fx on %d core(s) — parallel scaling recorded, \
+       not asserted (needs >= 4 cores)@."
+      speedup cores;
+  (* the group-commit axis is hardware-independent: one shard, same
+     closed-loop workload, batch 16 vs the historical flush-per-append
+     batch 1 — batching must collapse the flush count *)
+  let metered = Obs.Metrics.active () in
+  if not metered then Obs.Metrics.install ();
+  let _, m1, f1 = run_config ~batch:1 1 in
+  let _, m16, f16 = run_config ~batch:16 1 in
+  if not metered then Obs.Metrics.uninstall ();
+  check_line ~expected:"0" ~got:(string_of_int (m1 + m16))
+    "group-commit axis replay + oracle mismatches";
+  check_line ~expected:"true"
+    ~got:(string_of_bool (f16 * 2 <= f1))
+    (Printf.sprintf
+       "group commit: batch 16 flushes <= half of batch 1 (%d vs %d)" f16 f1)
+
+(* ------------------------------------------------------------------ *)
 (* Timing with bechamel *)
 
 let pp_ns ppf v =
@@ -1036,6 +1231,7 @@ let all : (string * (unit -> unit)) list =
     ("b1", b1_shape); ("b2", b2_shape); ("b3", b3_shape); ("b4", b4_shape);
     ("b5", b5_recovery); ("b5-def4", b5_ablation); ("b6", b6_ablation);
     ("b7", b7_ablation); ("b8", b8_broker); ("b9", b9_recovery);
+    ("b10", b10_sharded);
     ("t-paper", timing_e); ("t-b1", timing_b1); ("t-b2", timing_b2);
     ("t-b3", timing_b3); ("t-b4", timing_b4); ("t-b5", timing_b5);
     ("t-b6", timing_b6); ("t-b7", timing_b7); ("t-quant", timing_quant);

@@ -759,7 +759,7 @@ let lint_cmd =
 let serve_cmd =
   let script_arg =
     Arg.(
-      required
+      value
       & opt (some file) None
       & info [ "script" ] ~docv:"SCRIPT"
           ~doc:
@@ -767,8 +767,77 @@ let serve_cmd =
              HEXPR), $(b,serve c), $(b,publish l = HEXPR), $(b,retract l), \
              $(b,update l = HEXPR), $(b,close c), $(b,run c seed N), \
              $(b,policy queue N budget N floor LEVEL)) plus \
-             $(b,tick)/$(b,drain) processing boundaries. See \
-             docs/BROKER.md.")
+             $(b,tick)/$(b,drain) processing boundaries. Required unless \
+             $(b,--listen) is given (with $(b,--connect) it is the workload \
+             to drive). See docs/BROKER.md and docs/SERVING.md.")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:
+            "Serve live connections on 127.0.0.1:$(docv) (0 picks a free \
+             port) instead of replaying $(b,--script): the line protocol is \
+             the script grammar, one $(b,ok)/$(b,err) response line per \
+             request, $(b,shutdown) to stop. See docs/SERVING.md.")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "With $(b,--listen): shard the broker across $(docv) worker \
+             domains. Session requests route by client (FNV-1a mod N), \
+             repository mutations broadcast to every shard.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "batch" ] ~docv:"K"
+          ~doc:
+            "Journal group commit: buffer up to $(docv) entries per flush. \
+             1 (the default) flushes per append. Responses are only sent \
+             after the owning shard's batch is flushed, so an acknowledged \
+             response always implies a durable journal entry.")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Act as a concurrent load driver instead of a server: partition \
+             $(b,--script) into $(b,--conns) client-affine request streams \
+             and drive them over that many connections, one request in \
+             flight per connection.")
+  in
+  let conns_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "conns" ] ~docv:"M"
+          ~doc:"With $(b,--connect): number of concurrent connections.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "With $(b,--listen --recover): verify every recovered verdict \
+             against the cold oracle at its recorded level and exit (0 on a \
+             clean match, 1 on any mismatch) instead of serving.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:
+            "With $(b,--connect): send the $(b,shutdown) verb after the \
+             workload completes, stopping the server (it drains, flushes \
+             its journals and exits 0).")
   in
   let queue_arg =
     Arg.(
@@ -847,47 +916,223 @@ let serve_cmd =
              the run with exit code 3.")
   in
   let run file script queue budget floor json trace metrics journal
-      snapshot_every recover force faults =
+      snapshot_every recover force faults listen shards batch connect conns
+      check do_shutdown =
     with_obs ~trace ~metrics @@ fun () ->
     let spec = load file in
-    let text =
-      try In_channel.with_open_text script In_channel.input_all
-      with Sys_error msg ->
-        Fmt.epr "%s@." msg;
-        exit 2
-    in
     let hexpr_of_string src =
       try Syntax.Parser.hexpr_of_string ~automata:spec.Syntax.Spec.automata src
       with Syntax.Parser.Error (msg, line, col) ->
         failwith (Fmt.str "%s (at %d:%d)" msg line col)
     in
     let hexpr_to_string = Core.Hexpr.to_string in
-    let sfaults =
-      match faults with
-      | None -> []
-      | Some s -> (
-          match Runtime.Faults.parse_serve s with
-          | Ok fs -> fs
-          | Error msg ->
-              Fmt.epr "--faults: %s@." msg;
-              exit 2)
+    let floor =
+      match Core.Compliance.level_of_string floor with
+      | Ok f -> f
+      | Error e ->
+          Fmt.epr "bad --floor: %s@." e;
+          exit 2
     in
-    match Broker.Script.parse ~file:script ~hexpr_of_string text with
-    | Error msg ->
-        Fmt.epr "%s@." msg;
-        exit 2
-    | Ok items ->
-        let floor =
-          match Core.Compliance.level_of_string floor with
-          | Ok f -> f
-          | Error e ->
-              Fmt.epr "bad --floor: %s@." e;
+    let admission =
+      { Broker.queue_capacity = queue; plan_budget = budget; floor }
+    in
+    let repo = Syntax.Spec.repo spec in
+    if shards < 1 then begin
+      Fmt.epr "--shards must be >= 1@.";
+      exit 2
+    end;
+    if batch < 1 then begin
+      Fmt.epr "--batch must be >= 1@.";
+      exit 2
+    end;
+    let load_script () =
+      match script with
+      | None ->
+          Fmt.epr "--script is required in this mode@.";
+          exit 2
+      | Some script -> (
+          let text =
+            try In_channel.with_open_text script In_channel.input_all
+            with Sys_error msg ->
+              Fmt.epr "%s@." msg;
               exit 2
+          in
+          match Broker.Script.parse ~file:script ~hexpr_of_string text with
+          | Error msg ->
+              Fmt.epr "%s@." msg;
+              exit 2
+          | Ok items -> items)
+    in
+    (* --- socket server mode (--listen) --------------------------------- *)
+    let serve_listen port =
+      if Option.is_some script then begin
+        Fmt.epr
+          "--listen takes live connections; drop --script (or use --connect \
+           to drive it)@.";
+        exit 2
+      end;
+      let jpath j i = j ^ "." ^ string_of_int i in
+      (match journal with
+      | Some j when (not recover) && not force ->
+          for i = 0 to shards - 1 do
+            if Sys.file_exists (jpath j i) then begin
+              Fmt.epr
+                "%s exists — pass --force to overwrite it, or --recover to \
+                 resume from it@."
+                (jpath j i);
+              exit 2
+            end
+          done
+      | _ -> ());
+      if (recover || check) && Option.is_none journal then begin
+        Fmt.epr "--recover/--check need --journal@.";
+        exit 2
+      end;
+      let engines =
+        if not recover then
+          Array.init shards (fun _ -> Broker.create ~admission repo)
+        else
+          let j = Option.get journal in
+          Array.init shards (fun i ->
+              let p = jpath j i in
+              if not (Sys.file_exists p) then Broker.create ~admission repo
+              else
+                match
+                  Broker.Recovery.recover ~hexpr_of_string ~admission
+                    ~journal:p repo
+                with
+                | Error msg ->
+                    Fmt.epr "shard %d: recovery failed: %s@." i msg;
+                    exit 2
+                | Ok (b, r) ->
+                    if r.Broker.Recovery.torn_dropped then
+                      Broker.Journal.drop_torn_tail p;
+                    Fmt.epr "-- shard %d: %a@." i Broker.Recovery.pp_report r;
+                    b)
+      in
+      if recover then begin
+        (* the sharded recovery contract: every recovered verdict must
+           equal a cold planner run at its recorded level on the
+           recovered repository replica *)
+        let checked = ref 0 and mismatches = ref 0 in
+        Array.iteri
+          (fun i b ->
+            List.iter
+              (fun (c, level) ->
+                match List.assoc_opt c (Broker.clients b) with
+                | None -> ()
+                | Some body -> (
+                    incr checked;
+                    let oracle =
+                      Broker.Oracle.serve ~level (Broker.repo b)
+                        ~client:(c, body)
+                    in
+                    match Broker.cached_verdict b c with
+                    | Some (v, _) when Broker.verdict_equal v oracle -> ()
+                    | _ ->
+                        incr mismatches;
+                        Fmt.epr "MISMATCH shard %d client %s@." i c))
+              (Broker.served_clients b))
+          engines;
+        Fmt.epr
+          "-- %d recovered verdicts checked against the cold oracle, %d \
+           mismatches@."
+          !checked !mismatches;
+        if !mismatches > 0 then exit 1
+      end;
+      if check then 0
+      else begin
+        let jfn =
+          Option.map
+            (fun j i ->
+              Broker.Journal.create ~hexpr_to_string ~append:recover ~batch
+                (jpath j i))
+            journal
         in
-        let admission =
-          { Broker.queue_capacity = queue; plan_budget = budget; floor }
+        let pool = Broker.Shard.of_engines ?journal:jfn engines in
+        let server = Broker.Net.create ~hexpr_of_string ~port pool in
+        Fmt.epr "-- listening on 127.0.0.1:%d (%d shard%s, journal batch %d)@."
+          (Broker.Net.port server) shards
+          (if shards = 1 then "" else "s")
+          batch;
+        Broker.Net.serve server;
+        Array.iteri
+          (fun i b ->
+            Fmt.pr "-- shard %d: %a@." i Broker.pp_stats (Broker.stats b))
+          engines;
+        0
+      end
+    in
+    (* --- concurrent load-driver mode (--connect) ------------------------ *)
+    let serve_connect hostport =
+      let host, port =
+        let bad () =
+          Fmt.epr "--connect wants HOST:PORT@.";
+          exit 2
         in
-        let repo = Syntax.Spec.repo spec in
+        match String.rindex_opt hostport ':' with
+        | None -> bad ()
+        | Some i -> (
+            let h = String.sub hostport 0 i in
+            match
+              int_of_string_opt
+                (String.sub hostport (i + 1) (String.length hostport - i - 1))
+            with
+            | None -> bad ()
+            | Some p -> (h, p))
+      in
+      let items = load_script () in
+      let streams = Broker.Script.partition ~streams:conns items in
+      let total = Array.fold_left (fun n s -> n + List.length s) 0 streams in
+      let t0 = Unix.gettimeofday () in
+      let open_conns, driven =
+        Broker.Net.drive ~host ~port ~hexpr_to_string streams
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let errs =
+        List.filter
+          (fun (d : Broker.Net.driven) ->
+            String.length d.Broker.Net.reply < 2
+            || String.sub d.Broker.Net.reply 0 2 <> "ok")
+          driven
+      in
+      List.iter
+        (fun (d : Broker.Net.driven) ->
+          Fmt.epr "stream %d: %a -> %s@." d.Broker.Net.stream Broker.pp_request
+            d.Broker.Net.request d.Broker.Net.reply)
+        errs;
+      Fmt.pr
+        "-- drove %d requests over %d connections in %.3fs (%.0f events/s), \
+         %d errors@."
+        total conns dt
+        (float_of_int total /. dt)
+        (List.length errs);
+      if do_shutdown then Broker.Net.shutdown_conns open_conns
+      else
+        Array.iter
+          (fun (fd, _, _) ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          open_conns;
+      if errs = [] then 0 else 1
+    in
+    match (listen, connect) with
+    | Some _, Some _ ->
+        Fmt.epr "--listen and --connect are mutually exclusive@.";
+        exit 2
+    | Some port, None -> serve_listen port
+    | None, Some hostport -> serve_connect hostport
+    | None, None ->
+        let items = load_script () in
+        let sfaults =
+          match faults with
+          | None -> []
+          | Some s -> (
+              match Runtime.Faults.parse_serve s with
+              | Ok fs -> fs
+              | Error msg ->
+                  Fmt.epr "--faults: %s@." msg;
+                  exit 2)
+        in
         (match journal with
         | Some j when (not recover) && (not force) && Sys.file_exists j ->
             Fmt.epr
@@ -948,7 +1193,8 @@ let serve_cmd =
         in
         let writer =
           Option.map
-            (fun j -> Broker.Journal.create ~hexpr_to_string ~append:recover j)
+            (fun j ->
+              Broker.Journal.create ~hexpr_to_string ~append:recover ~batch j)
             journal
         in
         let logged =
@@ -995,6 +1241,9 @@ let serve_cmd =
           match journal with
           | Some j when snapshot_every > 0 && !accepted - !last_snap >= snapshot_every
             ->
+              (* the snapshot's [upto] claims those entries are on disk,
+                 so a group-commit buffer must be flushed first *)
+              Option.iter Broker.Journal.flush writer;
               Broker.Recovery.write ~hexpr_to_string (j ^ ".snapshot")
                 (Broker.Recovery.snapshot_of broker ~upto:!logged);
               last_snap := !accepted
@@ -1096,7 +1345,8 @@ let serve_cmd =
     Term.(
       const run $ file_arg $ script_arg $ queue_arg $ budget_arg $ floor_arg
       $ json_arg $ trace_arg $ metrics_arg $ journal_arg $ snapshot_every_arg
-      $ recover_arg $ force_arg $ serve_faults_arg)
+      $ recover_arg $ force_arg $ serve_faults_arg $ listen_arg $ shards_arg
+      $ batch_arg $ connect_arg $ conns_arg $ check_arg $ shutdown_arg)
 
 (* --- show --- *)
 

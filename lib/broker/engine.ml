@@ -176,6 +176,11 @@ let served_clients t =
   Index.fold t.index (fun acc e -> (e.Index.client, e.Index.level) :: acc) []
   |> List.sort compare
 
+let cached_verdict t name =
+  Option.map
+    (fun (e : Index.entry) -> (e.Index.verdict, e.Index.level))
+    (Index.find t.index name)
+
 (* ---- universe bookkeeping -------------------------------------------- *)
 
 (* The netcheck universe of a cached verdict is every policy of the
@@ -645,6 +650,34 @@ let restore ?admission ~sessions ~served ~seq repo =
   t.seq <- seq;
   refresh_gauges t;
   t
+
+(* ---- shard routing ---------------------------------------------------- *)
+
+(* FNV-1a/32 over the routing key. Deliberately not [Hashtbl.hash]: the
+   routing rule is part of the serving contract (per-shard journals are
+   replayed against the same rule after a crash), so it must be stable
+   across OCaml versions and future builds. *)
+let route ~shards key =
+  if shards < 1 then invalid_arg "Broker.route: shards must be >= 1";
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    key;
+  !h mod shards
+
+type target = Shard of int | Broadcast
+
+(* Session-scoped requests route to their client's shard — every
+   location/contract-id key maps to exactly one shard. Repository
+   mutations and policy changes are broadcast: every shard holds a full
+   replica of the repository (services are hash-consed, so replicas
+   share structure), which is what keeps each shard's serve answers
+   equal to the unsharded oracle. *)
+let target ~shards = function
+  | Open { client; _ } | Close { client } | Serve { client }
+  | Run { client; _ } ->
+      Shard (route ~shards client)
+  | Publish _ | Retract _ | Update _ | Set_policy _ -> Broadcast
 
 (* ---- oracle ---------------------------------------------------------- *)
 

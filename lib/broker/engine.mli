@@ -216,6 +216,11 @@ val served_clients : t -> (string * Compliance.level) list
     settled at, sorted — what a snapshot records so {!restore} knows
     which verdicts to rebuild, and at which level. *)
 
+val cached_verdict : t -> string -> (Index.verdict * Compliance.level) option
+(** The live index entry for this client, if any — what recovery
+    verification compares against {!Oracle.serve} at the recorded
+    level. *)
+
 val restore :
   ?admission:admission ->
   sessions:(string * Hexpr.t) list ->
@@ -255,6 +260,29 @@ val replay_rescue :
     reconstructed in order — so the re-run answer is byte-identical.
     Raises [Invalid_argument] on a non-[Serve] request (only [Serve]s
     are ever rescued). *)
+
+(** {1 Shard routing}
+
+    The routing rule of the sharded broker ({!Shard}), kept here so the
+    engine and its tests own the contract: it is part of the serving
+    protocol (per-shard journals are replayed against it after a
+    crash), so it must stay stable across releases. *)
+
+val route : shards:int -> string -> int
+(** [route ~shards key] maps a routing key (client name, location,
+    contract id) to its owning shard: FNV-1a/32 of the key, mod
+    [shards]. Total — every key maps to exactly one shard in
+    [\[0, shards)] — and deterministic across runs and OCaml versions.
+    Raises [Invalid_argument] when [shards < 1]. *)
+
+type target = Shard of int | Broadcast
+
+val target : shards:int -> request -> target
+(** Where a request goes: session-scoped requests ([Open] / [Close] /
+    [Serve] / [Run]) to [Shard (route ~shards client)]; repository
+    mutations and [Set_policy] to every shard ([Broadcast]) — each
+    shard replicates the repository, which is what keeps per-shard
+    serves equal to the unsharded oracle. *)
 
 (** {1 The cold oracle} *)
 

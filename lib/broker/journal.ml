@@ -153,10 +153,18 @@ let read ~hexpr_of_string path =
 type writer = {
   oc : out_channel;
   hexpr_to_string : Core.Hexpr.t -> string;
+  batch : int;
+  buf : Buffer.t;
+      (* encoded-but-unflushed entries (group commit); never reaches
+         [oc] except through [flush], so a crash loses whole trailing
+         entries, at most [batch - 1] of them plus the one being
+         flushed — never a mid-file hole *)
+  mutable buffered : int;
   mutable appended : int;
 }
 
-let create ~hexpr_to_string ?(append = false) path =
+let create ~hexpr_to_string ?(append = false) ?(batch = 1) path =
+  if batch < 1 then invalid_arg "Journal.create: batch must be >= 1";
   let continue = append && Sys.file_exists path in
   let oc =
     if continue then
@@ -166,26 +174,47 @@ let create ~hexpr_to_string ?(append = false) path =
   if not continue then (
     output_string oc (header_line ^ "\n");
     flush oc);
-  { oc; hexpr_to_string; appended = 0 }
+  { oc; hexpr_to_string; batch; buf = Buffer.create 512; buffered = 0; appended = 0 }
+
+let flush w =
+  if w.buffered > 0 then begin
+    output_string w.oc (Buffer.contents w.buf);
+    Stdlib.flush w.oc;
+    Obs.Metrics.incr "broker.journal.group_commit.flushes";
+    Obs.Metrics.observe "broker.journal.batch_size" w.buffered;
+    Buffer.clear w.buf;
+    w.buffered <- 0
+  end
 
 let append w e =
   let line = encode ~hexpr_to_string:w.hexpr_to_string e ^ "\n" in
-  output_string w.oc line;
-  flush w.oc;
+  Buffer.add_string w.buf line;
+  w.buffered <- w.buffered + 1;
   w.appended <- w.appended + 1;
   Obs.Metrics.incr "broker.journal.appends";
-  Obs.Metrics.add "broker.journal.bytes" (String.length line)
+  Obs.Metrics.add "broker.journal.bytes" (String.length line);
+  if w.buffered >= w.batch then flush w
 
 let appended w = w.appended
 
 (* Chaos helper: simulate a torn write by leaving an unterminated
-   garbage prefix at the tail, exactly what an interrupted [append]
+   garbage prefix at the tail, exactly what an interrupted [flush]
    can leave behind. *)
 let tear w =
+  flush w;
   output_string w.oc "999 dead";
-  flush w.oc
+  Stdlib.flush w.oc
 
-let close w = close_out w.oc
+(* Chaos helper: drop the un-flushed batch and abandon the file, as a
+   crash between batch fill and flush would. *)
+let crash w =
+  Buffer.clear w.buf;
+  w.buffered <- 0;
+  close_out w.oc
+
+let close w =
+  flush w;
+  close_out w.oc
 
 (* Truncate an unterminated final line so appends can resume after a
    torn write (see [read]: torn == missing trailing newline). *)

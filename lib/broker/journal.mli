@@ -83,26 +83,56 @@ type writer
 val create :
   hexpr_to_string:(Core.Hexpr.t -> string) ->
   ?append:bool ->
+  ?batch:int ->
   string ->
   writer
 (** Open a journal for writing. [~append:false] (the default) truncates
     and writes a fresh header; [~append:true] continues an existing
     journal after its last line (a missing file still gets a fresh
     header). A torn tail must be handled by the caller before
-    appending — recovery truncates by rewriting the durable prefix. *)
+    appending — recovery truncates by rewriting the durable prefix.
+
+    {b Group commit.} [~batch] (default [1]) sets how many entries are
+    buffered before a single write-and-flush pushes them to disk
+    together. [batch = 1] preserves the historical flush-per-append
+    behaviour. A larger batch trades a {e durability window} for
+    throughput: entries sitting in the buffer are acknowledged to the
+    engine (the write-ahead hook has returned) but are {e not} durable
+    until the batch flushes — a crash in the window loses up to
+    [batch - 1] buffered entries plus whatever part of the in-flight
+    flush did not reach disk. What it can {e never} do is hole the
+    file: the buffer only reaches the file through {!flush}, appends
+    are strictly ordered, and a partially-written last batch is a torn
+    tail ({!read} drops the unterminated final line, and every complete
+    line before it is intact). Serving layers that acknowledge clients
+    (the socket front end) must call {!flush} before answering, so a
+    client-visible ack always implies a durable entry.
+    Raises [Invalid_argument] when [batch < 1]. *)
 
 val append : writer -> entry -> unit
-(** Encode, write and flush one entry ([broker.journal.appends] /
-    [broker.journal.bytes] count them). *)
+(** Encode and buffer one entry, flushing when the batch fills
+    ([broker.journal.appends] / [broker.journal.bytes] count entries,
+    [broker.journal.group_commit.flushes] / [broker.journal.batch_size]
+    count flushes and their sizes). *)
+
+val flush : writer -> unit
+(** Force the buffered batch (if any) to disk now — the group-commit
+    barrier. A no-op on an empty buffer. *)
 
 val appended : writer -> int
-(** Entries appended through this writer. *)
+(** Entries appended through this writer (flushed or still buffered). *)
 
 val tear : writer -> unit
-(** Chaos helper: leave an unterminated garbage tail, as an interrupted
-    {!append} would. *)
+(** Chaos helper: flush, then leave an unterminated garbage tail, as an
+    interrupted flush would. *)
+
+val crash : writer -> unit
+(** Chaos helper: drop the un-flushed batch and abandon the file —
+    a crash between batch fill and flush. The flushed prefix stays
+    intact. *)
 
 val close : writer -> unit
+(** {!flush}, then close the file. *)
 
 val drop_torn_tail : string -> unit
 (** Physically truncate an unterminated final line (if any) so that a

@@ -1,0 +1,260 @@
+(* Socket front end for the sharded broker: a line-oriented protocol
+   over TCP that reuses the script grammar verbatim for requests. Each
+   request line is answered with exactly one response line:
+
+     ok SHARD SEQ OUTCOME     the request was processed; SHARD is the
+                              owning shard id ('*' for broadcasts,
+                              answered once, from shard 0), SEQ the
+                              per-shard sequence number, OUTCOME the
+                              one-line rendering of [Engine.pp_outcome]
+     err MESSAGE              the line did not parse (nothing was
+                              submitted; the connection stays usable)
+     ok bye                   the reply to the 'shutdown' verb, sent
+                              only after every shard has drained and
+                              the journals are flushed and closed — a
+                              client that has read it can recover the
+                              journals immediately
+
+   The accept/read loop is a single [Unix.select] thread; request
+   processing happens on the shard worker domains, whose response
+   callbacks write directly to the client socket (serialized by a
+   per-connection mutex — responses to one connection can complete on
+   different shards concurrently). Responses to pipelined requests on
+   one connection arrive in per-shard order but may interleave across
+   shards — SHARD/SEQ identify them; drivers that need strict
+   request/response pairing (the workload driver below, the CI smoke)
+   simply keep one request in flight per connection. *)
+
+let one_line s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+  |> String.concat " "
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;  (* partial input line, select-loop private *)
+  wlock : Mutex.t;  (* serializes response writes across shards *)
+  mutable closed : bool;
+}
+
+type t = {
+  pool : Shard.t;
+  lsock : Unix.file_descr;
+  port : int;
+  hexpr_of_string : string -> Core.Hexpr.t;
+  mutable conns : conn list;
+  mutable shutdown : conn option;
+      (* the connection that sent 'shutdown': it gets the 'ok bye',
+         after the pool has stopped *)
+}
+
+let port t = t.port
+let pool t = t.pool
+
+let create ~hexpr_of_string ?(port = 0) pool =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen lsock 64;
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { pool; lsock; port; hexpr_of_string; conns = []; shutdown = None }
+
+let write_line conn line =
+  Mutex.lock conn.wlock;
+  (try
+     if not conn.closed then begin
+       let b = Bytes.of_string (line ^ "\n") in
+       let n = Bytes.length b in
+       let rec go off =
+         if off < n then go (off + Unix.write conn.fd b off (n - off))
+       in
+       go 0
+     end
+   with Unix.Unix_error _ -> conn.closed <- true);
+  Mutex.unlock conn.wlock
+
+let close_conn conn =
+  Mutex.lock conn.wlock;
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end;
+  Mutex.unlock conn.wlock
+
+let handle_line t conn line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else if line = "shutdown" then begin
+    Obs.Metrics.incr "net.shutdowns";
+    (* the 'ok bye' is deferred until the pool has stopped: reading it
+       means the journals are flushed, closed and safe to recover *)
+    t.shutdown <- Some conn
+  end
+  else if line = "ping" then write_line conn "ok pong"
+  else
+    match Script.request_of_line ~hexpr_of_string:t.hexpr_of_string line with
+    | Error msg ->
+        Obs.Metrics.incr "net.errors";
+        write_line conn ("err " ^ one_line msg)
+    | Ok request ->
+        Obs.Metrics.incr "net.requests";
+        let tag =
+          match Engine.target ~shards:(Shard.shards t.pool) request with
+          | Engine.Broadcast -> "*"
+          | Engine.Shard i -> string_of_int i
+        in
+        Shard.submit t.pool request ~callback:(fun ~shard:_ resp ->
+            Obs.Metrics.incr "net.responses";
+            write_line conn
+              (Fmt.str "ok %s %d %s" tag resp.Engine.seq
+                 (one_line (Fmt.str "%a" Engine.pp_outcome resp.Engine.outcome))))
+
+let feed t conn bytes len =
+  Buffer.add_subbytes conn.rbuf bytes 0 len;
+  let text = Buffer.contents conn.rbuf in
+  let rec go start =
+    match String.index_from_opt text start '\n' with
+    | None ->
+        Buffer.clear conn.rbuf;
+        Buffer.add_substring conn.rbuf text start (String.length text - start)
+    | Some i ->
+        handle_line t conn (String.sub text start (i - start));
+        go (i + 1)
+  in
+  go 0
+
+(* One pass of the accept/read loop; returns [false] once the server
+   should stop (shutdown requested and observed). *)
+let step t =
+  let alive = List.filter (fun c -> not c.closed) t.conns in
+  t.conns <- alive;
+  let fds = t.lsock :: List.map (fun c -> c.fd) alive in
+  match Unix.select fds [] [] 0.2 with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+  | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = t.lsock then begin
+            let cfd, _ = Unix.accept t.lsock in
+            Obs.Metrics.incr "net.connections";
+            t.conns <-
+              {
+                fd = cfd;
+                rbuf = Buffer.create 256;
+                wlock = Mutex.create ();
+                closed = false;
+              }
+              :: t.conns
+          end
+          else
+            match List.find_opt (fun c -> c.fd = fd) t.conns with
+            | None -> ()
+            | Some conn -> (
+                let buf = Bytes.create 4096 in
+                match Unix.read conn.fd buf 0 4096 with
+                | 0 -> close_conn conn
+                | n -> feed t conn buf n
+                | exception Unix.Unix_error _ -> close_conn conn))
+        readable;
+      Option.is_none t.shutdown
+
+let serve t =
+  Obs.Metrics.set "net.port" t.port;
+  while step t do
+    ()
+  done;
+  (* shutdown: stop the pool first — workers drain what is queued and
+     the response callbacks still reach their sockets, the journals
+     flush and close — only then acknowledge and hang up *)
+  Shard.stop t.pool;
+  Option.iter (fun conn -> write_line conn "ok bye") t.shutdown;
+  List.iter close_conn t.conns;
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ())
+
+(* ---- the synchronous workload driver ---------------------------------- *)
+
+(* Drive M request streams over M connections, one request in flight
+   per connection (send, then block on the response line), rotating
+   across connections so up to M requests are in flight server-side at
+   any moment. The per-connection request/response pairing this buys is
+   what the CI smoke and the bench validation key on. *)
+
+type driven = {
+  stream : int;
+  request : Engine.request;
+  reply : string;
+}
+
+let drive ?(host = "127.0.0.1") ~port ~hexpr_to_string
+    (streams : Engine.request list array) =
+  let inet =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> failwith ("Net.drive: unknown host " ^ host))
+  in
+  let addr = Unix.ADDR_INET (inet, port) in
+  (* retry refused connections for a few seconds: drivers are routinely
+     started right after the server process, before it binds *)
+  let rec connect tries =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when tries > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.1;
+        connect (tries - 1)
+  in
+  let conns =
+    Array.map
+      (fun _ ->
+        let fd = connect 50 in
+        (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd))
+      streams
+  in
+  let cursors = Array.map (fun s -> ref s) streams in
+  let results = ref [] in
+  let remaining () =
+    Array.exists (fun c -> !c <> []) cursors
+  in
+  while remaining () do
+    (* send one request per connection with work left... *)
+    Array.iteri
+      (fun i c ->
+        match !c with
+        | [] -> ()
+        | r :: _ ->
+            let _, _, oc = conns.(i) in
+            output_string oc (Script.request_line ~hexpr_to_string r ^ "\n");
+            flush oc)
+      cursors;
+    (* ...then collect the one response each owes *)
+    Array.iteri
+      (fun i c ->
+        match !c with
+        | [] -> ()
+        | r :: rest ->
+            let _, ic, _ = conns.(i) in
+            let reply = input_line ic in
+            results := { stream = i; request = r; reply } :: !results;
+            c := rest)
+      cursors
+  done;
+  (conns, List.rev !results)
+
+let shutdown_conns conns =
+  (match Array.length conns with
+  | 0 -> ()
+  | _ ->
+      let _, ic, oc = conns.(0) in
+      output_string oc "shutdown\n";
+      flush oc;
+      (try ignore (input_line ic) with End_of_file -> ()));
+  Array.iter
+    (fun (fd, _, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    conns

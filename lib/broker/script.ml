@@ -173,6 +173,31 @@ let replay broker items =
   in
   responses @ Engine.drain broker
 
+(* Split a script into per-connection request streams for the socket
+   front end: session requests follow their client (the same FNV rule
+   the shards route by, so one client's open/serve/close order is
+   preserved end to end), mutations and policy changes go to stream 0,
+   and tick/drain boundaries are dropped — concurrency replaces them. *)
+let partition ~streams items =
+  if streams < 1 then invalid_arg "Script.partition: streams must be >= 1";
+  let out = Array.make streams [] in
+  let push i r = out.(i) <- r :: out.(i) in
+  List.iter
+    (function
+      | Tick | Drain -> ()
+      | Submit r -> (
+          match r with
+          | Engine.Open { client; _ }
+          | Engine.Close { client }
+          | Engine.Serve { client }
+          | Engine.Run { client; _ } ->
+              push (Engine.route ~shards:streams client) r
+          | Engine.Publish _ | Engine.Retract _ | Engine.Update _
+          | Engine.Set_policy _ ->
+              push 0 r))
+    items;
+  Array.map List.rev out
+
 let pp_item ppf = function
   | Submit r -> Engine.pp_request ppf r
   | Tick -> Fmt.string ppf "tick"

@@ -62,6 +62,15 @@ val request_of_line :
 (** Parse one request line produced by {!request_line}. [tick]/[drain]/
     blank lines are not requests and are rejected. *)
 
+val partition : streams:int -> item list -> Engine.request list array
+(** Split a script into per-connection request streams for the socket
+    front end ({!Net.drive}): session requests follow their client
+    (via {!Engine.route}, the shard routing rule, so one client's
+    open/serve/close order survives per-shard FIFO processing),
+    mutations and [policy] go to stream 0, [tick]/[drain] boundaries
+    are dropped — concurrent submission replaces them. Raises
+    [Invalid_argument] when [streams < 1]. *)
+
 val replay : Engine.t -> item list -> Engine.response list
 (** Feed the items through the broker in order and return every
     response produced (shed submissions respond immediately; queued

@@ -1,0 +1,78 @@
+(** The sharded broker: [N] {!Engine}s, each owned by one OCaml 5
+    worker domain, with requests routed by {!Engine.target} — session
+    requests to [Engine.route ~shards client], repository mutations and
+    policy changes broadcast to every shard. Each shard replicates the
+    repository (hash-consing makes replicas share structure) and owns
+    the verdict-index partition of the clients that route to it, so a
+    shard {e is} an unsharded broker over its slice of the session
+    space: submission-order determinism, the per-level oracle-replay
+    property and byte-identical journal recovery all hold per shard.
+
+    {b Group commit.} A worker cycle moves every waiting submission
+    into its engine's admission queue (queue pressure, shedding and the
+    degradation ladder behave exactly as in the unsharded loop), steps
+    the engine dry, flushes the shard's journal {e once}, and only then
+    invokes response callbacks — an acknowledged response always
+    implies a durable journal entry, and a crash loses at most the
+    un-acked tail of one batch, never a mid-file hole.
+
+    {b Threading.} [submit] may be called from any thread or domain.
+    Callbacks run on the shard's worker domain and must not block;
+    submitting from inside a callback is allowed (it only enqueues).
+
+    Instruments: [broker.shard.count], [broker.shard.submitted],
+    [broker.shard.processed], [broker.shard.broadcast],
+    [broker.shard.queue.depth]. *)
+
+type t
+
+type callback = shard:int -> Engine.response -> unit
+
+val create :
+  ?admission:Engine.admission ->
+  ?journal:(int -> Journal.writer) ->
+  shards:int ->
+  Core.Network.repo ->
+  t
+(** A pool of [shards] fresh engines over (replicas of) this
+    repository, workers spawned. With [?journal], shard [i] installs
+    the write-ahead hook on journal [journal i] — shed and rescue
+    markers included, exactly as the script serve loop records them.
+    Raises [Invalid_argument] when [shards < 1]. *)
+
+val of_engines : ?journal:(int -> Journal.writer) -> Engine.t array -> t
+(** A pool over pre-built engines — how recovery hands per-shard
+    recovered brokers back to the serving layer. *)
+
+val shards : t -> int
+
+val engine : t -> int -> Engine.t
+(** Shard [i]'s engine. Only safe to inspect while the pool is
+    quiescent ({!drain}ed with no concurrent submitters, or
+    {!stop}ped) — the worker domain owns it otherwise. *)
+
+val seqs : t -> int array
+(** Per-shard next sequence numbers (same quiescence caveat). *)
+
+val submit : t -> ?callback:callback -> Engine.request -> unit
+(** Route and enqueue. Session requests go to their client's shard;
+    broadcasts enqueue on every shard and fire [callback] once, from
+    shard 0. Broadcasts bypass admission control: the bounded queue
+    sheds {e load}, and replication is not load — a shard that dropped
+    a mutation under pressure would silently fork its repository
+    replica. A shard draining its queue before applying a broadcast
+    keeps FIFO order intact, so a session request submitted after a
+    mutation observes it on every shard. Never blocks. Raises
+    [Invalid_argument] after {!stop}, and re-raises a worker's failure
+    if its shard died. *)
+
+val drain : t -> unit
+(** Block until every shard's job queue is empty and its worker idle.
+    A quiescence barrier only when no other thread is submitting
+    (callbacks that re-submit count as submitters). Re-raises worker
+    failures. *)
+
+val stop : t -> unit
+(** Stop accepting work, let each worker drain what is already queued,
+    flush + close the journals, and join the worker domains. Re-raises
+    worker failures. *)

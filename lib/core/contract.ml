@@ -122,11 +122,12 @@ type dir = I | O
 
 let co = function I -> O | O -> I
 
-let fresh_counter = ref 0
+(* atomic: capture-avoiding substitution runs concurrently on broker
+   shards, and a duplicated fresh name would capture after all *)
+let fresh_counter = Atomic.make 0
 
 let fresh base =
-  incr fresh_counter;
-  Printf.sprintf "%s_%d" base !fresh_counter
+  Printf.sprintf "%s_%d" base (1 + Atomic.fetch_and_add fresh_counter 1)
 
 let rec subst x ~by c =
   match c.node with

@@ -114,11 +114,12 @@ module Infix = struct
   let ( @. ) = seq
 end
 
-let fresh_counter = ref 0
+(* atomic: capture-avoiding substitution runs concurrently on broker
+   shards, and a duplicated fresh name would capture after all *)
+let fresh_counter = Atomic.make 0
 
 let fresh base =
-  incr fresh_counter;
-  Printf.sprintf "%s_%d" base !fresh_counter
+  Printf.sprintf "%s_%d" base (1 + Atomic.fetch_and_add fresh_counter 1)
 
 let rec subst x ~by t =
   match t with

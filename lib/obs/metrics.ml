@@ -12,10 +12,24 @@ let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, int ref) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, hist) Hashtbl.t = Hashtbl.create 16
 
+(* The registry is process-global and instruments fire from every
+   broker shard (domain), so all table access and cell updates run
+   under one lock. The [!enabled] fast path stays lock-free: when the
+   sink is not installed (the default), instrumentation costs one
+   atomic load. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  let r = f () in
+  Mutex.unlock lock;
+  r
+
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset histograms
+  locked (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset histograms)
 
 let install () =
   enabled := true;
@@ -32,15 +46,20 @@ let cell tbl name =
       Hashtbl.replace tbl name r;
       r
 
-let add name n = if !enabled then cell counters name := !(cell counters name) + n
+let add name n =
+  if !enabled then
+    locked (fun () ->
+        let r = cell counters name in
+        r := !r + n)
+
 let incr name = add name 1
-let set name v = if !enabled then cell gauges name := v
+let set name v = if !enabled then locked (fun () -> cell gauges name := v)
 
 let set_max name v =
-  if !enabled then begin
-    let r = cell gauges name in
-    if v > !r then r := v
-  end
+  if !enabled then
+    locked (fun () ->
+        let r = cell gauges name in
+        if v > !r then r := v)
 
 let default_bounds =
   [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096; 16384; 65536 |]
@@ -58,29 +77,29 @@ let bucket_index ~bounds v =
   go 0 n
 
 let observe ?(bounds = default_bounds) name v =
-  if !enabled then begin
-    let h =
-      match Hashtbl.find_opt histograms name with
-      | Some h -> h
-      | None ->
-          let h =
-            {
-              h_bounds = Array.copy bounds;
-              h_counts = Array.make (Array.length bounds + 1) 0;
-              h_count = 0;
-              h_sum = 0;
-              h_max = 0;
-            }
-          in
-          Hashtbl.replace histograms name h;
-          h
-    in
-    let i = bucket_index ~bounds:h.h_bounds v in
-    h.h_counts.(i) <- h.h_counts.(i) + 1;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum + v;
-    if v > h.h_max then h.h_max <- v
-  end
+  if !enabled then
+    locked (fun () ->
+        let h =
+          match Hashtbl.find_opt histograms name with
+          | Some h -> h
+          | None ->
+              let h =
+                {
+                  h_bounds = Array.copy bounds;
+                  h_counts = Array.make (Array.length bounds + 1) 0;
+                  h_count = 0;
+                  h_sum = 0;
+                  h_max = 0;
+                }
+              in
+              Hashtbl.replace histograms name h;
+              h
+        in
+        let i = bucket_index ~bounds:h.h_bounds v in
+        h.h_counts.(i) <- h.h_counts.(i) + 1;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum + v;
+        if v > h.h_max then h.h_max <- v)
 
 type histogram = {
   bounds : int list;
@@ -101,6 +120,7 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot () =
+  locked @@ fun () ->
   {
     counters = sorted_bindings counters (fun r -> !r);
     gauges = sorted_bindings gauges (fun r -> !r);

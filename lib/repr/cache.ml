@@ -10,8 +10,21 @@ type entry = {
 
 let registry : entry list ref = ref []
 
+(* Guards the registry list only; each entry's own closures lock their
+   backing table themselves, so the list is snapshotted under the lock
+   and iterated outside it (no nested lock order to get wrong). *)
+let lock = Mutex.create ()
+
+let entries () =
+  Mutex.lock lock;
+  let es = !registry in
+  Mutex.unlock lock;
+  es
+
 let register ~name ?clear ?invalidate ~stats ~reset_counters () =
-  registry := { name; clear; invalidate; stats; reset_counters } :: !registry
+  Mutex.lock lock;
+  registry := { name; clear; invalidate; stats; reset_counters } :: !registry;
+  Mutex.unlock lock
 
 let clear_all () =
   Obs.Metrics.incr "repr.cache.clears";
@@ -19,13 +32,13 @@ let clear_all () =
     (fun e ->
       Option.iter (fun f -> f ()) e.clear;
       e.reset_counters ())
-    !registry
+    (entries ())
 
 let invalidate id =
   Obs.Metrics.incr "repr.cache.invalidations";
-  List.iter (fun e -> Option.iter (fun f -> f id) e.invalidate) !registry
+  List.iter (fun e -> Option.iter (fun f -> f id) e.invalidate) (entries ())
 
 let stats () =
-  !registry
+  entries ()
   |> List.map (fun e -> (e.name, e.stats ()))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

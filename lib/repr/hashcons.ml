@@ -19,6 +19,11 @@ module Make (C : ConsedType) = struct
     tbl : W.t;
     hits_name : string;
     misses_name : string;
+    lock : Mutex.t;
+        (* interning is shared across broker shards, so every weak-table
+           access runs under this lock; the whole [intern] is one
+           critical section (lookup + id assignment + insert must be
+           atomic or two domains could cons distinct ids for one node) *)
     mutable next : int;
     mutable hits : int;
     mutable misses : int;
@@ -30,6 +35,7 @@ module Make (C : ConsedType) = struct
         tbl = W.create initial_size;
         hits_name = name ^ ".hits";
         misses_name = name ^ ".misses";
+        lock = Mutex.create ();
         next = 0;
         hits = 0;
         misses = 0;
@@ -37,6 +43,8 @@ module Make (C : ConsedType) = struct
     in
     Cache.register ~name
       ~stats:(fun () ->
+        (* counter reads are unlocked: ints load atomically and stats
+           are advisory *)
         { Cache.hits = t.hits; misses = t.misses; entries = W.count t.tbl })
       ~reset_counters:(fun () ->
         t.hits <- 0;
@@ -45,18 +53,23 @@ module Make (C : ConsedType) = struct
     t
 
   let intern t node =
-    let candidate = C.make ~id:t.next node in
-    match W.find_opt t.tbl candidate with
-    | Some existing ->
-        t.hits <- t.hits + 1;
-        Obs.Metrics.incr t.hits_name;
-        existing
-    | None ->
-        t.misses <- t.misses + 1;
-        Obs.Metrics.incr t.misses_name;
-        W.add t.tbl candidate;
-        t.next <- t.next + 1;
-        candidate
+    Mutex.lock t.lock;
+    let r =
+      let candidate = C.make ~id:t.next node in
+      match W.find_opt t.tbl candidate with
+      | Some existing ->
+          t.hits <- t.hits + 1;
+          Obs.Metrics.incr t.hits_name;
+          existing
+      | None ->
+          t.misses <- t.misses + 1;
+          Obs.Metrics.incr t.misses_name;
+          W.add t.tbl candidate;
+          t.next <- t.next + 1;
+          candidate
+    in
+    Mutex.unlock t.lock;
+    r
 
   let length t = W.count t.tbl
   let next_id t = t.next

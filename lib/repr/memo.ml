@@ -29,29 +29,50 @@ let register_counters name c ~entries ~clear ~invalidate =
 let hit c = c.hits <- c.hits + 1; Obs.Metrics.incr c.hits_name
 let miss c = c.misses <- c.misses + 1; Obs.Metrics.incr c.misses_name
 
-type ('a, 'b) t = { tbl : 'b Int_tbl.t; key : 'a -> int; c : counters }
+(* Memo tables back pure, recursive analyses that are shared across
+   broker shards (domains). Each table carries its own lock, held for
+   lookups and stores but *never* during [compute]: the computed
+   functions recurse into other (and the same) memoized functions, so a
+   lock held across compute would deadlock on re-entry. Two domains
+   racing on the same key can both compute — the functions are pure and
+   their results hash-consed, so the duplicate work is benign and the
+   last [replace] wins with an equivalent value. *)
+
+type ('a, 'b) t = {
+  tbl : 'b Int_tbl.t;
+  key : 'a -> int;
+  c : counters;
+  lock : Mutex.t;
+}
+
+let locked lock f =
+  Mutex.lock lock;
+  let r = f () in
+  Mutex.unlock lock;
+  r
 
 let create ?(initial_size = 256) ~name ~key () =
   let tbl = Int_tbl.create initial_size in
   let c = make_counters name in
+  let lock = Mutex.create () in
   register_counters name c
     ~entries:(fun () -> Int_tbl.length tbl)
-    ~clear:(fun () -> Int_tbl.reset tbl)
-    ~invalidate:(fun id -> Int_tbl.remove tbl id);
-  { tbl; key; c }
+    ~clear:(fun () -> locked lock (fun () -> Int_tbl.reset tbl))
+    ~invalidate:(fun id -> locked lock (fun () -> Int_tbl.remove tbl id));
+  { tbl; key; c; lock }
 
 let find t a ~compute =
   let k = t.key a in
-  match Int_tbl.find_opt t.tbl k with
+  match locked t.lock (fun () -> Int_tbl.find_opt t.tbl k) with
   | Some v -> hit t.c; v
   | None ->
       miss t.c;
       let v = compute a in
-      Int_tbl.replace t.tbl k v;
+      locked t.lock (fun () -> Int_tbl.replace t.tbl k v);
       v
 
-let clear t = Int_tbl.reset t.tbl
-let remove t id = Int_tbl.remove t.tbl id
+let clear t = locked t.lock (fun () -> Int_tbl.reset t.tbl)
+let remove t id = locked t.lock (fun () -> Int_tbl.remove t.tbl id)
 
 (* Drop every pair whose either component is [id]. O(entries) — fine for
    the rare, targeted eviction this supports. *)
@@ -64,27 +85,33 @@ let remove_involving tbl id =
   List.iter (Pair_tbl.remove tbl) doomed
 
 module Pair = struct
-  type ('a, 'b) t = { tbl : 'b Pair_tbl.t; key : 'a -> int; c : counters }
+  type ('a, 'b) t = {
+    tbl : 'b Pair_tbl.t;
+    key : 'a -> int;
+    c : counters;
+    lock : Mutex.t;
+  }
 
   let create ?(initial_size = 256) ~name ~key () =
     let tbl = Pair_tbl.create initial_size in
     let c = make_counters name in
+    let lock = Mutex.create () in
     register_counters name c
       ~entries:(fun () -> Pair_tbl.length tbl)
-      ~clear:(fun () -> Pair_tbl.reset tbl)
-      ~invalidate:(fun id -> remove_involving tbl id);
-    { tbl; key; c }
+      ~clear:(fun () -> locked lock (fun () -> Pair_tbl.reset tbl))
+      ~invalidate:(fun id -> locked lock (fun () -> remove_involving tbl id));
+    { tbl; key; c; lock }
 
   let find t a b ~compute =
     let k = (t.key a, t.key b) in
-    match Pair_tbl.find_opt t.tbl k with
+    match locked t.lock (fun () -> Pair_tbl.find_opt t.tbl k) with
     | Some v -> hit t.c; v
     | None ->
         miss t.c;
         let v = compute a b in
-        Pair_tbl.replace t.tbl k v;
+        locked t.lock (fun () -> Pair_tbl.replace t.tbl k v);
         v
 
-  let clear t = Pair_tbl.reset t.tbl
-  let remove_involving t id = remove_involving t.tbl id
+  let clear t = locked t.lock (fun () -> Pair_tbl.reset t.tbl)
+  let remove_involving t id = locked t.lock (fun () -> remove_involving t.tbl id)
 end

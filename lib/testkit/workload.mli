@@ -38,3 +38,11 @@ val generate : profile -> Broker.Script.item list * counts
 (** The item stream (prologue + submissions + final drain) and what it
     contains — benches assert the counts meet their floors instead of
     trusting the probabilities. *)
+
+val concurrent : streams:int -> profile -> Broker.request list array * counts
+(** The concurrent load shape: {!generate}, then
+    [Broker.Script.partition] into [streams] per-connection request
+    streams — session requests follow their client (the shard routing
+    rule), mutations go to stream 0, tick/drain boundaries drop. Equal
+    profiles give identical stream arrays; only the runtime
+    interleaving across streams is left to the scheduler. *)

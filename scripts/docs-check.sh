@@ -12,6 +12,11 @@
 # policies, degraded runs) — anything else (parse errors, unknown
 # flags) fails the check. printf/echo lines are run too, so docs can
 # set up their own fixtures (e.g. a log file to audit).
+#
+# Additionally, every backticked `broker.*` / `net.*` instrument name
+# mentioned in the docs must exist verbatim as a metric-name literal in
+# lib/, bin/ or bench/, so the observability tables cannot drift from
+# the code. Wildcard mentions (`broker.shard.*`) are not audited.
 set -u
 
 ROOT=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
@@ -79,6 +84,21 @@ if [ "$ran" -eq 0 ]; then
   echo "docs-check: no susf commands found in: $*" >&2
   exit 2
 fi
+
+# ---- instrument-name audit ------------------------------------------
+audited=0
+missing=0
+for name in $(grep -hoE '`(broker|net)\.[a-z0-9_.]+`' "$@" | tr -d '`' | sort -u); do
+  audited=$((audited + 1))
+  if grep -rqF "\"$name\"" "$ROOT/lib" "$ROOT/bin" "$ROOT/bench"; then
+    echo "ok   instrument $name"
+  else
+    echo "FAIL instrument $name is in the docs but not in lib/ bin/ bench/"
+    missing=$((missing + 1))
+    status=1
+  fi
+done
+echo "docs-check: $audited instrument names audited, $missing missing"
 
 echo "docs-check: $ran commands, $([ $status -eq 0 ] && echo all passed || echo FAILURES above)"
 exit $status

@@ -32,6 +32,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("broker", Test_broker.suite);
       ("recovery", Test_recovery.suite);
+      ("shard", Test_shard.suite);
       ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
     ]
