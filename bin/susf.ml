@@ -79,6 +79,37 @@ let metrics_arg =
           "Collect metrics (counters, gauges, histograms) during the run and \
            write a JSON snapshot to $(docv). See docs/OBSERVABILITY.md.")
 
+(* --- the compiled analysis engine -------------------------------------- *)
+
+let compiled_arg =
+  Arg.(
+    value
+    & opt ~vopt:"yes" string "yes"
+    & info [ "compiled" ] ~docv:"yes|no"
+        ~doc:
+          "Use the table-compiled analysis engine (the default). \
+           $(b,--compiled=no) forces the interpreted reference paths; \
+           verdicts are identical either way. See docs/COMPILE.md.")
+
+let apply_compiled = function
+  | "yes" | "on" | "true" -> Compile.Backend.set_enabled true
+  | "no" | "off" | "false" -> Compile.Backend.set_enabled false
+  | s ->
+      Fmt.epr "bad --compiled: %S (want yes or no)@." s;
+      exit 2
+
+let table_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "table-cache" ] ~docv:"FILE"
+        ~doc:
+          "Persistent automaton cache: load compiled transition tables from \
+           $(docv) at startup and atomically save new ones back at shutdown, \
+           so warm restarts (and $(b,--recover)) reload tables instead of \
+           recompiling. A damaged or version-stale file is refused with a \
+           diagnostic and rebuilt from scratch. See docs/COMPILE.md.")
+
 (* Install the requested observability sinks, run the command body (which
    returns the exit code instead of calling [exit]), flush the JSON
    files, and only then exit. *)
@@ -104,8 +135,9 @@ let with_obs ~trace ~metrics f =
 let report_exit ok = if ok then exit 0 else exit 1
 
 let check_cmd =
-  let run file client plan_name json trace metrics =
+  let run file client plan_name json trace metrics compiled =
     with_obs ~trace ~metrics @@ fun () ->
+    apply_compiled compiled;
     let spec = load file in
     let repo = Syntax.Spec.repo spec in
     let ok = ref true in
@@ -137,7 +169,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ file_arg $ client_arg $ plan_arg $ json_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ compiled_arg)
 
 (* --- check-network --- *)
 
@@ -181,7 +213,8 @@ let check_network_cmd =
 (* --- plans --- *)
 
 let plans_cmd =
-  let run file client =
+  let run file client compiled =
+    apply_compiled compiled;
     let spec = load file in
     let repo = Syntax.Spec.repo spec in
     List.iter
@@ -193,7 +226,8 @@ let plans_cmd =
     exit 0
   in
   let doc = "Enumerate all plans and their verdicts." in
-  Cmd.v (Cmd.info "plans" ~doc) Term.(const run $ file_arg $ client_arg)
+  Cmd.v (Cmd.info "plans" ~doc)
+    Term.(const run $ file_arg $ client_arg $ compiled_arg)
 
 (* --- compliance --- *)
 
@@ -201,13 +235,14 @@ let compliance_cmd =
   let svc n =
     Arg.(required & pos n (some string) None & info [] ~docv:"SERVICE" ~doc:"Service or client name.")
   in
-  let run file a b =
+  let run file a b compiled =
     let spec = load file in
     let lookup n =
       match Syntax.Spec.find_client spec n with
       | Some h -> h
       | None -> service_of spec n
     in
+    apply_compiled compiled;
     let ca = Core.Contract.project (lookup a) in
     let cb = Core.Contract.project (lookup b) in
     Fmt.pr "%s! = %a@.%s! = %a@." a Core.Contract.pp ca b Core.Contract.pp cb;
@@ -220,7 +255,8 @@ let compliance_cmd =
         exit 1
   in
   let doc = "Decide compliance of two services (Theorem 1)." in
-  Cmd.v (Cmd.info "compliance" ~doc) Term.(const run $ file_arg $ svc 1 $ svc 2)
+  Cmd.v (Cmd.info "compliance" ~doc)
+    Term.(const run $ file_arg $ svc 1 $ svc 2 $ compiled_arg)
 
 (* --- validity --- *)
 
@@ -917,8 +953,21 @@ let serve_cmd =
   in
   let run file script queue budget floor json trace metrics journal
       snapshot_every recover force faults listen shards batch connect conns
-      check do_shutdown =
+      check do_shutdown compiled table_cache =
     with_obs ~trace ~metrics @@ fun () ->
+    apply_compiled compiled;
+    (match table_cache with
+    | None -> ()
+    | Some f -> (
+        match Compile.Store.attach f with
+        | Ok n ->
+            if n > 0 then
+              Fmt.epr "-- table cache: %d compiled contracts loaded from %s@."
+                n f
+        | Error diag ->
+            (* refused cache: never trust a damaged table — recompile
+               everything and overwrite the file at shutdown *)
+            Fmt.epr "warning: %s — rebuilding table cache@." diag));
     let spec = load file in
     let hexpr_of_string src =
       try Syntax.Parser.hexpr_of_string ~automata:spec.Syntax.Spec.automata src
@@ -1115,13 +1164,14 @@ let serve_cmd =
           open_conns;
       if errs = [] then 0 else 1
     in
-    match (listen, connect) with
-    | Some _, Some _ ->
-        Fmt.epr "--listen and --connect are mutually exclusive@.";
-        exit 2
-    | Some port, None -> serve_listen port
-    | None, Some hostport -> serve_connect hostport
-    | None, None ->
+    let code =
+      match (listen, connect) with
+      | Some _, Some _ ->
+          Fmt.epr "--listen and --connect are mutually exclusive@.";
+          exit 2
+      | Some port, None -> serve_listen port
+      | None, Some hostport -> serve_connect hostport
+      | None, None ->
         let items = load_script () in
         let sfaults =
           match faults with
@@ -1335,6 +1385,14 @@ let serve_cmd =
               | Some j -> Fmt.str "; resume with --recover --journal %s" j
               | None -> "");
             3)
+    in
+    (match table_cache with
+    | None -> ()
+    | Some _ -> (
+        match Compile.Store.save () with
+        | Ok _ -> ()
+        | Error e -> Fmt.epr "warning: failed to save table cache: %s@." e));
+    code
   in
   let doc =
     "Run the orchestration broker over a workload script: a long-lived \
@@ -1346,7 +1404,8 @@ let serve_cmd =
       const run $ file_arg $ script_arg $ queue_arg $ budget_arg $ floor_arg
       $ json_arg $ trace_arg $ metrics_arg $ journal_arg $ snapshot_every_arg
       $ recover_arg $ force_arg $ serve_faults_arg $ listen_arg $ shards_arg
-      $ batch_arg $ connect_arg $ conns_arg $ check_arg $ shutdown_arg)
+      $ batch_arg $ connect_arg $ conns_arg $ check_arg $ shutdown_arg
+      $ compiled_arg $ table_cache_arg)
 
 (* --- show --- *)
 
@@ -1360,6 +1419,7 @@ let show_cmd =
   Cmd.v (Cmd.info "show" ~doc) Term.(const run $ file_arg)
 
 let () =
+  Compile.Backend.install ();
   let doc = "secure and unfailing services: verification of service compositions" in
   let info = Cmd.info "susf" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info

@@ -1,0 +1,245 @@
+module Product = Core.Product
+open Table
+
+(* Dense pair arrays are allocated eagerly ([n1 * n2] slots); beyond
+   this many pairs the interpreted hashtable exploration is the better
+   representation, so the compiled path declines. *)
+let pair_limit = 1 lsl 21
+
+let translation (t1 : Table.t) (t2 : Table.t) =
+  Array.map
+    (fun a ->
+      match Hashtbl.find_opt t2.index a with Some i -> i | None -> -1)
+    t1.alphabet
+
+let complementary k1 k2 =
+  match (k1, k2) with Kin, Kout | Kout, Kin -> true | _ -> false
+
+(* [Product.final_reason] on tables, preserving its probe order: first
+   client output (row order) missing from the server's inputs, then
+   first server output missing from the client's. *)
+let final_reason t1 t2 tr12 tr21 i j =
+  if t1.kind.(i) = Knil then None
+  else
+    let out1 = if t1.kind.(i) = Kout then t1.row_syms.(i) else [||] in
+    let out2 = if t2.kind.(j) = Kout then t2.row_syms.(j) else [||] in
+    if Array.length out1 = 0 && Array.length out2 = 0 then
+      Some Product.Client_waits_forever
+    else
+      let in2 sym = t2.kind.(j) = Kin && Table.step t2 j tr12.(sym) <> -1 in
+      let in1 sym = t1.kind.(i) = Kin && Table.step t1 i tr21.(sym) <> -1 in
+      let find row inx alpha =
+        let r = ref None in
+        Array.iter
+          (fun sym -> if !r = None && not (inx sym) then r := Some alpha.(sym))
+          row;
+        !r
+      in
+      let unmatched =
+        match find out1 in2 t1.alphabet with
+        | Some a -> Some a
+        | None -> find out2 in1 t2.alphabet
+      in
+      Option.map (fun a -> Product.Unmatched_output a) unmatched
+
+(* Synchronised successors in [Compliance.sync_successors] order: the
+   client row drives (outer loop of the interpreted version) and the
+   deterministic server answers at most once per channel. *)
+let successors t1 t2 tr12 i j k =
+  if complementary t1.kind.(i) t2.kind.(j) then
+    Array.iteri
+      (fun idx sym ->
+        let j' = Table.step t2 j tr12.(sym) in
+        if j' <> -1 then k sym t1.row_tgts.(i).(idx) j')
+      t1.row_syms.(i)
+
+(* Replay a synchronisation path on the hash-consed contracts to
+   recover the stuck pair for diagnostics (tables carry no contract
+   back-map; the path is as short as the BFS is wide). *)
+let replay_path c1 c2 syms =
+  List.fold_left
+    (fun pair name ->
+      match pair with
+      | None -> None
+      | Some (x, y) ->
+          List.find_map
+            (fun (nm, pq) -> if String.equal nm name then Some pq else None)
+            (Core.Compliance.sync_successors x y))
+    (Some (c1, c2)) syms
+
+let survey (t1 : Table.t) (t2 : Table.t) ~c1 ~c2 =
+  let n1 = t1.states and n2 = t2.states in
+  if n1 * n2 > pair_limit then None
+  else begin
+    let tr12 = translation t1 t2 and tr21 = translation t2 t1 in
+    let npairs = n1 * n2 in
+    (* parent_p: -1 unvisited, -2 root, else predecessor pair id *)
+    let parent_p = Array.make npairs (-1) in
+    let parent_sym = Array.make npairs (-1) in
+    let succs = Array.make npairs [||] in
+    let q = Queue.create () in
+    parent_p.(0) <- -2;
+    Queue.add 0 q;
+    let stuck = ref 0 and first = ref None and terminated = ref false in
+    let path_syms p =
+      let rec go p acc =
+        if parent_p.(p) = -2 then acc
+        else go parent_p.(p) (t1.alphabet.(parent_sym.(p)) :: acc)
+      in
+      go p []
+    in
+    while not (Queue.is_empty q) do
+      let p = Queue.pop q in
+      let i = p / n2 and j = p mod n2 in
+      match final_reason t1 t2 tr12 tr21 i j with
+      | Some reason ->
+          incr stuck;
+          if !first = None then begin
+            let syms = path_syms p in
+            let ce =
+              match replay_path c1 c2 syms with
+              | Some stuck_pair ->
+                  Some
+                    {
+                      Product.synchronisations = syms;
+                      stuck = stuck_pair;
+                      reason;
+                    }
+              | None ->
+                  (* can't happen for tables lowered from [c1]/[c2];
+                     the interpreted shortest-path search returns the
+                     same counterexample *)
+                  Product.counterexample c1 c2
+            in
+            first := ce
+          end
+      | None ->
+          if t1.kind.(i) = Knil then terminated := true;
+          let buf = ref [] in
+          successors t1 t2 tr12 i j (fun sym i' j' ->
+              let p' = (i' * n2) + j' in
+              buf := (sym, p') :: !buf;
+              if parent_p.(p') = -1 then begin
+                parent_p.(p') <- p;
+                parent_sym.(p') <- sym;
+                Queue.add p' q
+              end);
+          succs.(p) <- Array.of_list (List.rev_map snd !buf)
+    done;
+    let has_cycle () =
+      (* mirrors the interpreted three-colour walk (1 grey, 2 black) *)
+      let color = Bytes.make npairs '\000' in
+      let cyc = ref false in
+      let rec walk = function
+        | [] -> ()
+        | `Enter p :: rest ->
+            if Bytes.get color p <> '\000' then walk rest
+            else begin
+              Bytes.set color p '\001';
+              let enters =
+                Array.to_list succs.(p)
+                |> List.filter_map (fun s ->
+                       match Bytes.get color s with
+                       | '\001' ->
+                           cyc := true;
+                           None
+                       | '\002' -> None
+                       | _ -> Some (`Enter s))
+              in
+              walk (enters @ (`Exit p :: rest))
+            end
+        | `Exit p :: rest ->
+            Bytes.set color p '\002';
+            walk rest
+      in
+      walk [ `Enter 0 ];
+      !cyc
+    in
+    Some
+      {
+        Product.stuck_states = !stuck;
+        successful = !terminated || has_cycle ();
+        first_counterexample = !first;
+      }
+  end
+
+let product_compliant (t1 : Table.t) (t2 : Table.t) =
+  let n1 = t1.states and n2 = t2.states in
+  if n1 * n2 > pair_limit then None
+  else begin
+    let tr12 = translation t1 t2 and tr21 = translation t2 t1 in
+    let visited = Bytes.make (n1 * n2) '\000' in
+    Bytes.set visited 0 '\001';
+    let q = Queue.create () in
+    Queue.add 0 q;
+    let ok = ref true in
+    while !ok && not (Queue.is_empty q) do
+      let p = Queue.pop q in
+      let i = p / n2 and j = p mod n2 in
+      match final_reason t1 t2 tr12 tr21 i j with
+      | Some _ -> ok := false
+      | None ->
+          successors t1 t2 tr12 i j (fun _ i' j' ->
+              let p' = (i' * n2) + j' in
+              if Bytes.get visited p' = '\000' then begin
+                Bytes.set visited p' '\001';
+                Queue.add p' q
+              end)
+    done;
+    Some !ok
+  end
+
+(* Condition (1) of Definition 4 on table states: client ready sets
+   against co-images of server ready sets, as translated bitset
+   intersections. Directions are per-state kinds, so the co-image test
+   degenerates to a complementarity check. *)
+let translated_inter tr cset sset =
+  let found = ref false in
+  Bitset.iter
+    (fun s ->
+      if not !found then
+        let s2 = tr.(s) in
+        if s2 >= 0 && Bitset.mem sset s2 then found := true)
+    cset;
+  !found
+
+let locally_ok (t1 : Table.t) (t2 : Table.t) tr12 i j =
+  match t1.kind.(i) with
+  | Knil | Kinert -> true
+  | k1 -> (
+      match t2.kind.(j) with
+      | Knil | Kinert -> false
+      | k2 ->
+          complementary k1 k2
+          && List.for_all
+               (fun cset ->
+                 List.for_all
+                   (fun sset -> translated_inter tr12 cset sset)
+                   (Table.ready_sets t2 j))
+               (Table.ready_sets t1 i))
+
+let def4_compliant (t1 : Table.t) (t2 : Table.t) =
+  let n1 = t1.states and n2 = t2.states in
+  if n1 * n2 > pair_limit then None
+  else begin
+    let tr12 = translation t1 t2 in
+    let visited = Bytes.make (n1 * n2) '\000' in
+    Bytes.set visited 0 '\001';
+    let rec explore = function
+      | [] -> true
+      | p :: rest ->
+          Obs.Metrics.incr "compliance.pairs_explored";
+          let i = p / n2 and j = p mod n2 in
+          locally_ok t1 t2 tr12 i j
+          &&
+          let fresh = ref [] in
+          successors t1 t2 tr12 i j (fun _ i' j' ->
+              let p' = (i' * n2) + j' in
+              if Bytes.get visited p' = '\000' then begin
+                Bytes.set visited p' '\001';
+                fresh := p' :: !fresh
+              end);
+          explore (List.rev_append !fresh rest)
+    in
+    Some (explore [ 0 ])
+  end

@@ -1,0 +1,110 @@
+module Policy = Usage.Policy
+module Event_map = Map.Make (Usage.Event)
+
+type ptable = {
+  orig_of : int array;  (* dense -> automaton state id, ascending *)
+  dense_of : (int, int) Hashtbl.t;
+  n : int;
+  mutable rows : Bitset.t array Event_map.t;
+      (* event -> per-dense-state successor set *)
+}
+
+let tables : (string, ptable) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+let hits = ref 0
+let misses = ref 0
+
+let () =
+  Repr.Cache.register ~name:"compile.policy_rows"
+    ~clear:(fun () ->
+      Mutex.lock lock;
+      Hashtbl.reset tables;
+      Mutex.unlock lock)
+    ~stats:(fun () ->
+      Mutex.lock lock;
+      let entries =
+        Hashtbl.fold (fun _ pt acc -> acc + Event_map.cardinal pt.rows) tables 0
+      in
+      Mutex.unlock lock;
+      { Repr.Cache.hits = !hits; misses = !misses; entries })
+    ~reset_counters:(fun () ->
+      hits := 0;
+      misses := 0)
+    ()
+
+let ptable_of p =
+  let a = Policy.automaton p in
+  let states =
+    Policy.A.initial a :: Policy.A.States.elements (Policy.A.finals a)
+    @ List.concat_map
+        (fun (s, _, d) -> [ s; d ])
+        (Policy.A.transitions a)
+    |> List.sort_uniq Int.compare
+    |> Array.of_list
+  in
+  let dense_of = Hashtbl.create (Array.length states) in
+  Array.iteri (fun i s -> Hashtbl.replace dense_of s i) states;
+  { orig_of = states; dense_of; n = Array.length states; rows = Event_map.empty }
+
+exception Not_dense
+
+let ground pt p e =
+  let a = Policy.automaton p in
+  Obs.Metrics.incr "compile.policy_rows.grounded";
+  Array.map
+    (fun orig ->
+      let out = Policy.A.step a (Policy.A.States.singleton orig) e in
+      let b = Bitset.create pt.n in
+      Policy.A.States.iter
+        (fun s ->
+          match Hashtbl.find_opt pt.dense_of s with
+          | Some d -> Bitset.set b d
+          | None -> raise Not_dense)
+        out;
+      b)
+    pt.orig_of
+
+let step p states e =
+  Mutex.lock lock;
+  let result =
+    match
+      let pt =
+        match Hashtbl.find_opt tables (Policy.id p) with
+        | Some pt -> pt
+        | None ->
+            let pt = ptable_of p in
+            Hashtbl.replace tables (Policy.id p) pt;
+            pt
+      in
+      let row =
+        match Event_map.find_opt e pt.rows with
+        | Some row ->
+            incr hits;
+            row
+        | None ->
+            incr misses;
+            let row = ground pt p e in
+            pt.rows <- Event_map.add e row pt.rows;
+            row
+      in
+      let acc = Bitset.create pt.n in
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt pt.dense_of s with
+          | Some d -> Bitset.union_into ~dst:acc row.(d)
+          | None -> raise Not_dense)
+        states;
+      (* dense order is ascending original order, so the decoded list
+         matches [States.elements] exactly *)
+      List.map (fun d -> pt.orig_of.(d)) (Bitset.to_list acc)
+    with
+    | r -> Some r
+    | exception Not_dense -> None
+  in
+  Mutex.unlock lock;
+  result
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset tables;
+  Mutex.unlock lock

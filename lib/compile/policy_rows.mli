@@ -1,0 +1,28 @@
+(** Grounded policy-automaton rows: the compiled backend for
+    [Validity.Abstract.step_states] — and hence the hot inner loop of
+    [Netcheck] and [Validity.check_expr], which push every network
+    event through every tracked cursor.
+
+    A policy's symbolic automaton is grounded lazily, one concrete
+    event at a time: the first time event [e] steps policy [p], one
+    bitset row per automaton state is computed with the interpreted
+    [Sfa.step] and cached; every later step is a bitset union plus a
+    dense decode, producing {e exactly} the sorted state list the
+    interpreted path returns (cursor representations — and so
+    [Abstract.compare], exploration order and verdicts — are
+    unchanged). Policies are keyed by their instantiation id, matching
+    [Usage.Policy.equal].
+
+    Safe under multi-domain access (one mutex, like
+    [Repr.Hashcons]). Registered in [Repr.Cache] as
+    [compile.policy_rows] (cleared on [clear_all]; rows are pure
+    functions of policy structure, so they need no [invalidate]
+    hook). *)
+
+val step : Usage.Policy.t -> int list -> Usage.Event.t -> int list option
+(** [step p states e] — [None] only if a cursor state falls outside
+    the automaton's state universe (impossible for cursors produced by
+    the automaton itself; callers fall back to the interpreted
+    step). Increments [compile.policy_rows.grounded] per row built. *)
+
+val clear : unit -> unit

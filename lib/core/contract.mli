@@ -80,6 +80,11 @@ val dual : t -> t
 
 val is_terminated : t -> bool
 
+val free_vars : t -> string list
+(** Free recursion variables (memoized). Closed contracts — the only
+    kind the projection produces and the table compiler accepts — have
+    none. *)
+
 val equal : t -> t -> bool
 (** Physical equality — O(1) thanks to maximal sharing. *)
 

@@ -90,7 +90,7 @@ let build c1 c2 =
   }
 
 let language_empty t = t.finals = []
-let compliant c1 c2 = language_empty (build c1 c2)
+let compliant_interpreted c1 c2 = language_empty (build c1 c2)
 
 type counterexample = {
   synchronisations : string list;
@@ -148,9 +148,7 @@ type survey = {
    contains a cycle — final states have no outgoing transitions, so any
    cycle is a live loop, and a maximal path is exactly one that ends
    client-terminated, ends stuck, or loops forever. *)
-let survey c1 c2 =
-  Obs.Trace.with_span "product.survey" @@ fun () ->
-  Obs.Metrics.incr "product.surveys";
+let survey_interpreted c1 c2 =
   let initial = (c1, c2) in
   let parent = Repr.Key.Pair_tbl.create 64 in
   Repr.Key.Pair_tbl.replace parent (key initial) None;
@@ -224,6 +222,40 @@ let survey c1 c2 =
     successful = !terminated || has_cycle ();
     first_counterexample = !first;
   }
+
+(* ---- compiled backend dispatch ---------------------------------------- *)
+
+(* A table-driven engine (lib/compile) can register here; core cannot
+   depend on it directly. [None] from a backend function means "use the
+   interpreted path" — backends may decline, never force a verdict. The
+   record is installed once at executable startup, before any domains
+   spawn, so the plain ref needs no synchronisation. *)
+type backend = {
+  active : unit -> bool;
+  survey : Contract.t -> Contract.t -> survey option;
+  compliant : Contract.t -> Contract.t -> bool option;
+}
+
+let backend : backend option ref = ref None
+let set_backend b = backend := b
+
+let survey c1 c2 =
+  Obs.Trace.with_span "product.survey" @@ fun () ->
+  Obs.Metrics.incr "product.surveys";
+  match !backend with
+  | Some b when b.active () -> (
+      match b.survey c1 c2 with
+      | Some s -> s
+      | None -> survey_interpreted c1 c2)
+  | _ -> survey_interpreted c1 c2
+
+let compliant c1 c2 =
+  match !backend with
+  | Some b when b.active () -> (
+      match b.compliant c1 c2 with
+      | Some v -> v
+      | None -> compliant_interpreted c1 c2)
+  | _ -> compliant_interpreted c1 c2
 
 let admits level s =
   Compliance.admits_measures level ~stuck:s.stuck_states

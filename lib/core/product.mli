@@ -37,7 +37,12 @@ val build : Contract.t -> Contract.t -> t
 val language_empty : t -> bool
 
 val compliant : Contract.t -> Contract.t -> bool
-(** The Theorem 1 decision procedure. *)
+(** The Theorem 1 decision procedure. Dispatches to the compiled
+    backend when one is installed and active. *)
+
+val compliant_interpreted : Contract.t -> Contract.t -> bool
+(** The interpreted decision procedure, never dispatched — the oracle
+    the compiled path is tested against. *)
 
 type counterexample = {
   synchronisations : string list;
@@ -70,7 +75,30 @@ type survey = {
 val survey : Contract.t -> Contract.t -> survey
 (** One reachability pass computing the measures every
     {!Compliance.level} is decided on — {!Planner.analyze} caches this
-    per hash-consed contract-id pair, so one survey answers all levels. *)
+    per hash-consed contract-id pair, so one survey answers all levels.
+    Dispatches to the compiled backend when one is installed and
+    active; the compiled survey is byte-identical to the interpreted
+    one, counterexample included. *)
+
+val survey_interpreted : Contract.t -> Contract.t -> survey
+(** The interpreted survey, never dispatched — the oracle the compiled
+    path is tested against. *)
+
+(** {1 Compiled backend} *)
+
+(** Hook for a table-driven engine ([lib/compile]); [core] cannot
+    depend on it, so executables install the record at startup. A
+    backend function returning [None] means "fall back to the
+    interpreted path". *)
+type backend = {
+  active : unit -> bool;
+  survey : Contract.t -> Contract.t -> survey option;
+  compliant : Contract.t -> Contract.t -> bool option;
+}
+
+val set_backend : backend option -> unit
+(** Install (or remove) the compiled backend. Call before spawning
+    domains; the hook is read unsynchronised on hot paths. *)
 
 val admits : Compliance.level -> survey -> bool
 (** [Compliance.admits_measures] on the survey's measures. At

@@ -1,4 +1,9 @@
 let () =
+  (* the whole suite runs with the compiled engine installed and on, the
+     way the executables run it — oracle comparisons toggle it off
+     locally (test_compile), and the equivalence properties pin the two
+     paths to byte-identical verdicts *)
+  Compile.Backend.install ();
   Alcotest.run "secure-unfailing-services"
     [
       ("automata", Test_automata.suite);
@@ -28,6 +33,7 @@ let () =
       ("audit", Test_audit.suite);
       ("misc", Test_misc.suite);
       ("repr", Test_repr.suite);
+      ("compile", Test_compile.suite);
       ("laws", Test_laws.suite);
       ("runtime", Test_runtime.suite);
       ("broker", Test_broker.suite);
