@@ -1333,6 +1333,124 @@ let b11_compile () =
 
 (* ------------------------------------------------------------------ *)
 
+(* B12 — most-permissive controller synthesis: cost vs party count on
+   the supply-chain family, the declining (broken) variant at every
+   width, and the agreement-vs-empty outcome mix over a seeded corpus
+   of random compositions. *)
+let b12_orchestration () =
+  section "B12: orchestrator synthesis vs party count (supply chains)";
+  let reps = if !quick then 3 else 10 in
+  let min_ms f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  pf "  %-8s %8s %8s %12s %9s@." "parties" "product" "states" "transitions"
+    "min ms";
+  List.iter
+    (fun parties ->
+      let repo, client = Scenarios.Supply_chain.chain ~parties in
+      let ms =
+        min_ms (fun () ->
+            Orchestration.Orchestrate.synthesize_client repo ~client)
+      in
+      match Orchestration.Orchestrate.synthesize_client repo ~client with
+      | Ok { Orchestration.Orchestrate.coalitions = [ c ]; _ } ->
+          let ctrl = c.Orchestration.Orchestrate.controller in
+          let product =
+            Orchestration.Automaton.size
+              ctrl.Orchestration.Controller.automaton
+          in
+          pf "  %-8d %8d %8d %12d %9.3f@." parties product
+            ctrl.Orchestration.Controller.states
+            ctrl.Orchestration.Controller.transitions ms;
+          (* the chain controller is exactly the 2(k-1)-step conversation *)
+          check_line
+            ~expected:(string_of_int ((2 * parties) - 1))
+            ~got:(string_of_int ctrl.Orchestration.Controller.states)
+            (Printf.sprintf "chain of %d: linear controller" parties);
+          Obs.Metrics.set
+            (Printf.sprintf "orchestration.bench.p%d.controller.states"
+               parties)
+            ctrl.Orchestration.Controller.states;
+          Obs.Metrics.set
+            (Printf.sprintf "orchestration.bench.p%d.product.states" parties)
+            product;
+          Obs.Metrics.set
+            (Printf.sprintf "orchestration.bench.p%d.synthesis.us" parties)
+            (int_of_float (ms *. 1000.0))
+      | Ok _ ->
+          check_line ~expected:"one coalition" ~got:"several"
+            (Printf.sprintf "chain of %d" parties)
+      | Error _ ->
+          check_line ~expected:"controller" ~got:"decline"
+            (Printf.sprintf "chain of %d synthesizes" parties))
+    [ 3; 4; 5; 6 ];
+  (* the broken chain (an undeliverable pay? in the final stage) must
+     decline with a concrete counterexample trace at every width *)
+  List.iter
+    (fun parties ->
+      let repo, client = Scenarios.Supply_chain.broken ~parties in
+      match Orchestration.Orchestrate.synthesize_client repo ~client with
+      | Error (Orchestration.Orchestrate.No_controller { counterexample; _ })
+        ->
+          check_line ~expected:"true"
+            ~got:
+              (string_of_bool
+                 (counterexample.Orchestration.Controller.trace <> []))
+            (Printf.sprintf "broken chain of %d declines with a trace" parties)
+      | _ ->
+          check_line ~expected:"decline" ~got:"other"
+            (Printf.sprintf "broken chain of %d" parties))
+    [ 3; 4; 5; 6 ];
+  (* agreement-vs-empty mix over a seeded corpus of random 3..5-party
+     compositions — the raw synthesis surface, no repository involved *)
+  let n = scaled 200 in
+  let rand = Testkit.Rng.make ~seed:!seed () in
+  let gen =
+    QCheck.Gen.(
+      let* k = int_range 3 5 in
+      let small =
+        sized_size (int_bound 6) Testkit.Generators.contract_gen_sized
+      in
+      flatten_l (List.init k (fun _ -> small)))
+  in
+  let ok = ref 0 and empty = ref 0 in
+  let unmatched = ref 0 and deadlock = ref 0 in
+  for _ = 1 to n do
+    let cs = QCheck.Gen.generate1 ~rand gen in
+    let parties =
+      List.mapi
+        (fun i c ->
+          { Orchestration.Automaton.name = Printf.sprintf "p%d" i; contract = c })
+        cs
+    in
+    let a = Orchestration.Automaton.build ~limit:50_000 parties in
+    match Orchestration.Controller.synthesize a with
+    | Ok _ -> incr ok
+    | Error ce -> (
+        incr empty;
+        match ce.Orchestration.Controller.reason with
+        | Orchestration.Controller.Unmatched_offer _ -> incr unmatched
+        | Orchestration.Controller.Deadlock -> incr deadlock)
+  done;
+  pf
+    "  corpus of %d random compositions: agreement %d, empty %d (unmatched \
+     %d, deadlock %d)@."
+    n !ok !empty !unmatched !deadlock;
+  check_line ~expected:(string_of_int n)
+    ~got:(string_of_int (!ok + !empty))
+    "every composition settles";
+  Obs.Metrics.set "orchestration.bench.corpus.agreement" !ok;
+  Obs.Metrics.set "orchestration.bench.corpus.empty" !empty
+
+(* ------------------------------------------------------------------ *)
+
 let all : (string * (unit -> unit)) list =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -1341,6 +1459,7 @@ let all : (string * (unit -> unit)) list =
     ("b5", b5_recovery); ("b5-def4", b5_ablation); ("b6", b6_ablation);
     ("b7", b7_ablation); ("b8", b8_broker); ("b9", b9_recovery);
     ("b10", b10_sharded); ("b11", b11_compile);
+    ("b12", b12_orchestration);
     ("t-paper", timing_e); ("t-b1", timing_b1); ("t-b2", timing_b2);
     ("t-b3", timing_b3); ("t-b4", timing_b4); ("t-b5", timing_b5);
     ("t-b6", timing_b6); ("t-b7", timing_b7); ("t-quant", timing_quant);

@@ -213,21 +213,62 @@ let check_network_cmd =
 (* --- plans --- *)
 
 let plans_cmd =
-  let run file client compiled =
+  let orchestrate_arg =
+    Arg.(
+      value & flag
+      & info [ "orchestrate" ]
+          ~doc:
+            "For clients with no valid 1:1 plan, fall back to the \
+             orchestration tier: per request, synthesize the \
+             most-permissive controller over a coalition of repository \
+             services and re-verify it (lib/orchestration). A no-op — \
+             byte-identical output — when a valid plan exists. Exits 1 \
+             when some client gets neither a valid plan nor an \
+             orchestrator.")
+  in
+  let run file client orchestrate trace metrics compiled =
+    with_obs ~trace ~metrics @@ fun () ->
     apply_compiled compiled;
     let spec = load file in
     let repo = Syntax.Spec.repo spec in
+    let ok = ref true in
     List.iter
       (fun (name, h) ->
         Fmt.pr "client %s:@." name;
         let reports = Core.Planner.valid_plans ~all:true repo ~client:(name, h) in
-        List.iter (fun r -> Fmt.pr "  %a@." Core.Planner.pp_report r) reports)
+        List.iter (fun r -> Fmt.pr "  %a@." Core.Planner.pp_report r) reports;
+        if
+          orchestrate
+          && not
+               (List.exists
+                  (fun r -> Result.is_ok r.Core.Planner.verdict)
+                  reports)
+        then
+          match
+            Orchestration.Orchestrate.synthesize_client repo ~client:(name, h)
+          with
+          | Ok o ->
+              List.iter
+                (fun (c : Orchestration.Orchestrate.coalition) ->
+                  Fmt.pr "  %a@." Orchestration.Orchestrate.pp_coalition c;
+                  match Orchestration.Controller.verify c.controller with
+                  | Ok () ->
+                      Fmt.pr "  controller re-verified: agreement holds@."
+                  | Error e ->
+                      ok := false;
+                      Fmt.pr "  controller FAILED re-verification: %s@." e)
+                o.Orchestration.Orchestrate.coalitions
+          | Error d ->
+              ok := false;
+              Fmt.pr "  %a@." Orchestration.Orchestrate.pp_declined d)
       (clients spec client);
-    exit 0
+    if (not orchestrate) || !ok then 0 else 1
   in
   let doc = "Enumerate all plans and their verdicts." in
   Cmd.v (Cmd.info "plans" ~doc)
-    Term.(const run $ file_arg $ client_arg $ compiled_arg)
+    Term.(
+      const run $ file_arg $ client_arg $ orchestrate_arg $ trace_arg
+      $ metrics_arg $ compiled_arg)
 
 (* --- compliance --- *)
 

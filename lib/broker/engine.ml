@@ -24,6 +24,7 @@ type request =
   | Retract of { loc : string }
   | Update of { loc : string; service : Hexpr.t }
   | Set_policy of policy_delta
+  | Orchestrate of { client : string }
 
 type reject =
   | Shed
@@ -33,6 +34,8 @@ type reject =
   | Unknown_location of string
   | Duplicate_location of string
   | Invalid_policy of string
+  | No_orchestration of string
+      (* rendered decline diagnostic (counterexample trace included) *)
 
 type outcome =
   | Served of {
@@ -44,6 +47,11 @@ type outcome =
   | Rejected of reject
   | Ran of { completed : bool; steps : int }
   | Ack
+  | Orchestrated of {
+      coalitions : (int * string list) list;  (* rid -> members *)
+      states : int;  (* controller states, summed over coalitions *)
+      transitions : int;
+    }
 
 type response = { seq : int; request : request; outcome : outcome }
 
@@ -463,6 +471,43 @@ let apply t ~level = function
           t.repo_policies <- new_repo_policies;
           if not (Hexpr.equal old service) then retire_contract t old;
           Ack)
+  | Orchestrate { client } -> (
+      (* the admission path of the orchestration tier: serve-first (the
+         cached 1:1 answer keeps its oracle and invalidation contract),
+         synthesis only on No_plan. Synthesis answers are deterministic
+         and recomputed per request — never cached in the index, so the
+         invalidation and recovery contracts are untouched. *)
+      Obs.Metrics.incr "broker.orchestrate.requests";
+      match List.assoc_opt client t.sessions with
+      | None -> Rejected (Unknown_client client)
+      | Some s -> (
+          match serve t ~level client with
+          | Rejected No_plan -> (
+              match
+                Orchestration.Orchestrate.synthesize_client t.repo
+                  ~client:(client, s.body)
+              with
+              | Ok o ->
+                  let coalitions =
+                    List.map
+                      (fun (c : Orchestration.Orchestrate.coalition) ->
+                        (c.rid, c.members))
+                      o.Orchestration.Orchestrate.coalitions
+                  in
+                  let states, transitions =
+                    List.fold_left
+                      (fun (st, tr) (c : Orchestration.Orchestrate.coalition) ->
+                        ( st + c.controller.Orchestration.Controller.states,
+                          tr + c.controller.Orchestration.Controller.transitions
+                        ))
+                      (0, 0) o.Orchestration.Orchestrate.coalitions
+                  in
+                  Orchestrated { coalitions; states; transitions }
+              | Error d ->
+                  Rejected
+                    (No_orchestration
+                       (Fmt.str "%a" Orchestration.Orchestrate.pp_declined d)))
+          | o -> o))
   | Set_policy { queue; budget; floor } ->
       (* out-of-range deltas are rejected whole, not clamped: a silent
          clamp-to-1 turns an operator typo ("queue 0") into a
@@ -499,10 +544,12 @@ let request_kind = function
   | Retract _ -> "retract"
   | Update _ -> "update"
   | Set_policy _ -> "set_policy"
+  | Orchestrate _ -> "orchestrate"
 
 let outcome_kind = function
   | Served _ -> "served"
   | Degraded _ -> "degraded"
+  | Orchestrated _ -> "orchestrated"
   | Rejected Shed -> "shed"
   | Rejected _ -> "rejected"
   | Ran _ -> "ran"
@@ -523,6 +570,7 @@ let respond t request outcome =
           t.st.served_affectible <- t.st.served_affectible + 1)
   | Rejected Shed -> ()
   | Rejected _ -> t.st.rejected <- t.st.rejected + 1
+  | Orchestrated _ -> t.st.served <- t.st.served + 1
   | Degraded _ | Ran _ | Ack -> ());
   { seq; request; outcome }
 
@@ -675,7 +723,8 @@ type target = Shard of int | Broadcast
    equal to the unsharded oracle. *)
 let target ~shards = function
   | Open { client; _ } | Close { client } | Serve { client }
-  | Run { client; _ } ->
+  | Run { client; _ }
+  | Orchestrate { client } ->
       Shard (route ~shards client)
   | Publish _ | Retract _ | Update _ | Set_policy _ -> Broadcast
 
@@ -707,6 +756,7 @@ let pp_request ppf = function
   | Open { client; _ } -> Fmt.pf ppf "open %s" client
   | Close { client } -> Fmt.pf ppf "close %s" client
   | Serve { client } -> Fmt.pf ppf "serve %s" client
+  | Orchestrate { client } -> Fmt.pf ppf "orchestrate %s" client
   | Run { client; seed } -> Fmt.pf ppf "run %s seed %d" client seed
   | Publish { loc; _ } -> Fmt.pf ppf "publish %s" loc
   | Retract { loc } -> Fmt.pf ppf "retract %s" loc
@@ -724,6 +774,7 @@ let pp_request ppf = function
 let pp_reject ppf = function
   | Shed -> Fmt.string ppf "shed (queue full)"
   | No_plan -> Fmt.string ppf "no valid plan"
+  | No_orchestration msg -> Fmt.pf ppf "no orchestrator: %s" msg
   | Not_served c -> Fmt.pf ppf "%s has no served plan" c
   | Unknown_client c -> Fmt.pf ppf "unknown client %s" c
   | Unknown_location l -> Fmt.pf ppf "unknown location %s" l
@@ -744,6 +795,14 @@ let pp_outcome ppf = function
   | Degraded { analyzed; enumerated; level } ->
       Fmt.pf ppf "DEGRADED%a after %d/%d plans" pp_level_tag level analyzed
         enumerated
+  | Orchestrated { coalitions; states; transitions } ->
+      Fmt.pf ppf "ORCHESTRATED %a (%d states, %d transitions)"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (rid, members) ->
+              Fmt.pf ppf "%d -> {%a}" rid
+                (list ~sep:(any ", ") string)
+                members))
+        coalitions states transitions
   | Rejected r -> Fmt.pf ppf "REJECTED: %a" pp_reject r
   | Ran { completed; steps } ->
       Fmt.pf ppf "RAN %d steps (%s)" steps

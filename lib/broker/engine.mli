@@ -83,6 +83,15 @@ type request =
   | Update of { loc : string; service : Hexpr.t }
       (** replace a service in place (repository order preserved) *)
   | Set_policy of policy_delta
+  | Orchestrate of { client : string }
+      (** serve-first admission: answer with the client's first valid
+          1:1 plan when one exists (identical to [Serve]); only on
+          [Rejected No_plan] fall back to most-permissive controller
+          synthesis over service coalitions
+          ([Orchestration.Orchestrate.synthesize_client]). Synthesis is
+          deterministic and recomputed per request — orchestrated
+          verdicts are never cached in the index, so the invalidation
+          contract is untouched. *)
 
 type reject =
   | Shed  (** the bounded queue was full at submission *)
@@ -94,6 +103,10 @@ type reject =
   | Invalid_policy of string
       (** a [Set_policy] delta with an out-of-range field, named in the
           message; the admission policy is left untouched *)
+  | No_orchestration of string
+      (** an [Orchestrate] found neither a 1:1 plan nor a coalition
+          controller; the message renders the synthesis decline,
+          counterexample trace included *)
 
 type outcome =
   | Served of {
@@ -109,6 +122,14 @@ type outcome =
   | Rejected of reject
   | Ran of { completed : bool; steps : int }
   | Ack  (** mutation/registration accepted *)
+  | Orchestrated of {
+      coalitions : (int * string list) list;
+          (** per open request: rid and coalition member locations *)
+      states : int;  (** controller states, summed over coalitions *)
+      transitions : int;  (** controller transitions, summed *)
+    }
+      (** an [Orchestrate] with no 1:1 plan settled by controller
+          synthesis; counts as a serve in [stats.served] *)
 
 type response = { seq : int; request : request; outcome : outcome }
 (** [seq] numbers processed requests from 0 in processing order (shed

@@ -93,6 +93,8 @@ let parse_line ~hexpr_of_string line =
         with_hexpr (fun loc service -> Submit (Engine.Update { loc; service }))
     | "close" -> one_word (fun client -> Submit (Engine.Close { client }))
     | "serve" -> one_word (fun client -> Submit (Engine.Serve { client }))
+    | "orchestrate" ->
+        one_word (fun client -> Submit (Engine.Orchestrate { client }))
     | "retract" -> one_word (fun loc -> Submit (Engine.Retract { loc }))
     | "run" -> (
         match split_words rest with
@@ -141,6 +143,7 @@ let request_line ~hexpr_to_string (r : Engine.request) =
   | Engine.Open { client; body } -> Fmt.str "open %s = %s" client (h body)
   | Engine.Close { client } -> Fmt.str "close %s" client
   | Engine.Serve { client } -> Fmt.str "serve %s" client
+  | Engine.Orchestrate { client } -> Fmt.str "orchestrate %s" client
   | Engine.Run { client; seed } -> Fmt.str "run %s seed %d" client seed
   | Engine.Publish { loc; service } ->
       Fmt.str "publish %s = %s" loc (h service)
@@ -190,6 +193,7 @@ let partition ~streams items =
           | Engine.Open { client; _ }
           | Engine.Close { client }
           | Engine.Serve { client }
+          | Engine.Orchestrate { client }
           | Engine.Run { client; _ } ->
               push (Engine.route ~shards:streams client) r
           | Engine.Publish _ | Engine.Retract _ | Engine.Update _

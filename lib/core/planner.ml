@@ -24,21 +24,23 @@ let rec open_sites owner (h : Hexpr.t) =
   | Hexpr.Seq (a, b) | Hexpr.Choice (a, b) ->
       open_sites owner a @ open_sites owner b
 
+let dedup_sites sites =
+  let seen = Hashtbl.create 17 in
+  List.filter
+    (fun s ->
+      if Hashtbl.mem seen s.req.Hexpr.rid then false
+      else begin
+        Hashtbl.replace seen s.req.Hexpr.rid ();
+        true
+      end)
+    sites
+
 let sites repo (cloc, ch) =
-  let dedup sites =
-    let seen = Hashtbl.create 17 in
-    List.filter
-      (fun s ->
-        if Hashtbl.mem seen s.req.Hexpr.rid then false
-        else begin
-          Hashtbl.replace seen s.req.Hexpr.rid ();
-          true
-        end)
-      sites
-  in
-  dedup
+  dedup_sites
     (open_sites cloc ch
     @ List.concat_map (fun (loc, h) -> open_sites loc h) repo)
+
+let client_sites (cloc, ch) = dedup_sites (open_sites cloc ch)
 
 (* Sites actually reachable under a plan: the client's own, plus those of
    every service the plan pulls in, transitively. *)

@@ -19,6 +19,11 @@ val sites : Network.repo -> string * Hexpr.t -> site list
     in). Sites are keyed by request identifier; a service shared by two
     requests contributes its sites once. *)
 
+val client_sites : string * Hexpr.t -> site list
+(** Only the client's own [open]s (nested ones included), duplicate-free
+    by request identifier — the sites the orchestration tier
+    ([lib/orchestration]) binds to coalitions. *)
+
 type reason =
   | Unserved of int  (** a request that no plan entry covers *)
   | Not_compliant of {

@@ -1,0 +1,66 @@
+(** Most-permissive controller synthesis (BDF): prune the n-party match
+    product down to the largest sub-automaton an orchestrator can safely
+    drive.
+
+    The orchestrator chooses {e which} match to schedule — in particular,
+    which receiver gets a contested offer — but it cannot refuse an offer
+    a party has internally committed to, and it cannot stall a session
+    whose client is still waiting. Accordingly a product state (that is
+    not already successful) is {e bad} when
+
+    - some enabled offer has no surviving match into a good state (an
+      uncontrollable internal choice the orchestrator cannot deliver), or
+    - no surviving match is enabled at all (deadlock).
+
+    Removing bad states until fixpoint yields the most-permissive
+    controller: every surviving edge is kept, so any safe orchestrator is
+    a sub-behaviour of it. Success is client-biased — party 0 terminated
+    — matching the paper's pairwise notion; states on live match loops
+    survive, mirroring {!Core.Product.survey}'s successful-cycle rule.
+    With two parties, a controller exists iff the parties are strictly
+    compliant (Theorem 1) — pinned by the test suite.
+
+    When the initial state is pruned no controller exists; {!synthesize}
+    then returns a {e concrete counterexample}: a match trace every
+    orchestrator must be unable to complete, ending in a locally stuck
+    configuration. *)
+
+type reason =
+  | Unmatched_offer of { party : int; channel : string }
+      (** the party insists on an output nobody can ever receive *)
+  | Deadlock  (** no match enabled, client not terminated *)
+
+type counterexample = {
+  automaton : Automaton.t;
+  trace : Automaton.move list;  (** matches from the initial state *)
+  stuck : int;  (** the bad configuration reached (a state index) *)
+  reason : reason;
+}
+
+type t = {
+  automaton : Automaton.t;
+  good : bool array;  (** per product state; survivors of the pruning *)
+  edges : (Automaton.move * int) list array;
+      (** surviving controller edges per reachable good state; empty on
+          bad, unreachable and successful states *)
+  states : int;  (** good states reachable under the controller *)
+  transitions : int;  (** surviving edges among those *)
+}
+
+val synthesize : Automaton.t -> (t, counterexample) result
+(** Deterministic; increments [orchestration.synthesis.runs] and runs
+    under an [orchestration.synthesize] span. *)
+
+val verify : t -> (unit, string) result
+(** Independent re-check that the composed system under the controller
+    satisfies agreement: re-walk the controller from the initial state
+    recomputing every party's transitions from its contract, and confirm
+    (i) every surviving edge is a legal match of the original parties,
+    (ii) no reachable non-successful state leaves an enabled offer
+    unmatched or deadlocks, and (iii) a successful state is reachable or
+    the controller is live (a match loop). Used by the CLI's
+    re-verification line and the soundness property tests. *)
+
+val pp : t Fmt.t
+val pp_reason : names:string array -> reason Fmt.t
+val pp_counterexample : counterexample Fmt.t

@@ -246,11 +246,30 @@ let broker_outcome : Broker.outcome -> Json.t =
               | Broker.Unknown_client _ -> "unknown-client"
               | Broker.Unknown_location _ -> "unknown-location"
               | Broker.Duplicate_location _ -> "duplicate-location"
-              | Broker.Invalid_policy _ -> "invalid-policy") );
+              | Broker.Invalid_policy _ -> "invalid-policy"
+              | Broker.No_orchestration _ -> "no-orchestration") );
         ]
   | Broker.Ran { completed; steps } ->
       obj "ran" [ ("completed", Json.Bool completed); ("steps", Json.Int steps) ]
   | Broker.Ack -> obj "ack" []
+  | Broker.Orchestrated { coalitions; states; transitions } ->
+      obj "orchestrated"
+        [
+          ( "coalitions",
+            Json.List
+              (List.map
+                 (fun (rid, members) ->
+                   Json.Obj
+                     [
+                       ("rid", Json.Int rid);
+                       ( "members",
+                         Json.List
+                           (List.map (fun m -> Json.String m) members) );
+                     ])
+                 coalitions) );
+          ("states", Json.Int states);
+          ("transitions", Json.Int transitions);
+        ]
 
 let broker_response (r : Broker.response) =
   Json.Obj

@@ -1,0 +1,28 @@
+open Core
+
+let rid = 80
+
+let buyer_body =
+  Hexpr.seq_all
+    [ Hexpr.send "rfq"; Hexpr.recv "bid"; Hexpr.send "pay"; Hexpr.recv "item" ]
+
+let buyer = ("buyer", Hexpr.open_ ~rid buyer_body)
+
+let seller =
+  Hexpr.seq_all
+    [ Hexpr.recv "rfq"; Hexpr.send "bid"; Hexpr.recv "paid"; Hexpr.send "item" ]
+
+(* Same negotiation, but after the escrow confirms it ships a [fake]
+   the buyer never accepts — reachable only if the controller routes
+   the rfq here, so it must not. *)
+let rogue =
+  Hexpr.seq_all
+    [ Hexpr.recv "rfq"; Hexpr.send "bid"; Hexpr.recv "paid"; Hexpr.send "fake" ]
+
+let escrow = Hexpr.seq (Hexpr.recv "pay") (Hexpr.send "paid")
+let repo = [ ("seller", seller); ("rogue", rogue); ("escrow", escrow) ]
+
+let repo_competing =
+  [ ("seller_a", seller); ("seller_b", seller); ("escrow", escrow) ]
+
+let repo_no_escrow = [ ("seller", seller); ("rogue", rogue) ]

@@ -1,0 +1,42 @@
+(** The marketplace scenario family: competing sellers behind an escrow,
+    served by coalition — the most-permissive-controller showcase.
+
+    {v
+    buyer   = open_80 Rfq!.Bid?.Pay!.Item?
+    seller  = Rfq?.Bid!.Paid?.Item!       (ships once the escrow confirms)
+    rogue   = Rfq?.Bid!.Paid?.Fake!       (ships a fake nobody accepts)
+    escrow  = Pay?.Paid!
+    v}
+
+    No single service is 1:1 compliant with the buyer (payment flows
+    through the escrow), so the planner finds no valid plan; the
+    orchestration tier serves the buyer with the coalition
+    [{seller, escrow}]. With {e both} sellers in one session the offers
+    compete: the controller must route the buyer's [rfq] to the sound
+    seller — the rogue branch ends in an unmatched [fake] and is pruned,
+    while with two sound sellers both routings survive (the controller
+    is most-permissive, not a schedule). Without the escrow, synthesis
+    declines: after [rfq; bid] the buyer offers [pay] and nobody can
+    take it. *)
+
+val rid : int
+(** The buyer's request id, [80]. *)
+
+val buyer_body : Core.Hexpr.t
+val buyer : string * Core.Hexpr.t
+(** [("buyer", open_80 buyer_body)]. *)
+
+val seller : Core.Hexpr.t
+val rogue : Core.Hexpr.t
+val escrow : Core.Hexpr.t
+
+val repo : Core.Network.repo
+(** [seller] at ["seller"], [rogue] at ["rogue"], [escrow] at
+    ["escrow"] — the coalition search lands on [{seller, escrow}]. *)
+
+val repo_competing : Core.Network.repo
+(** Two sound sellers (["seller_a"], ["seller_b"]) plus the escrow. *)
+
+val repo_no_escrow : Core.Network.repo
+(** Sellers only: the buyer's [pay] can never be delivered — synthesis
+    declines with the [rfq; bid] counterexample trace. *)

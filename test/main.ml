@@ -40,5 +40,6 @@ let () =
       ("recovery", Test_recovery.suite);
       ("shard", Test_shard.suite);
       ("obs", Test_obs.suite);
+      ("orchestration", Test_orchestration.suite);
       ("cli", Test_cli.suite);
     ]

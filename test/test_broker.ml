@@ -483,6 +483,7 @@ let test_script_parse () =
      \n\
      open c1 = x\n\
      serve c1\n\
+     orchestrate c1\n\
      publish s9 = y\n\
      update s9 = z\n\
      retract s9\n\
@@ -497,7 +498,7 @@ let test_script_parse () =
   in
   match Broker.Script.parse ~hexpr_of_string text with
   | Error e -> Alcotest.failf "parse failed: %s" e
-  | Ok items -> Alcotest.(check int) "all lines parsed" 13 (List.length items)
+  | Ok items -> Alcotest.(check int) "all lines parsed" 14 (List.length items)
 
 let test_script_errors () =
   let fails text expected_line =
@@ -554,6 +555,84 @@ let test_script_error_tokens () =
        (error_of ~file:"w.script" "serve c1\nfrobnicate x\n"))
 
 (* ------------------------------------------------------------------ *)
+(* The orchestrate admission path *)
+
+(* serve-first: a client with a 1:1 plan is Served, and the synthesis
+   tier is never consulted — pinned on the metric, not just the
+   outcome shape *)
+let test_orchestrate_serve_first () =
+  Obs.Metrics.install ();
+  Fun.protect ~finally:Obs.Metrics.uninstall @@ fun () ->
+  let b = Broker.create Scenarios.Hotel.repo in
+  (match
+     outcome b (Broker.Open { client = "c1"; body = Scenarios.Hotel.client1 })
+   with
+  | Broker.Ack -> ()
+  | o -> Alcotest.failf "open: %a" Broker.pp_outcome o);
+  check_served "orchestrate with a 1:1 plan"
+    (outcome b (Broker.Orchestrate { client = "c1" }));
+  let snap = Obs.Metrics.snapshot () in
+  let counter name =
+    Option.value ~default:0 (List.assoc_opt name snap.Obs.Metrics.counters)
+  in
+  Alcotest.(check int) "synthesis never ran" 0
+    (counter "orchestration.synthesis.runs");
+  Alcotest.(check bool) "the orchestrate request is counted" true
+    (counter "broker.orchestrate.requests" > 0)
+
+let test_orchestrate_synthesizes () =
+  let repo, (name, body) = Scenarios.Supply_chain.chain ~parties:4 in
+  let b = Broker.create repo in
+  ignore (outcome b (Broker.Open { client = name; body }));
+  (* plain serve finds nothing 1:1… *)
+  (match outcome b (Broker.Serve { client = name }) with
+  | Broker.Rejected Broker.No_plan -> ()
+  | o -> Alcotest.failf "serve: %a" Broker.pp_outcome o);
+  (* …orchestrate settles the same session by synthesis *)
+  let index_before = Broker.index_size b in
+  (match outcome b (Broker.Orchestrate { client = name }) with
+  | Broker.Orchestrated { coalitions; states; transitions } ->
+      Alcotest.(check (list (pair int (list string))))
+        "the coalition spans the whole chain"
+        [ (70, [ "sc1"; "sc2"; "sc3" ]) ]
+        coalitions;
+      Alcotest.(check int) "controller states" 7 states;
+      Alcotest.(check int) "controller transitions" 6 transitions
+  | o -> Alcotest.failf "orchestrate: %a" Broker.pp_outcome o);
+  let st = Broker.stats b in
+  Alcotest.(check int) "orchestration counts as a serve" 1 st.Broker.served;
+  (* synthesis is recomputed per request, never cached in the index *)
+  Alcotest.(check int) "orchestrate caches nothing" index_before
+    (Broker.index_size b)
+
+let test_orchestrate_declines () =
+  let b = Broker.create Scenarios.Marketplace.repo_no_escrow in
+  ignore
+    (outcome b
+       (Broker.Open
+          { client = "buyer"; body = snd Scenarios.Marketplace.buyer }));
+  (match outcome b (Broker.Orchestrate { client = "buyer" }) with
+  | Broker.Rejected (Broker.No_orchestration msg) ->
+      Alcotest.(check bool)
+        "the decline names the undeliverable channel" true
+        (Astring.String.is_infix ~affix:"pay" msg)
+  | o -> Alcotest.failf "orchestrate: %a" Broker.pp_outcome o);
+  match outcome b (Broker.Orchestrate { client = "ghost" }) with
+  | Broker.Rejected (Broker.Unknown_client _) -> ()
+  | o -> Alcotest.failf "unknown client: %a" Broker.pp_outcome o
+
+(* the journal codec round-trips the new verb *)
+let test_orchestrate_script_codec () =
+  let line =
+    Broker.Script.request_line ~hexpr_to_string:Hexpr.to_string
+      (Broker.Orchestrate { client = "c1" })
+  in
+  Alcotest.(check string) "rendered" "orchestrate c1" line;
+  match Broker.Script.request_of_line ~hexpr_of_string line with
+  | Ok (Broker.Orchestrate { client }) ->
+      Alcotest.(check string) "parsed back" "c1" client
+  | Ok r -> Alcotest.failf "parsed to %a" Broker.pp_request r
+  | Error e -> Alcotest.failf "parse failed: %s" e
 
 let suite =
   [
@@ -580,4 +659,12 @@ let suite =
       test_script_errors;
     Alcotest.test_case "script errors name the offending token" `Quick
       test_script_error_tokens;
+    Alcotest.test_case "orchestrate serves 1:1 plans without synthesis" `Quick
+      test_orchestrate_serve_first;
+    Alcotest.test_case "orchestrate synthesizes when serve finds no plan"
+      `Quick test_orchestrate_synthesizes;
+    Alcotest.test_case "orchestrate declines with a diagnostic" `Quick
+      test_orchestrate_declines;
+    Alcotest.test_case "orchestrate round-trips the script codec" `Quick
+      test_orchestrate_script_codec;
   ]
