@@ -1449,6 +1449,127 @@ let b12_orchestration () =
   Obs.Metrics.set "orchestration.bench.corpus.agreement" !ok;
   Obs.Metrics.set "orchestration.bench.corpus.empty" !empty
 
+let b13_mediation () =
+  section "B13: mediator synthesis vs counterexample depth (reversed pipes)";
+  let reps = if !quick then 3 else 10 in
+  let min_ms f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  (* the reversed-pipeline family: the client emits x1..xn, the service
+     consumes them backwards, every name is reserved — the only repair
+     is to buffer all n messages and replay them in reverse, so the
+     adapter grows linearly with the mismatch depth *)
+  pf "  %-8s %8s %8s %10s %9s@." "depth" "states" "steps" "buffered" "min ms";
+  List.iter
+    (fun n ->
+      let client, service = Scenarios.Mismatched.reversed n in
+      let config =
+        {
+          Mediator.Synthesis.capacity = n + 1;
+          reserved = Scenarios.Mismatched.reversed_channels n;
+        }
+      in
+      let run () = Mediator.Synthesis.synthesize ~config ~client ~service () in
+      let ms = min_ms run in
+      match run () with
+      | Error ce ->
+          check_line ~expected:"mediator" ~got:"decline"
+            (Printf.sprintf "reversed %d mediates (%s)" n
+               (Fmt.str "%a" Mediator.Synthesis.pp_counterexample ce))
+      | Ok m ->
+          let buffered =
+            List.length
+              (List.filter
+                 (fun (s : Mediator.Synthesis.step) ->
+                   match s.Mediator.Synthesis.repair with
+                   | Mediator.Synthesis.Buffered _ -> true
+                   | _ -> false)
+                 m.Mediator.Synthesis.steps)
+          in
+          pf "  %-8d %8d %8d %10d %9.3f@." n m.Mediator.Synthesis.states
+            (List.length m.Mediator.Synthesis.steps)
+            buffered ms;
+          (* all n messages cross the buffer, and the mediated triple
+             re-verifies strictly *)
+          check_line ~expected:(string_of_int n)
+            ~got:(string_of_int buffered)
+            (Printf.sprintf "reversed %d: every message buffered" n);
+          check_line ~expected:"true"
+            ~got:
+              (string_of_bool
+                 (Mediator.Synthesis.verify ~config ~client ~service m))
+            (Printf.sprintf "reversed %d re-verifies" n);
+          Obs.Metrics.set
+            (Printf.sprintf "mediator.bench.n%d.adapter.states" n)
+            m.Mediator.Synthesis.states;
+          Obs.Metrics.set
+            (Printf.sprintf "mediator.bench.n%d.repair.steps" n)
+            (List.length m.Mediator.Synthesis.steps);
+          Obs.Metrics.set
+            (Printf.sprintf "mediator.bench.n%d.synthesis.us" n)
+            (int_of_float (ms *. 1000.0)))
+    [ 2; 4; 8; 16 ];
+  (* repaired-vs-declined mix over a seeded corpus of scrambled
+     pipelines; a quarter mute the service's closing done!, leaving the
+     client waiting forever — unmediable by any adapter *)
+  let n_trials = scaled 200 in
+  let rand = Testkit.Rng.make ~seed:!seed () in
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 5 in
+      let* order = shuffle_l (List.init n (fun i -> i + 1)) in
+      let* mute = map (fun k -> k = 0) (int_bound 3) in
+      return (n, order, mute))
+  in
+  let repaired = ref 0 and declined = ref 0 and muted = ref 0 in
+  for _ = 1 to n_trials do
+    let n, order, mute = QCheck.Gen.generate1 ~rand gen in
+    if mute then incr muted;
+    let chan i = Printf.sprintf "x%d" i in
+    let client =
+      Hexpr.seq_all
+        (List.init n (fun i -> Hexpr.send (chan (i + 1)))
+        @ [ Hexpr.recv "done" ])
+    in
+    let service =
+      Hexpr.seq_all
+        (List.map (fun i -> Hexpr.recv (chan i)) order
+        @ if mute then [] else [ Hexpr.send "done" ])
+    in
+    let config =
+      {
+        Mediator.Synthesis.capacity = n + 1;
+        reserved = Scenarios.Mismatched.reversed_channels n;
+      }
+    in
+    match
+      Mediator.Synthesis.synthesize ~config
+        ~client:(Contract.project client)
+        ~service:(Contract.project service)
+        ()
+    with
+    | Ok _ -> incr repaired
+    | Error _ -> incr declined
+  done;
+  pf "  corpus of %d scrambled pipelines: repaired %d, declined %d (muted %d)@."
+    n_trials !repaired !declined !muted;
+  (* the mix is exact: mediation heals every live scramble and declines
+     every muted one — nothing in between *)
+  check_line
+    ~expected:(string_of_int (n_trials - !muted))
+    ~got:(string_of_int !repaired) "every live scramble repaired";
+  check_line ~expected:(string_of_int !muted)
+    ~got:(string_of_int !declined) "every muted scramble declined";
+  Obs.Metrics.set "mediator.bench.mix.repaired" !repaired;
+  Obs.Metrics.set "mediator.bench.mix.declined" !declined
+
 (* ------------------------------------------------------------------ *)
 
 let all : (string * (unit -> unit)) list =
@@ -1459,7 +1580,7 @@ let all : (string * (unit -> unit)) list =
     ("b5", b5_recovery); ("b5-def4", b5_ablation); ("b6", b6_ablation);
     ("b7", b7_ablation); ("b8", b8_broker); ("b9", b9_recovery);
     ("b10", b10_sharded); ("b11", b11_compile);
-    ("b12", b12_orchestration);
+    ("b12", b12_orchestration); ("b13", b13_mediation);
     ("t-paper", timing_e); ("t-b1", timing_b1); ("t-b2", timing_b2);
     ("t-b3", timing_b3); ("t-b4", timing_b4); ("t-b5", timing_b5);
     ("t-b6", timing_b6); ("t-b7", timing_b7); ("t-quant", timing_quant);

@@ -226,7 +226,22 @@ let plans_cmd =
              when some client gets neither a valid plan nor an \
              orchestrator.")
   in
-  let run file client orchestrate trace metrics compiled =
+  let mediate_arg =
+    Arg.(
+      value & flag
+      & info [ "mediate" ]
+          ~doc:
+            "Run the full repair ladder for clients with no valid 1:1 \
+             plan: coalition synthesis first (as $(b,--orchestrate)), \
+             then mediator synthesis (lib/mediator) — a bounded-buffer \
+             adapter that reorders, buffers, or renames within policy, \
+             re-verified through the strict pipeline. Prints the \
+             synthesized mediator and which stuck configuration each \
+             repair step discharges. A no-op — byte-identical output — \
+             when a valid plan exists. Exits 1 when some client gets \
+             neither a plan, nor a coalition, nor a mediator.")
+  in
+  let run file client orchestrate mediate trace metrics compiled =
     with_obs ~trace ~metrics @@ fun () ->
     apply_compiled compiled;
     let spec = load file in
@@ -238,7 +253,7 @@ let plans_cmd =
         let reports = Core.Planner.valid_plans ~all:true repo ~client:(name, h) in
         List.iter (fun r -> Fmt.pr "  %a@." Core.Planner.pp_report r) reports;
         if
-          orchestrate
+          (orchestrate || mediate)
           && not
                (List.exists
                   (fun r -> Result.is_ok r.Core.Planner.verdict)
@@ -258,17 +273,45 @@ let plans_cmd =
                       ok := false;
                       Fmt.pr "  controller FAILED re-verification: %s@." e)
                 o.Orchestration.Orchestrate.coalitions
-          | Error d ->
+          | Error d when not mediate ->
               ok := false;
-              Fmt.pr "  %a@." Orchestration.Orchestrate.pp_declined d)
+              Fmt.pr "  %a@." Orchestration.Orchestrate.pp_declined d
+          | Error coalition -> (
+              (* the last rung: heal the mismatch with a synthesized
+                 adapter, or decline with both traces *)
+              match Mediator.Repair.heal repo ~client:(name, h) with
+              | Ok m ->
+                  List.iter
+                    (fun (h : Mediator.Repair.healed) ->
+                      Fmt.pr "  request %d: mediated %s via %s@." h.rid
+                        h.service h.adapter_loc;
+                      Fmt.pr "    %a@." Mediator.Synthesis.pp_mediator
+                        h.mediator;
+                      List.iter
+                        (fun s ->
+                          Fmt.pr "    %a@." Mediator.Synthesis.pp_step s)
+                        h.mediator.Mediator.Synthesis.steps)
+                    m.Mediator.Repair.healed;
+                  List.iter
+                    (fun (rid, loc) ->
+                      Fmt.pr "  request %d: bound directly to %s@." rid loc)
+                    m.Mediator.Repair.direct;
+                  Fmt.pr
+                    "  mediated triple re-verified: strict compliance + \
+                     netcheck hold@."
+              | Error d ->
+                  ok := false;
+                  Fmt.pr "  %a@." Orchestration.Orchestrate.pp_declined
+                    coalition;
+                  Fmt.pr "  %a@." Mediator.Repair.pp_declined d))
       (clients spec client);
-    if (not orchestrate) || !ok then 0 else 1
+    if (not (orchestrate || mediate)) || !ok then 0 else 1
   in
   let doc = "Enumerate all plans and their verdicts." in
   Cmd.v (Cmd.info "plans" ~doc)
     Term.(
-      const run $ file_arg $ client_arg $ orchestrate_arg $ trace_arg
-      $ metrics_arg $ compiled_arg)
+      const run $ file_arg $ client_arg $ orchestrate_arg $ mediate_arg
+      $ trace_arg $ metrics_arg $ compiled_arg)
 
 (* --- compliance --- *)
 
@@ -916,6 +959,17 @@ let serve_cmd =
              workload completes, stopping the server (it drains, flushes \
              its journals and exits 0).")
   in
+  let net_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "net-timeout" ] ~docv:"SECS"
+          ~doc:
+            "With $(b,--listen): per-connection idle read timeout. A \
+             connection with no input for $(docv) seconds is answered \
+             $(b,err timeout) and closed, so a silent client cannot pin \
+             its server slot forever. Off by default.")
+  in
   let queue_arg =
     Arg.(
       value
@@ -994,7 +1048,7 @@ let serve_cmd =
   in
   let run file script queue budget floor json trace metrics journal
       snapshot_every recover force faults listen shards batch connect conns
-      check do_shutdown compiled table_cache =
+      check do_shutdown net_timeout compiled table_cache =
     with_obs ~trace ~metrics @@ fun () ->
     apply_compiled compiled;
     (match table_cache with
@@ -1140,7 +1194,10 @@ let serve_cmd =
             journal
         in
         let pool = Broker.Shard.of_engines ?journal:jfn engines in
-        let server = Broker.Net.create ~hexpr_of_string ~port pool in
+        let server =
+          Broker.Net.create ~hexpr_of_string ?idle_timeout:net_timeout ~port
+            pool
+        in
         Fmt.epr "-- listening on 127.0.0.1:%d (%d shard%s, journal batch %d)@."
           (Broker.Net.port server) shards
           (if shards = 1 then "" else "s")
@@ -1446,7 +1503,7 @@ let serve_cmd =
       $ json_arg $ trace_arg $ metrics_arg $ journal_arg $ snapshot_every_arg
       $ recover_arg $ force_arg $ serve_faults_arg $ listen_arg $ shards_arg
       $ batch_arg $ connect_arg $ conns_arg $ check_arg $ shutdown_arg
-      $ compiled_arg $ table_cache_arg)
+      $ net_timeout_arg $ compiled_arg $ table_cache_arg)
 
 (* --- show --- *)
 

@@ -25,6 +25,7 @@ type request =
   | Update of { loc : string; service : Hexpr.t }
   | Set_policy of policy_delta
   | Orchestrate of { client : string }
+  | Mediate of { client : string }
 
 type reject =
   | Shed
@@ -36,6 +37,9 @@ type reject =
   | Invalid_policy of string
   | No_orchestration of string
       (* rendered decline diagnostic (counterexample trace included) *)
+  | No_mediation of string
+      (* the whole repair ladder declined; renders both the coalition
+         and the mediation decline, counterexample traces included *)
 
 type outcome =
   | Served of {
@@ -51,6 +55,13 @@ type outcome =
       coalitions : (int * string list) list;  (* rid -> members *)
       states : int;  (* controller states, summed over coalitions *)
       transitions : int;
+    }
+  | Mediated of {
+      healed : (int * string * string) list;
+          (* rid, repaired service, adapter location *)
+      direct : (int * string) list;  (* sites that bound without repair *)
+      states : int;  (* mediated configurations, summed over adapters *)
+      steps : int;  (* repair steps, summed *)
     }
 
 type response = { seq : int; request : request; outcome : outcome }
@@ -508,6 +519,71 @@ let apply t ~level = function
                     (No_orchestration
                        (Fmt.str "%a" Orchestration.Orchestrate.pp_declined d)))
           | o -> o))
+  | Mediate { client } -> (
+      (* the full repair ladder as an admission path: serve-first
+         (cached, oracle-equal), coalition synthesis second, adapter
+         synthesis last — only then a decline, carrying both traces.
+         The synthesis rungs are deterministic and recomputed per
+         request, never cached in the index, so the invalidation and
+         recovery contracts are untouched. *)
+      Obs.Metrics.incr "broker.mediate.requests";
+      match List.assoc_opt client t.sessions with
+      | None -> Rejected (Unknown_client client)
+      | Some s -> (
+          match serve t ~level client with
+          | Rejected No_plan -> (
+              match
+                Orchestration.Orchestrate.synthesize_client t.repo
+                  ~client:(client, s.body)
+              with
+              | Ok o ->
+                  let coalitions =
+                    List.map
+                      (fun (c : Orchestration.Orchestrate.coalition) ->
+                        (c.rid, c.members))
+                      o.Orchestration.Orchestrate.coalitions
+                  in
+                  let states, transitions =
+                    List.fold_left
+                      (fun (st, tr) (c : Orchestration.Orchestrate.coalition) ->
+                        ( st + c.controller.Orchestration.Controller.states,
+                          tr + c.controller.Orchestration.Controller.transitions
+                        ))
+                      (0, 0) o.Orchestration.Orchestrate.coalitions
+                  in
+                  Orchestrated { coalitions; states; transitions }
+              | Error coalition -> (
+                  match
+                    Mediator.Repair.heal t.repo ~client:(client, s.body)
+                  with
+                  | Ok m ->
+                      Obs.Metrics.incr "broker.mediate.repaired";
+                      let healed =
+                        List.map
+                          (fun (h : Mediator.Repair.healed) ->
+                            (h.rid, h.service, h.adapter_loc))
+                          m.Mediator.Repair.healed
+                      in
+                      let states, steps =
+                        List.fold_left
+                          (fun (a, b) (h : Mediator.Repair.healed) ->
+                            ( a + h.mediator.Mediator.Synthesis.states,
+                              b
+                              + List.length h.mediator.Mediator.Synthesis.steps
+                            ))
+                          (0, 0) m.Mediator.Repair.healed
+                      in
+                      Mediated
+                        { healed; direct = m.Mediator.Repair.direct; states;
+                          steps }
+                  | Error d ->
+                      Obs.Metrics.incr "broker.mediate.declined";
+                      Rejected
+                        (No_mediation
+                           (Fmt.str "%a; %a"
+                              Orchestration.Orchestrate.pp_declined coalition
+                              Mediator.Repair.pp_declined d))))
+          | o -> o))
   | Set_policy { queue; budget; floor } ->
       (* out-of-range deltas are rejected whole, not clamped: a silent
          clamp-to-1 turns an operator typo ("queue 0") into a
@@ -545,11 +621,13 @@ let request_kind = function
   | Update _ -> "update"
   | Set_policy _ -> "set_policy"
   | Orchestrate _ -> "orchestrate"
+  | Mediate _ -> "mediate"
 
 let outcome_kind = function
   | Served _ -> "served"
   | Degraded _ -> "degraded"
   | Orchestrated _ -> "orchestrated"
+  | Mediated _ -> "mediated"
   | Rejected Shed -> "shed"
   | Rejected _ -> "rejected"
   | Ran _ -> "ran"
@@ -570,7 +648,7 @@ let respond t request outcome =
           t.st.served_affectible <- t.st.served_affectible + 1)
   | Rejected Shed -> ()
   | Rejected _ -> t.st.rejected <- t.st.rejected + 1
-  | Orchestrated _ -> t.st.served <- t.st.served + 1
+  | Orchestrated _ | Mediated _ -> t.st.served <- t.st.served + 1
   | Degraded _ | Ran _ | Ack -> ());
   { seq; request; outcome }
 
@@ -724,7 +802,8 @@ type target = Shard of int | Broadcast
 let target ~shards = function
   | Open { client; _ } | Close { client } | Serve { client }
   | Run { client; _ }
-  | Orchestrate { client } ->
+  | Orchestrate { client }
+  | Mediate { client } ->
       Shard (route ~shards client)
   | Publish _ | Retract _ | Update _ | Set_policy _ -> Broadcast
 
@@ -757,6 +836,7 @@ let pp_request ppf = function
   | Close { client } -> Fmt.pf ppf "close %s" client
   | Serve { client } -> Fmt.pf ppf "serve %s" client
   | Orchestrate { client } -> Fmt.pf ppf "orchestrate %s" client
+  | Mediate { client } -> Fmt.pf ppf "mediate %s" client
   | Run { client; seed } -> Fmt.pf ppf "run %s seed %d" client seed
   | Publish { loc; _ } -> Fmt.pf ppf "publish %s" loc
   | Retract { loc } -> Fmt.pf ppf "retract %s" loc
@@ -775,6 +855,7 @@ let pp_reject ppf = function
   | Shed -> Fmt.string ppf "shed (queue full)"
   | No_plan -> Fmt.string ppf "no valid plan"
   | No_orchestration msg -> Fmt.pf ppf "no orchestrator: %s" msg
+  | No_mediation msg -> Fmt.pf ppf "no mediation: %s" msg
   | Not_served c -> Fmt.pf ppf "%s has no served plan" c
   | Unknown_client c -> Fmt.pf ppf "unknown client %s" c
   | Unknown_location l -> Fmt.pf ppf "unknown location %s" l
@@ -803,6 +884,17 @@ let pp_outcome ppf = function
                 (list ~sep:(any ", ") string)
                 members))
         coalitions states transitions
+  | Mediated { healed; direct; states; steps } ->
+      Fmt.pf ppf "MEDIATED %a (%d states, %d repair steps)"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf part ->
+              match part with
+              | rid, service, `Via adapter ->
+                  Fmt.pf ppf "%d -> %s via %s" rid service adapter
+              | rid, service, `Direct -> Fmt.pf ppf "%d -> %s" rid service))
+        (List.map (fun (rid, s, a) -> (rid, s, `Via a)) healed
+        @ List.map (fun (rid, s) -> (rid, s, `Direct)) direct)
+        states steps
   | Rejected r -> Fmt.pf ppf "REJECTED: %a" pp_reject r
   | Ran { completed; steps } ->
       Fmt.pf ppf "RAN %d steps (%s)" steps

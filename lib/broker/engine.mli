@@ -92,6 +92,15 @@ type request =
           deterministic and recomputed per request — orchestrated
           verdicts are never cached in the index, so the invalidation
           contract is untouched. *)
+  | Mediate of { client : string }
+      (** the full repair ladder as one admission path: first the
+          cached 1:1 serve, then coalition synthesis, then mediator
+          synthesis ([Mediator.Repair.heal]) — an adapter that
+          reorders, buffers or renames-within-policy, published and
+          re-verified through the strict pipeline. Only when every rung
+          declines is the request rejected ([No_mediation]), carrying
+          both decline traces. Like [Orchestrate], the synthesis rungs
+          are deterministic, recomputed per request and never cached. *)
 
 type reject =
   | Shed  (** the bounded queue was full at submission *)
@@ -107,6 +116,10 @@ type reject =
       (** an [Orchestrate] found neither a 1:1 plan nor a coalition
           controller; the message renders the synthesis decline,
           counterexample trace included *)
+  | No_mediation of string
+      (** a [Mediate] exhausted the whole repair ladder; the message
+          renders the coalition decline and the mediation decline,
+          counterexample traces included *)
 
 type outcome =
   | Served of {
@@ -130,6 +143,19 @@ type outcome =
     }
       (** an [Orchestrate] with no 1:1 plan settled by controller
           synthesis; counts as a serve in [stats.served] *)
+  | Mediated of {
+      healed : (int * string * string) list;
+          (** per repaired request: rid, the mismatched service, and
+              the location its synthesized adapter was published at *)
+      direct : (int * string) list;
+          (** request sites that bound directly, no adapter needed *)
+      states : int;  (** mediated configurations, summed over adapters *)
+      steps : int;  (** repair steps, summed over adapters *)
+    }
+      (** a [Mediate] settled by adapter synthesis after both the 1:1
+          and coalition rungs declined; the mediated triple was
+          re-verified through the strict pipeline. Counts as a serve in
+          [stats.served] *)
 
 type response = { seq : int; request : request; outcome : outcome }
 (** [seq] numbers processed requests from 0 in processing order (shed
@@ -326,6 +352,7 @@ val verdict_equal : Index.verdict -> Index.verdict -> bool
 (** Byte-identity of verdicts ([Planner.pp_report]-rendered). *)
 
 val pp_request : request Fmt.t
+val pp_reject : reject Fmt.t
 val pp_outcome : outcome Fmt.t
 val pp_response : response Fmt.t
 val pp_stats : stats Fmt.t

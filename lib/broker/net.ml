@@ -36,6 +36,7 @@ type conn = {
   rbuf : Buffer.t;  (* partial input line, select-loop private *)
   wlock : Mutex.t;  (* serializes response writes across shards *)
   mutable closed : bool;
+  mutable last_read : float;  (* of the last accepted/readable moment *)
 }
 
 type t = {
@@ -43,6 +44,10 @@ type t = {
   lsock : Unix.file_descr;
   port : int;
   hexpr_of_string : string -> Core.Hexpr.t;
+  idle_timeout : float option;
+      (* a connection with no readable input for this many seconds is
+         answered 'err timeout' and closed; [None] (the default) keeps
+         the historical pin-a-worker-forever behaviour *)
   mutable conns : conn list;
   mutable shutdown : conn option;
       (* the connection that sent 'shutdown': it gets the 'ok bye',
@@ -52,7 +57,10 @@ type t = {
 let port t = t.port
 let pool t = t.pool
 
-let create ~hexpr_of_string ?(port = 0) pool =
+let create ~hexpr_of_string ?idle_timeout ?(port = 0) pool =
+  (match idle_timeout with
+  | Some s when s <= 0. -> invalid_arg "Net.create: idle_timeout must be > 0"
+  | _ -> ());
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lsock Unix.SO_REUSEADDR true;
   Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -62,7 +70,8 @@ let create ~hexpr_of_string ?(port = 0) pool =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
-  { pool; lsock; port; hexpr_of_string; conns = []; shutdown = None }
+  { pool; lsock; port; hexpr_of_string; idle_timeout; conns = [];
+    shutdown = None }
 
 let write_line conn line =
   Mutex.lock conn.wlock;
@@ -148,6 +157,7 @@ let step t =
                 rbuf = Buffer.create 256;
                 wlock = Mutex.create ();
                 closed = false;
+                last_read = Unix.gettimeofday ();
               }
               :: t.conns
           end
@@ -155,12 +165,31 @@ let step t =
             match List.find_opt (fun c -> c.fd = fd) t.conns with
             | None -> ()
             | Some conn -> (
+                conn.last_read <- Unix.gettimeofday ();
                 let buf = Bytes.create 4096 in
                 match Unix.read conn.fd buf 0 4096 with
                 | 0 -> close_conn conn
                 | n -> feed t conn buf n
                 | exception Unix.Unix_error _ -> close_conn conn))
         readable;
+      (* reap idle connections: a client that connected and went silent
+         would otherwise hold its slot forever *)
+      (match t.idle_timeout with
+      | None -> ()
+      | Some limit ->
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun conn ->
+              if
+                (not conn.closed)
+                && now -. conn.last_read > limit
+                && t.shutdown <> Some conn
+              then begin
+                Obs.Metrics.incr "net.timeouts";
+                write_line conn "err timeout";
+                close_conn conn
+              end)
+            t.conns);
       Option.is_none t.shutdown
 
 let serve t =

@@ -25,18 +25,26 @@
     {!drive} does. Blank lines and [#] comment lines are ignored.
 
     Instruments: [net.connections], [net.requests], [net.responses],
-    [net.errors], [net.shutdowns], [net.port]. *)
+    [net.errors], [net.timeouts], [net.shutdowns], [net.port]. *)
 
 type t
 
 val create :
   hexpr_of_string:(string -> Core.Hexpr.t) ->
+  ?idle_timeout:float ->
   ?port:int ->
   Shard.t ->
   t
 (** Bind a loopback listener (port 0 — the default — picks a free
     port, see {!port}) in front of this shard pool. The pool is owned
-    by the server from here on: {!serve}'s shutdown path stops it. *)
+    by the server from here on: {!serve}'s shutdown path stops it.
+
+    [idle_timeout] (seconds, default off; must be positive) reaps
+    connections with no readable input for that long: the server writes
+    [err timeout] and closes them ([net.timeouts] counts the reaps) —
+    without it, a client that connects and goes silent pins its
+    server slot forever. Idleness is sampled by the select loop's 0.2s
+    tick, so reaping happens within a tick of the deadline. *)
 
 val port : t -> int
 val pool : t -> Shard.t

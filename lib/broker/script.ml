@@ -95,6 +95,7 @@ let parse_line ~hexpr_of_string line =
     | "serve" -> one_word (fun client -> Submit (Engine.Serve { client }))
     | "orchestrate" ->
         one_word (fun client -> Submit (Engine.Orchestrate { client }))
+    | "mediate" -> one_word (fun client -> Submit (Engine.Mediate { client }))
     | "retract" -> one_word (fun loc -> Submit (Engine.Retract { loc }))
     | "run" -> (
         match split_words rest with
@@ -144,6 +145,7 @@ let request_line ~hexpr_to_string (r : Engine.request) =
   | Engine.Close { client } -> Fmt.str "close %s" client
   | Engine.Serve { client } -> Fmt.str "serve %s" client
   | Engine.Orchestrate { client } -> Fmt.str "orchestrate %s" client
+  | Engine.Mediate { client } -> Fmt.str "mediate %s" client
   | Engine.Run { client; seed } -> Fmt.str "run %s seed %d" client seed
   | Engine.Publish { loc; service } ->
       Fmt.str "publish %s = %s" loc (h service)
@@ -194,6 +196,7 @@ let partition ~streams items =
           | Engine.Close { client }
           | Engine.Serve { client }
           | Engine.Orchestrate { client }
+          | Engine.Mediate { client }
           | Engine.Run { client; _ } ->
               push (Engine.route ~shards:streams client) r
           | Engine.Publish _ | Engine.Retract _ | Engine.Update _

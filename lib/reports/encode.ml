@@ -217,6 +217,112 @@ let violation (v : Core.Validity.violation) =
         Json.String (Fmt.str "%a" Core.History.pp v.Core.Validity.prefix) );
     ]
 
+(* ---- decline traces (the orchestration and mediation tiers) ---------- *)
+
+let orchestration_counterexample
+    (ce : Orchestration.Controller.counterexample) =
+  let move (m : Orchestration.Automaton.move) =
+    Json.Obj
+      [
+        ("sender", Json.Int m.sender);
+        ("receiver", Json.Int m.receiver);
+        ("channel", Json.String m.channel);
+      ]
+  in
+  let reason =
+    match ce.Orchestration.Controller.reason with
+    | Orchestration.Controller.Deadlock ->
+        Json.Obj [ ("kind", Json.String "deadlock") ]
+    | Orchestration.Controller.Unmatched_offer { party; channel } ->
+        Json.Obj
+          [
+            ("kind", Json.String "unmatched-offer");
+            ("party", Json.Int party);
+            ("channel", Json.String channel);
+          ]
+  in
+  Json.Obj
+    [
+      ( "trace",
+        Json.List (List.map move ce.Orchestration.Controller.trace) );
+      ("stuck", Json.Int ce.Orchestration.Controller.stuck);
+      ("reason", reason);
+    ]
+
+let orchestration_declined (d : Orchestration.Orchestrate.declined) =
+  let obj kind fields = Json.Obj (("kind", Json.String kind) :: fields) in
+  match d with
+  | Orchestration.Orchestrate.No_candidates { rid } ->
+      obj "no-candidates" [ ("request", Json.Int rid) ]
+  | Orchestration.Orchestrate.Outside_fragment { rid; reason } ->
+      obj "outside-fragment"
+        [ ("request", Json.Int rid); ("reason", Json.String reason) ]
+  | Orchestration.Orchestrate.No_controller { rid; explored; counterexample = ce }
+    ->
+      obj "no-controller"
+        [
+          ("request", Json.Int rid);
+          ("explored", Json.Int explored);
+          ("counterexample", orchestration_counterexample ce);
+        ]
+
+let mediation_counterexample (ce : Mediator.Synthesis.counterexample) =
+  let strings = List.map (fun s -> Json.String s) in
+  let reason =
+    match ce.Mediator.Synthesis.reason with
+    | Mediator.Synthesis.Undeliverable { waiting } ->
+        Json.Obj
+          [
+            ("kind", Json.String "undeliverable");
+            ("waiting", Json.List (strings waiting));
+          ]
+    | Mediator.Synthesis.Overflow { channel } ->
+        Json.Obj
+          [ ("kind", Json.String "overflow"); ("channel", Json.String channel) ]
+    | Mediator.Synthesis.Unmergeable { channels } ->
+        Json.Obj
+          [
+            ("kind", Json.String "unmergeable");
+            ("channels", Json.List (strings channels));
+          ]
+  in
+  Json.Obj
+    [
+      ("trace", Json.List (strings ce.Mediator.Synthesis.trace));
+      ( "client",
+        Json.String (Core.Contract.to_string ce.Mediator.Synthesis.client) );
+      ( "service",
+        Json.String (Core.Contract.to_string ce.Mediator.Synthesis.service) );
+      ( "client_buffer",
+        Json.List (strings ce.Mediator.Synthesis.client_buffer) );
+      ( "service_buffer",
+        Json.List (strings ce.Mediator.Synthesis.service_buffer) );
+      ("reason", reason);
+    ]
+
+let mediation_declined (d : Mediator.Repair.declined) =
+  let obj kind fields = Json.Obj (("kind", Json.String kind) :: fields) in
+  match d with
+  | Mediator.Repair.No_candidates { rid } ->
+      obj "no-candidates" [ ("request", Json.Int rid) ]
+  | Mediator.Repair.Outside_fragment { rid; reason } ->
+      obj "outside-fragment"
+        [ ("request", Json.Int rid); ("reason", Json.String reason) ]
+  | Mediator.Repair.Unmediable { rid; service; counterexample = ce } ->
+      obj "unmediable"
+        [
+          ("request", Json.Int rid);
+          ("service", Json.String service);
+          ("counterexample", mediation_counterexample ce);
+        ]
+  | Mediator.Repair.Not_reverified { rid; service; reason } ->
+      obj "not-reverified"
+        [
+          ("request", Json.Int rid);
+          ("service", Json.String service);
+          ("reason", Json.String reason);
+        ]
+
 let broker_outcome : Broker.outcome -> Json.t =
   let obj kind fields = Json.Obj (("kind", Json.String kind) :: fields) in
   function
@@ -247,7 +353,11 @@ let broker_outcome : Broker.outcome -> Json.t =
               | Broker.Unknown_location _ -> "unknown-location"
               | Broker.Duplicate_location _ -> "duplicate-location"
               | Broker.Invalid_policy _ -> "invalid-policy"
-              | Broker.No_orchestration _ -> "no-orchestration") );
+              | Broker.No_orchestration _ -> "no-orchestration"
+              | Broker.No_mediation _ -> "no-mediation") );
+          (* the rendered diagnostic — for the synthesis rungs it
+             carries the decline counterexample traces *)
+          ("detail", Json.String (Fmt.str "%a" Broker.pp_reject reject));
         ]
   | Broker.Ran { completed; steps } ->
       obj "ran" [ ("completed", Json.Bool completed); ("steps", Json.Int steps) ]
@@ -269,6 +379,30 @@ let broker_outcome : Broker.outcome -> Json.t =
                  coalitions) );
           ("states", Json.Int states);
           ("transitions", Json.Int transitions);
+        ]
+  | Broker.Mediated { healed; direct; states; steps } ->
+      obj "mediated"
+        [
+          ( "healed",
+            Json.List
+              (List.map
+                 (fun (rid, service, adapter) ->
+                   Json.Obj
+                     [
+                       ("rid", Json.Int rid);
+                       ("service", Json.String service);
+                       ("adapter", Json.String adapter);
+                     ])
+                 healed) );
+          ( "direct",
+            Json.List
+              (List.map
+                 (fun (rid, loc) ->
+                   Json.Obj
+                     [ ("rid", Json.Int rid); ("service", Json.String loc) ])
+                 direct) );
+          ("states", Json.Int states);
+          ("steps", Json.Int steps);
         ]
 
 let broker_response (r : Broker.response) =

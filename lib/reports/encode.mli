@@ -22,6 +22,21 @@ val runtime_report : Runtime.Engine.report -> Json.t
 val priced : Quant.Plan_cost.priced -> Json.t
 val violation : Core.Validity.violation -> Json.t
 
+val orchestration_counterexample :
+  Orchestration.Controller.counterexample -> Json.t
+(** The coalition-synthesis decline trace: the match moves driven from
+    the initial product state, the stuck state index, and the reason
+    ([deadlock] or [unmatched-offer]). *)
+
+val orchestration_declined : Orchestration.Orchestrate.declined -> Json.t
+
+val mediation_counterexample : Mediator.Synthesis.counterexample -> Json.t
+(** The mediation decline: the repair trace walked before sticking, the
+    residual contracts, both buffers, and the reason ([undeliverable],
+    [overflow] or [unmergeable]). *)
+
+val mediation_declined : Mediator.Repair.declined -> Json.t
+
 val broker_outcome : Broker.outcome -> Json.t
 val broker_response : Broker.response -> Json.t
 (** [{"seq": …, "request": "serve c1", "outcome": {"kind": …}}] *)

@@ -41,3 +41,173 @@ let rec pp ppf = function
         fields
 
 let to_string t = Fmt.str "%a" pp t
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+(* A recursive-descent parser for the subset {!pp} emits (full RFC 8259
+   minus extension points we never print: exponent-only floats parse
+   fine, but unicode escapes beyond the BMP controls we emit are
+   rejected). Numbers with a '.', 'e' or 'E' load as [Float], all
+   others as [Int] — matching the printer, so [of_string (to_string j)]
+   round-trips every tree whose floats survive "%.12g". *)
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "at %d: expected %C, got %C" !pos c c'
+    | None -> fail "at %d: expected %C, got end of input" !pos c
+  in
+  let literal word value =
+    if !pos + String.length word <= n
+       && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail "at %d: bad literal" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 ->
+                  Buffer.add_char buf (Char.chr code)
+              | Some _ -> fail "at %d: non-ASCII \\u escape" !pos
+              | None -> fail "at %d: bad \\u escape" !pos);
+              pos := !pos + 4;
+              go ()
+          | _ -> fail "at %d: bad escape" !pos)
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          go ()
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "at %d: bad number %S" start text
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> fail "at %d: bad number %S" start text
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "at %d: expected ',' or ']'" !pos
+          in
+          items []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields (kv :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev (kv :: acc))
+            | _ -> fail "at %d: expected ',' or '}'" !pos
+          in
+          fields []
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "at %d: unexpected %C" !pos c
+  in
+  match parse_value () with
+  | v ->
+      skip_ws ();
+      if !pos <> n then Error (Fmt.str "trailing input at %d" !pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg

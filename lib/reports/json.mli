@@ -18,3 +18,10 @@ val to_string : t -> string
 val escape : string -> string
 (** JSON string-body escaping (quotes, backslashes, control characters
     as [\uXXXX]). *)
+
+val of_string : string -> (t, string) result
+(** Parse the subset {!pp} emits (ASCII-complete RFC 8259; [\uXXXX]
+    escapes only for the control characters {!escape} produces).
+    Numbers containing ['.'], ['e'] or ['E'] load as [Float], all
+    others as [Int] — so [of_string (to_string j)] round-trips every
+    tree the encoders build. *)

@@ -14,7 +14,8 @@
 # set up their own fixtures (e.g. a log file to audit).
 #
 # Additionally, every backticked `broker.*` / `net.*` / `compile.*` /
-# `orchestration.*` instrument name mentioned in the docs must exist verbatim as a
+# `orchestration.*` / `mediator.*` instrument name mentioned in the docs must
+# exist verbatim as a
 # metric-name literal in
 # lib/, bin/ or bench/, so the observability tables cannot drift from
 # the code. Wildcard mentions (`broker.shard.*`) are not audited.
@@ -89,7 +90,7 @@ fi
 # ---- instrument-name audit ------------------------------------------
 audited=0
 missing=0
-for name in $(grep -hoE '`(broker|net|compile|orchestration)\.[a-z0-9_.]+`' "$@" | tr -d '`' | sort -u); do
+for name in $(grep -hoE '`(broker|net|compile|orchestration|mediator)\.[a-z0-9_.]+`' "$@" | tr -d '`' | sort -u); do
   audited=$((audited + 1))
   if grep -rqF "\"$name\"" "$ROOT/lib" "$ROOT/bin" "$ROOT/bench"; then
     echo "ok   instrument $name"

@@ -41,5 +41,6 @@ let () =
       ("shard", Test_shard.suite);
       ("obs", Test_obs.suite);
       ("orchestration", Test_orchestration.suite);
+      ("mediator", Test_mediator.suite);
       ("cli", Test_cli.suite);
     ]

@@ -634,6 +634,92 @@ let test_orchestrate_script_codec () =
   | Ok r -> Alcotest.failf "parsed to %a" Broker.pp_request r
   | Error e -> Alcotest.failf "parse failed: %s" e
 
+(* ------------------------------------------------------------------ *)
+(* The mediate admission path: the full repair ladder behind one verb *)
+
+(* serve-first: a client with a 1:1 plan is Served and neither
+   synthesis tier runs — pinned on the metrics *)
+let test_mediate_serve_first () =
+  Obs.Metrics.install ();
+  Fun.protect ~finally:Obs.Metrics.uninstall @@ fun () ->
+  let b = Broker.create Scenarios.Hotel.repo in
+  (match
+     outcome b (Broker.Open { client = "c1"; body = Scenarios.Hotel.client1 })
+   with
+  | Broker.Ack -> ()
+  | o -> Alcotest.failf "open: %a" Broker.pp_outcome o);
+  check_served "mediate with a 1:1 plan"
+    (outcome b (Broker.Mediate { client = "c1" }));
+  let snap = Obs.Metrics.snapshot () in
+  let counter name =
+    Option.value ~default:0 (List.assoc_opt name snap.Obs.Metrics.counters)
+  in
+  Alcotest.(check int) "mediator synthesis never ran" 0
+    (counter "mediator.synthesis.runs");
+  Alcotest.(check bool) "the mediate request is counted" true
+    (counter "broker.mediate.requests" > 0)
+
+let test_mediate_heals () =
+  let b = Broker.create Scenarios.Mismatched.repo in
+  ignore
+    (outcome b
+       (Broker.Open
+          { client = "shopper"; body = Scenarios.Mismatched.buffer_client }));
+  (* plain serve finds nothing 1:1… *)
+  (match outcome b (Broker.Serve { client = "shopper" }) with
+  | Broker.Rejected Broker.No_plan -> ()
+  | o -> Alcotest.failf "serve: %a" Broker.pp_outcome o);
+  (* …mediate heals the same session with a synthesized adapter *)
+  let index_before = Broker.index_size b in
+  (match outcome b (Broker.Mediate { client = "shopper" }) with
+  | Broker.Mediated { healed; direct; states; steps } ->
+      Alcotest.(check (list (triple int string string)))
+        "healed via the buffer adapter"
+        [
+          ( Scenarios.Mismatched.buffer_rid,
+            "m_buffer",
+            Fmt.str "m_buffer~med%d" Scenarios.Mismatched.buffer_rid );
+        ]
+        healed;
+      Alcotest.(check (list (pair int string))) "nothing bound directly" []
+        direct;
+      Alcotest.(check bool) "adapter has states" true (states > 0);
+      Alcotest.(check bool) "repair steps recorded" true (steps > 0)
+  | o -> Alcotest.failf "mediate: %a" Broker.pp_outcome o);
+  let st = Broker.stats b in
+  Alcotest.(check int) "mediation counts as a serve" 1 st.Broker.served;
+  (* repairs are recomputed per request, never cached in the index *)
+  Alcotest.(check int) "mediate caches nothing" index_before
+    (Broker.index_size b)
+
+let test_mediate_declines () =
+  let b = Broker.create Scenarios.Mismatched.witness_repo in
+  ignore
+    (outcome b
+       (Broker.Open
+          { client = "stuck"; body = Scenarios.Mismatched.witness_client }));
+  (match outcome b (Broker.Mediate { client = "stuck" }) with
+  | Broker.Rejected (Broker.No_mediation msg) ->
+      Alcotest.(check bool) "the decline carries the mediation trace" true
+        (Astring.String.is_infix ~affix:"unmediable" msg)
+  | o -> Alcotest.failf "mediate: %a" Broker.pp_outcome o);
+  match outcome b (Broker.Mediate { client = "ghost" }) with
+  | Broker.Rejected (Broker.Unknown_client _) -> ()
+  | o -> Alcotest.failf "unknown client: %a" Broker.pp_outcome o
+
+(* the journal codec round-trips the new verb *)
+let test_mediate_script_codec () =
+  let line =
+    Broker.Script.request_line ~hexpr_to_string:Hexpr.to_string
+      (Broker.Mediate { client = "c1" })
+  in
+  Alcotest.(check string) "rendered" "mediate c1" line;
+  match Broker.Script.request_of_line ~hexpr_of_string line with
+  | Ok (Broker.Mediate { client }) ->
+      Alcotest.(check string) "parsed back" "c1" client
+  | Ok r -> Alcotest.failf "parsed to %a" Broker.pp_request r
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
 let suite =
   [
     Alcotest.test_case "canned churn scenario" `Quick test_canned_script;
@@ -667,4 +753,12 @@ let suite =
       test_orchestrate_declines;
     Alcotest.test_case "orchestrate round-trips the script codec" `Quick
       test_orchestrate_script_codec;
+    Alcotest.test_case "mediate serves 1:1 plans without synthesis" `Quick
+      test_mediate_serve_first;
+    Alcotest.test_case "mediate heals when serve finds no plan" `Quick
+      test_mediate_heals;
+    Alcotest.test_case "mediate declines unmediable pairs with a trace" `Quick
+      test_mediate_declines;
+    Alcotest.test_case "mediate round-trips the script codec" `Quick
+      test_mediate_script_codec;
   ]

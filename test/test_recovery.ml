@@ -27,7 +27,10 @@ let req_equal a b =
   | Broker.Close { client = a }, Broker.Close { client = b }
   | Broker.Serve { client = a }, Broker.Serve { client = b } ->
       a = b
-  | Broker.Retract { loc = a }, Broker.Retract { loc = b } -> a = b
+  | Broker.Retract { loc = a }, Broker.Retract { loc = b }
+  | Broker.Orchestrate { client = a }, Broker.Orchestrate { client = b }
+  | Broker.Mediate { client = a }, Broker.Mediate { client = b } ->
+      a = b
   | Broker.Run { client = a; seed = sa }, Broker.Run { client = b; seed = sb }
     ->
       a = b && sa = sb
@@ -50,6 +53,8 @@ let sample_requests () =
     Broker.Update
       { loc = "s1"; service = List.assoc "s1" Scenarios.Churn.repo };
     Broker.Retract { loc = "s4" };
+    Broker.Orchestrate { client = "c2" };
+    Broker.Mediate { client = "c2" };
     Broker.Close { client = "c1" };
     Broker.Set_policy { queue = Some 8; budget = Some 3; floor = None };
     Broker.Set_policy
@@ -796,6 +801,114 @@ let test_degraded_crash_resume () =
     Sys.remove jpath
   done
 
+(* Satellite + tentpole recovery property: crash-at-every-prefix over a
+   script that climbs the whole repair ladder — a coalition-settled
+   orchestrate, a mediator-healed mediate, and serve-first short
+   circuits — on a repository merging the supply chain with the
+   mismatched family. Orchestration and mediation are recomputed on
+   replay (never cached), so recovery must re-synthesize the same
+   controller and the same adapter byte-for-byte wherever the crash
+   lands. *)
+let ladder_admission =
+  { Broker.queue_capacity = 8; plan_budget = 64; floor = Compliance.Strict }
+
+let ladder_script () =
+  let sc_repo, (retailer, retailer_body) =
+    Scenarios.Supply_chain.chain ~parties:4
+  in
+  let repo = sc_repo @ Scenarios.Mismatched.repo in
+  (* normalize the combinator-built bodies through the codec once:
+     resume compares script lines against journal lines, and the
+     journal holds the parsed (prefix-form) rendering *)
+  let norm h = hexpr_of_string (hexpr_to_string h) in
+  let open Broker.Script in
+  ( repo,
+    [
+      (* one Tick per event, as in the shed/degraded scripts: a crash
+         inside a multi-event drain would drop already-journaled
+         responses from the crashed run's transcript *)
+      Submit (Broker.Open { client = retailer; body = norm retailer_body });
+      Tick;
+      Submit
+        (Broker.Open
+           {
+             client = "shopper";
+             body = norm Scenarios.Mismatched.buffer_client;
+           });
+      Tick;
+      (* no 1:1 plan for either… *)
+      Submit (Broker.Serve { client = retailer });
+      Tick;
+      Submit (Broker.Serve { client = "shopper" });
+      Tick;
+      (* …the retailer settles at the coalition rung, the shopper only
+         at the mediation rung — and mediate on the retailer stops at
+         the coalition rung before ever synthesizing an adapter *)
+      Submit (Broker.Orchestrate { client = retailer });
+      Tick;
+      Submit (Broker.Mediate { client = "shopper" });
+      Tick;
+      Submit (Broker.Mediate { client = retailer });
+      Tick;
+      Submit (Broker.Orchestrate { client = "shopper" });
+      Drain;
+    ] )
+
+let test_ladder_crash_resume () =
+  let repo, items = ladder_script () in
+  let indexed =
+    match Broker.Recovery.resume_script ~hexpr_to_string ~covered:[] items with
+    | Ok l -> l
+    | Error msg -> Alcotest.fail msg
+  in
+  let upath = tmpfile () in
+  let uw = Broker.Journal.create ~hexpr_to_string upath in
+  let ub = Broker.create ~admission:ladder_admission repo in
+  let all = drive ub uw indexed in
+  Broker.Journal.close uw;
+  let uentries = (read_ok upath).Broker.Journal.entries in
+  Sys.remove upath;
+  let processed =
+    List.length
+      (List.filter (fun (e : Broker.Journal.entry) -> not e.shed) uentries)
+  in
+  (* the workload must actually repair at both rungs, or this test
+     proves nothing *)
+  let rendered = render all in
+  Alcotest.(check bool) "workload orchestrates" true
+    (Astring.String.is_infix ~affix:"ORCHESTRATED" rendered);
+  Alcotest.(check bool) "workload mediates" true
+    (Astring.String.is_infix ~affix:"MEDIATED" rendered);
+  for k = 0 to processed do
+    let jpath = tmpfile () in
+    let w = Broker.Journal.create ~hexpr_to_string jpath in
+    let b = Broker.create ~admission:ladder_admission repo in
+    let pre = drive ~crash_at:k b w indexed in
+    Broker.Journal.close w;
+    (match
+       Broker.Recovery.recover ~hexpr_of_string ~admission:ladder_admission
+         ~journal:jpath repo
+     with
+    | Error msg -> Alcotest.failf "recover at k=%d: %s" k msg
+    | Ok (rb, report) -> (
+        match
+          Broker.Recovery.resume_script ~hexpr_to_string
+            ~covered:report.Broker.Recovery.events items
+        with
+        | Error msg -> Alcotest.failf "resume at k=%d: %s" k msg
+        | Ok rest ->
+            let w2 =
+              Broker.Journal.create ~hexpr_to_string ~append:true jpath
+            in
+            let post = drive rb w2 rest in
+            Broker.Journal.close w2;
+            Alcotest.(check string)
+              (Fmt.str "k=%d crashed mid-ladder equals uninterrupted" k)
+              rendered
+              (render (pre @ post))));
+    Sys.remove jpath
+  done
+
 let suite =
   [
     Alcotest.test_case "request codec round trips" `Quick test_codec_roundtrip;
@@ -817,5 +930,7 @@ let suite =
       `Quick test_shed_crash_resume;
     Alcotest.test_case "crash mid level-transition recovers byte-identically"
       `Quick test_degraded_crash_resume;
+    Alcotest.test_case "crash mid repair-ladder recovers byte-identically"
+      `Quick test_ladder_crash_resume;
     QCheck_alcotest.to_alcotest prop_chaos_recovery;
   ]

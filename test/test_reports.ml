@@ -75,6 +75,117 @@ let test_stats_encoding () =
   Alcotest.(check bool) "runs recorded" true
     (Astring.String.is_infix ~affix:"\"runs\":5" s)
 
+(* ------------------------------------------------------------------ *)
+(* of_string inverts the printer over every tree the encoders build *)
+
+let rt msg j =
+  match Json.of_string (str j) with
+  | Error e -> Alcotest.failf "%s: parse failed on %s: %s" msg (str j) e
+  | Ok j' ->
+      Alcotest.(check string) msg (str j) (str j');
+      Alcotest.(check bool) (msg ^ " (structural)") true (j = j')
+
+let test_parser_roundtrip () =
+  rt "scalars"
+    (Json.List
+       [
+         Json.Null; Json.Bool true; Json.Bool false; Json.Int 0; Json.Int (-42);
+         Json.Float 1.5; Json.Float (-0.25); Json.String "hi";
+       ]);
+  rt "escapes" (Json.String "a\"b\\c\nd\te\001f");
+  rt "empty containers" (Json.Obj [ ("xs", Json.List []); ("o", Json.Obj []) ]);
+  rt "nesting"
+    (Json.Obj
+       [
+         ("xs", Json.List [ Json.Int 1; Json.Obj [ ("k", Json.Null) ] ]);
+         ("s", Json.String "{\"not\":\"json\"}");
+       ]);
+  (* and the planner reports of every verdict *)
+  List.iter
+    (fun (msg, client, plan) ->
+      rt msg
+        (Encode.planner_report
+           (Core.Planner.analyze Scenarios.Hotel.repo ~client plan)))
+    [
+      ("valid report", ("c1", Scenarios.Hotel.client1), Scenarios.Hotel.plan1);
+      ( "non-compliant report",
+        ("c2", Scenarios.Hotel.client2),
+        Scenarios.Hotel.plan2_s2 );
+      ( "insecure report",
+        ("c2", Scenarios.Hotel.client2),
+        Scenarios.Hotel.plan2_s3 );
+    ]
+
+let test_parser_rejects () =
+  let fails s =
+    match Json.of_string s with
+    | Ok j -> Alcotest.failf "%S parsed to %s" s (str j)
+    | Error _ -> ()
+  in
+  fails "";
+  fails "tru";
+  fails "{\"a\":1";
+  fails "[1,]";
+  fails "1 2";
+  fails "\"unterminated"
+
+(* the orchestration and mediation decline encoders, fed from real
+   declines, round-trip through the parser *)
+let test_counterexample_roundtrips () =
+  (* a broken supply chain declines with a controller counterexample *)
+  let repo, (name, body) = Scenarios.Supply_chain.broken ~parties:4 in
+  (match Orchestration.Orchestrate.analyze repo ~client:(name, body) with
+  | Orchestration.Orchestrate.Declined d ->
+      rt "orchestration decline" (Encode.orchestration_declined d);
+      (match d with
+      | Orchestration.Orchestrate.No_controller { counterexample; _ } ->
+          rt "orchestration counterexample"
+            (Encode.orchestration_counterexample counterexample)
+      | _ -> Alcotest.fail "broken chain: expected No_controller")
+  | _ -> Alcotest.fail "broken chain: expected a decline");
+  (* the unmediable witness declines with a mediation counterexample *)
+  match
+    Mediator.Repair.heal Scenarios.Mismatched.witness_repo
+      ~client:("stuck", Scenarios.Mismatched.witness_client)
+  with
+  | Error (Mediator.Repair.Unmediable { counterexample; _ } as d) ->
+      rt "mediation decline" (Encode.mediation_declined d);
+      rt "mediation counterexample"
+        (Encode.mediation_counterexample counterexample)
+  | Error d ->
+      Alcotest.failf "witness: expected Unmediable, got %a"
+        Mediator.Repair.pp_declined d
+  | Ok _ -> Alcotest.fail "witness: expected a decline"
+
+(* the broker outcomes the mediate verb produces round-trip too *)
+let test_broker_mediate_encoding () =
+  let outcome repo client body req =
+    let b = Broker.create repo in
+    ignore (Broker.process b (Broker.Open { client; body }));
+    (Broker.process b req).Broker.outcome
+  in
+  let healed =
+    outcome Scenarios.Mismatched.repo "shopper"
+      Scenarios.Mismatched.buffer_client
+      (Broker.Mediate { client = "shopper" })
+  in
+  (match healed with
+  | Broker.Mediated _ -> ()
+  | o -> Alcotest.failf "expected Mediated, got %a" Broker.pp_outcome o);
+  rt "mediated outcome" (Encode.broker_outcome healed);
+  let declined =
+    outcome Scenarios.Mismatched.witness_repo "stuck"
+      Scenarios.Mismatched.witness_client
+      (Broker.Mediate { client = "stuck" })
+  in
+  (match declined with
+  | Broker.Rejected (Broker.No_mediation _) -> ()
+  | o -> Alcotest.failf "expected No_mediation, got %a" Broker.pp_outcome o);
+  rt "no-mediation outcome" (Encode.broker_outcome declined);
+  let s = str (Encode.broker_outcome declined) in
+  Alcotest.(check bool) "decline carries the detail" true
+    (Astring.String.is_infix ~affix:"no-mediation" s)
+
 let suite =
   [
     Alcotest.test_case "scalars" `Quick test_scalars;
@@ -84,4 +195,12 @@ let suite =
     Alcotest.test_case "planner report (non-compliant)" `Quick test_planner_report_noncompliant;
     Alcotest.test_case "planner report (insecure)" `Quick test_planner_report_insecure;
     Alcotest.test_case "stats encoding" `Quick test_stats_encoding;
+    Alcotest.test_case "parser round-trips the printer" `Quick
+      test_parser_roundtrip;
+    Alcotest.test_case "parser rejects malformed input" `Quick
+      test_parser_rejects;
+    Alcotest.test_case "counterexample encoders round-trip" `Quick
+      test_counterexample_roundtrips;
+    Alcotest.test_case "broker mediate outcomes encode and round-trip" `Quick
+      test_broker_mediate_encoding;
   ]

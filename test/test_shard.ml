@@ -430,6 +430,64 @@ let test_net_smoke () =
   Broker.Net.shutdown_conns conns;
   Domain.join d
 
+(* Satellite: the per-connection idle read timeout. A connection that
+   goes silent is answered 'err timeout' and closed; one that keeps
+   talking refreshes its deadline and survives long past the limit;
+   non-positive limits are rejected up front. *)
+let test_net_idle_timeout () =
+  let pool =
+    Broker.Shard.create ~admission:Broker.default_admission ~shards:1
+      Scenarios.Churn.repo
+  in
+  (* a non-positive limit is a configuration error, not 'off' — the
+     check fires before the listener binds, so the pool is untouched *)
+  (try
+     ignore (Broker.Net.create ~hexpr_of_string ~idle_timeout:0. ~port:0 pool);
+     Alcotest.fail "idle_timeout 0. accepted"
+   with Invalid_argument _ -> ());
+  let server =
+    Broker.Net.create ~hexpr_of_string ~idle_timeout:0.3 ~port:0 pool
+  in
+  let port = Broker.Net.port server in
+  let d = Domain.spawn (fun () -> Broker.Net.serve server) in
+  let connect () =
+    let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+    let rec go tries =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd addr with
+      | () -> (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when tries > 0 ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.1;
+          go (tries - 1)
+    in
+    go 50
+  in
+  let silent_fd, silent_ic, _ = connect () in
+  let busy_fd, busy_ic, busy_oc = connect () in
+  (* the busy connection pings across several timeout windows: each
+     read refreshes its deadline, so it must never be reaped *)
+  for _ = 1 to 4 do
+    output_string busy_oc "ping\n";
+    flush busy_oc;
+    Alcotest.(check string) "busy connection stays alive" "ok pong"
+      (input_line busy_ic);
+    Unix.sleepf 0.2
+  done;
+  (* the silent one was reaped meanwhile: the server said why, then
+     hung up *)
+  Alcotest.(check string) "silent connection reaped" "err timeout"
+    (input_line silent_ic);
+  (match input_line silent_ic with
+  | line -> Alcotest.failf "silent connection still open: %s" line
+  | exception End_of_file -> ());
+  (try Unix.close silent_fd with Unix.Unix_error _ -> ());
+  output_string busy_oc "shutdown\n";
+  flush busy_oc;
+  Alcotest.(check string) "clean shutdown" "ok bye" (input_line busy_ic);
+  (try Unix.close busy_fd with Unix.Unix_error _ -> ());
+  Domain.join d
+
 let suite =
   [
     Alcotest.test_case "route: pinned values, stability" `Quick
@@ -454,5 +512,7 @@ let suite =
       test_broadcast_never_shed;
     Alcotest.test_case "socket front end: drive + shutdown" `Quick
       test_net_smoke;
+    Alcotest.test_case "socket front end: idle connections reaped" `Quick
+      test_net_idle_timeout;
     QCheck_alcotest.to_alcotest prop_route_total;
   ]
